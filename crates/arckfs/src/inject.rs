@@ -1,0 +1,212 @@
+//! Deterministic schedule points.
+//!
+//! The paper reproduces each concurrency bug by inserting a `sleep()` at a
+//! specific program point (§4.2–§4.6: "for better reproducibility, we
+//! insert a sleep()"). This module provides the deterministic equivalent:
+//! the LibFS calls [`point`] at each named bug site (a no-op unless armed),
+//! and a test [`arm`]s the point, waits until the victim thread parks on
+//! it, performs the racing operation, and then [`Gate::release`]s the
+//! victim.
+//!
+//! Points are global (the LibFS code cannot thread a handle through every
+//! call path), so tests must use unique point names — the convention is
+//! `"<module>.<operation>.<site>"` with a test-specific suffix where tests
+//! could collide.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Number of currently armed gates; lets [`point`] return with a single
+/// relaxed load on the (overwhelmingly common) unarmed fast path, so the
+/// instrumentation costs nothing in benchmarks.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+#[derive(Default)]
+struct GateState {
+    armed: bool,
+    /// Threads currently parked on the point.
+    parked: usize,
+    /// Total times the point has been reached while armed.
+    reached: u64,
+}
+
+struct Registry {
+    gates: Mutex<HashMap<String, GateState>>,
+    cv: Condvar,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        gates: Mutex::new(HashMap::new()),
+        cv: Condvar::new(),
+    })
+}
+
+/// A schedule point site. Called by LibFS code at each bug site; returns
+/// immediately unless a test armed this name, in which case the calling
+/// thread parks until the test releases it.
+pub fn point(name: &str) {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let reg = registry();
+    let mut gates = reg.gates.lock();
+    let Some(g) = gates.get_mut(name) else {
+        return;
+    };
+    if !g.armed {
+        return;
+    }
+    g.reached += 1;
+    g.parked += 1;
+    reg.cv.notify_all();
+    while gates.get(name).map(|g| g.armed).unwrap_or(false) {
+        reg.cv.wait(&mut gates);
+    }
+    if let Some(g) = gates.get_mut(name) {
+        g.parked -= 1;
+    }
+    reg.cv.notify_all();
+}
+
+/// Handle for an armed schedule point. Dropping it disarms the point and
+/// releases every parked thread, so a panicking test cannot wedge others.
+#[must_use = "dropping the gate immediately disarms the point"]
+pub struct Gate {
+    name: String,
+}
+
+/// Arm the named point: subsequent [`point`] calls with this name park
+/// until released.
+pub fn arm(name: &str) -> Gate {
+    let reg = registry();
+    let mut gates = reg.gates.lock();
+    let g = gates.entry(name.to_string()).or_default();
+    g.armed = true;
+    g.reached = 0;
+    ARMED.fetch_add(1, Ordering::SeqCst);
+    Gate {
+        name: name.to_string(),
+    }
+}
+
+impl Gate {
+    /// Block until at least one thread has parked on the point, or the
+    /// timeout expires. Returns whether a thread is parked.
+    pub fn wait_reached(&self, timeout: Duration) -> bool {
+        let reg = registry();
+        let deadline = Instant::now() + timeout;
+        let mut gates = reg.gates.lock();
+        loop {
+            if gates.get(&self.name).map(|g| g.parked > 0).unwrap_or(false) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            reg.cv.wait_for(&mut gates, deadline - now);
+        }
+    }
+
+    /// Release all parked threads and disarm the point.
+    pub fn release(self) {
+        // Work happens in Drop.
+    }
+
+    /// How many times the point has been reached since arming.
+    pub fn reached_count(&self) -> u64 {
+        registry()
+            .gates
+            .lock()
+            .get(&self.name)
+            .map(|g| g.reached)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Gate {
+    fn drop(&mut self) {
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+        let reg = registry();
+        let mut gates = reg.gates.lock();
+        if let Some(g) = gates.get_mut(&self.name) {
+            g.armed = false;
+        }
+        reg.cv.notify_all();
+        // Wait for parked threads to drain so the test observes a clean
+        // state after release.
+        while gates.get(&self.name).map(|g| g.parked > 0).unwrap_or(false) {
+            reg.cv.wait(&mut gates);
+        }
+        gates.remove(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn unarmed_point_is_noop() {
+        let t = Instant::now();
+        point("inject.test.unarmed");
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn armed_point_parks_until_release() {
+        let gate = arm("inject.test.park");
+        let passed = Arc::new(AtomicBool::new(false));
+        let p2 = passed.clone();
+        let h = std::thread::spawn(move || {
+            point("inject.test.park");
+            p2.store(true, Ordering::SeqCst);
+        });
+        assert!(gate.wait_reached(Duration::from_secs(5)));
+        assert!(!passed.load(Ordering::SeqCst), "thread must be parked");
+        assert_eq!(gate.reached_count(), 1);
+        gate.release();
+        h.join().unwrap();
+        assert!(passed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_disarms() {
+        {
+            let _gate = arm("inject.test.drop");
+        }
+        // Point is disarmed now; must not park.
+        let t = Instant::now();
+        point("inject.test.drop");
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn wait_reached_times_out() {
+        let gate = arm("inject.test.timeout");
+        assert!(!gate.wait_reached(Duration::from_millis(20)));
+        gate.release();
+    }
+
+    #[test]
+    fn multiple_threads_park_and_release() {
+        let gate = arm("inject.test.multi");
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            handles.push(std::thread::spawn(|| point("inject.test.multi")));
+        }
+        assert!(gate.wait_reached(Duration::from_secs(5)));
+        gate.release();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,1404 @@
+//! The LibFS: mount, path resolution, the POSIX-like operation surface,
+//! the inode release protocol (§4.3), and the multi-inode rename
+//! orchestration (§3.2's Rules (1)–(3), §4.1, §4.6).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use pmem::Mapping;
+use rcu::Rcu;
+use trio::format::{
+    self, mode, DENTRY_NAME_CAP, INODE_SIZE, I_MARKER, I_MODE, I_NLINK, I_NTAILS, I_SIZE, I_TYPE,
+    I_UID,
+};
+use trio::{Geometry, InodeType, Kernel, LibFsId, ROOT_INO};
+use vfs::{
+    path as vpath, DirEntry, Fd, FileSystem, FileType, FsError, FsResult, FsStats, Metadata,
+    OpenFlags,
+};
+
+use crate::config::Config;
+use crate::dir::map_fault;
+use crate::inject;
+use crate::inode::{DirState, InodeState, MemInode};
+
+/// An open-descriptor table entry.
+#[derive(Debug, Clone)]
+struct FdEntry {
+    ino: u64,
+    flags: OpenFlags,
+}
+
+/// A per-application ArckFS LibFS instance.
+pub struct LibFs {
+    pub(crate) kernel: Arc<Kernel>,
+    pub(crate) id: LibFsId,
+    pub(crate) geom: Geometry,
+    pub(crate) config: Config,
+    /// LibFS-wide mapping for freshly granted (not yet committed)
+    /// resources; lives until unmount.
+    pub(crate) base_mapping: Mapping,
+    pub(crate) rcu: Arc<Rcu>,
+    pub(crate) uid: u32,
+    inodes: RwLock<HashMap<u64, Arc<MemInode>>>,
+    /// Pool of granted inode numbers with their (possibly already stale
+    /// after a release) mappings.
+    ino_pool: Mutex<Vec<(u64, Option<Mapping>)>>,
+    page_pool: Mutex<Vec<u64>>,
+    fds: RwLock<HashMap<u64, FdEntry>>,
+    next_fd: AtomicU64,
+    /// Rule (2) bookkeeping: old parent → new parents that must be
+    /// committed before the old parent may be released.
+    pending_renames: Mutex<HashMap<u64, HashSet<u64>>>,
+    /// Shared-state lock acquisitions (for the scalability model).
+    shared_lock_acqs: AtomicU64,
+    /// I/O delegation worker pool (OdinFS-style; §2.2, §5.2).
+    pub(crate) delegation: crate::delegate::DelegationPool,
+    label: String,
+}
+
+impl std::fmt::Debug for LibFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LibFs")
+            .field("id", &self.id)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl LibFs {
+    /// Mount a LibFS on an existing kernel, running as `uid`.
+    pub fn mount(kernel: Arc<Kernel>, config: Config, uid: u32) -> FsResult<Arc<LibFs>> {
+        let (id, base_mapping) = kernel.register_libfs(uid);
+        let geom = *kernel.geometry();
+        let label = format!("{}#{}", config.label(), id.0);
+        let config_threads = config.delegation_threads;
+        Ok(Arc::new(LibFs {
+            kernel,
+            id,
+            geom,
+            config,
+            base_mapping,
+            rcu: Rcu::new(),
+            uid,
+            inodes: RwLock::new(HashMap::new()),
+            ino_pool: Mutex::new(Vec::new()),
+            page_pool: Mutex::new(Vec::new()),
+            fds: RwLock::new(HashMap::new()),
+            next_fd: AtomicU64::new(3),
+            pending_renames: Mutex::new(HashMap::new()),
+            shared_lock_acqs: AtomicU64::new(0),
+            delegation: crate::delegate::DelegationPool::new(config_threads),
+            label,
+        }))
+    }
+
+    /// This LibFS's kernel identity.
+    pub fn id(&self) -> LibFsId {
+        self.id
+    }
+
+    /// The kernel this LibFS talks to.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Bytes shipped through the I/O delegation pool so far.
+    pub fn delegated_bytes(&self) -> u64 {
+        self.delegation.delegated_bytes()
+    }
+
+    pub(crate) fn count_lock(&self) {
+        self.shared_lock_acqs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ---- resource pools ----------------------------------------------------
+
+    /// Allocate an inode number (and a live mapping for it) from the local
+    /// pool, refilling from the kernel in batches — the extent grants that
+    /// keep the create fast path syscall-free.
+    pub(crate) fn alloc_ino(&self) -> FsResult<(u64, Mapping)> {
+        let popped = {
+            let mut pool = self.ino_pool.lock();
+            if pool.is_empty() {
+                let batch = self
+                    .kernel
+                    .grant_inodes_mapped(self.id, self.config.ino_batch)?;
+                pool.extend(batch.into_iter().map(|(i, m)| (i, Some(m))));
+            }
+            pool.pop().ok_or(FsError::NoSpace)?
+        };
+        match popped {
+            (ino, Some(m)) if m.is_live() => Ok((ino, m)),
+            // Recycled after a kernel release (or mapping lost): remap.
+            (ino, _) => Ok((ino, self.kernel.fresh_mapping(self.id, ino))),
+        }
+    }
+
+    /// Allocate a data/log page from the local pool.
+    pub(crate) fn alloc_page(&self) -> FsResult<u64> {
+        let mut pool = self.page_pool.lock();
+        if pool.is_empty() {
+            let batch = self.kernel.grant_pages(self.id, self.config.page_batch)?;
+            pool.extend(batch);
+        }
+        pool.pop().ok_or(FsError::NoSpace)
+    }
+
+    /// Return pages to the local pool.
+    pub(crate) fn recycle_pages(&self, pages: Vec<u64>) {
+        self.page_pool.lock().extend(pages);
+    }
+
+    /// Return an inode number (with its mapping, when still held) to the
+    /// local pool.
+    pub(crate) fn recycle_ino(&self, ino: u64, mapping: Option<Mapping>) {
+        self.ino_pool.lock().push((ino, mapping));
+    }
+
+    // ---- inode cache / acquisition ------------------------------------------
+
+    /// Fetch the in-memory inode for `ino`, acquiring it from the kernel
+    /// (and rebuilding the auxiliary state from the core state) if this
+    /// LibFS does not currently hold it.
+    pub(crate) fn get_inode(&self, ino: u64, parent_hint: u64) -> FsResult<Arc<MemInode>> {
+        if let Some(mi) = self.inodes.read().get(&ino) {
+            if mi.state() == InodeState::Acquired {
+                return Ok(mi.clone());
+            }
+        }
+        // (Re-)acquire through the kernel, then rebuild auxiliary state.
+        let grant = self.kernel.acquire(self.id, ino)?;
+        let mi = self.build_mem_inode(ino, parent_hint, grant.mapping)?;
+        self.inodes.write().insert(ino, mi.clone());
+        Ok(mi)
+    }
+
+    /// Build the auxiliary state of `ino` from its core state ("③ the
+    /// LibFS builds its auxiliary state from the core state", Figure 1).
+    fn build_mem_inode(
+        &self,
+        ino: u64,
+        parent_hint: u64,
+        mapping: Mapping,
+    ) -> FsResult<Arc<MemInode>> {
+        let device = self.kernel.device();
+        let raw = format::read_inode(device, &self.geom, ino)
+            .map_err(|e| FsError::Internal(e.to_string()))?;
+        if !raw.is_committed(ino) {
+            return Err(FsError::Corrupted(format!(
+                "acquired inode {ino} has bad commit marker {:#x}",
+                raw.marker
+            )));
+        }
+        let itype = raw
+            .inode_type()
+            .ok_or_else(|| FsError::Corrupted(format!("inode {ino} has malformed type")))?;
+        let dir = if itype == InodeType::Directory {
+            Some(self.rebuild_dir_state(&raw)?)
+        } else {
+            None
+        };
+        Ok(MemInode::new(
+            ino,
+            itype,
+            parent_hint,
+            mapping,
+            raw.size,
+            raw.nlink,
+            raw.seq,
+            dir,
+        ))
+    }
+
+    /// Scan the directory's dentry log and rebuild the hash index and the
+    /// per-tail append state. Duplicate names (possible only in crash
+    /// images) are resolved by sequence number, repairing the loser with a
+    /// tombstone.
+    fn rebuild_dir_state(&self, raw: &format::RawInode) -> FsResult<DirState> {
+        let device = self.kernel.device();
+        let ds = DirState::new(self.config.dir_buckets, raw.ntails.max(1) as usize);
+
+        let mut best: HashMap<String, (u64, u64, u64)> = HashMap::new(); // name -> (seq, ino, off)
+        let mut stale: Vec<u64> = Vec::new();
+        let mut reusable: Vec<u64> = Vec::new();
+        format::walk_dir_log(device, &self.geom, raw, |d| {
+            if !d.is_live() {
+                if d.marker != 0 {
+                    reusable.push(d.offset);
+                }
+                return;
+            }
+            let name = match d.name_str() {
+                Some(n) => n.to_string(),
+                None => return, // recovery skips corrupt residue
+            };
+            match best.get(&name) {
+                Some(&(seq, _, off)) if d.seq > seq => {
+                    stale.push(off);
+                    best.insert(name, (d.seq, d.ino, d.offset));
+                }
+                Some(_) => stale.push(d.offset),
+                None => {
+                    best.insert(name, (d.seq, d.ino, d.offset));
+                }
+            }
+        })
+        .map_err(FsError::Corrupted)?;
+
+        let mapping = &self.base_mapping;
+        for off in stale {
+            self.tombstone_dentry_core(mapping, off)?;
+        }
+        ds.free_slots.lock().extend(reusable);
+        for (name, (_, child, off)) in best {
+            let r = ds.arena.insert(crate::inode::DentryMeta {
+                name: name.clone(),
+                ino: child,
+                log_off: off,
+            });
+            let h = DirState::name_hash(&name);
+            let arr = ds.buckets.read();
+            let idx = (h as usize) % arr.len();
+            arr[idx].lock().push((h, r));
+            ds.live.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Rebuild tail append positions: last page of each chain and the
+        // slot index one past the last committed record.
+        for (t, tail) in ds.tails.iter().enumerate() {
+            let mut guard = tail.lock();
+            let mut page = raw.direct[t];
+            guard.head_page = page;
+            while page != 0 {
+                let next = device
+                    .read_u64(page * pmem::PAGE_SIZE as u64)
+                    .map_err(|e| FsError::Internal(e.to_string()))?;
+                if next == 0 {
+                    guard.cur_page = page;
+                    // One page read, then scan markers from the buffer.
+                    let mut buf = [0u8; pmem::PAGE_SIZE];
+                    device
+                        .read(page * pmem::PAGE_SIZE as u64, &mut buf)
+                        .map_err(|e| FsError::Internal(e.to_string()))?;
+                    let mut last_used = 0;
+                    for slot in 0..format::DENTRIES_PER_PAGE {
+                        let off =
+                            (format::DIRPAGE_FIRST_DENTRY + slot * format::DENTRY_SIZE) as usize;
+                        if u16::from_le_bytes([buf[off], buf[off + 1]]) != 0 {
+                            last_used = slot + 1;
+                        }
+                    }
+                    guard.next_slot = last_used;
+                }
+                page = next;
+            }
+        }
+        Ok(ds)
+    }
+
+    // ---- path resolution -----------------------------------------------------
+
+    /// Resolve a directory path to its in-memory inode.
+    pub(crate) fn resolve_dir(&self, comps: &[&str]) -> FsResult<Arc<MemInode>> {
+        let mut cur = self.get_inode(ROOT_INO, 0)?;
+        for c in comps {
+            let meta = self.dir_lookup(&cur, c)?.ok_or(FsError::NotFound)?;
+            let child = self.get_inode(meta.ino, cur.ino)?;
+            if child.itype != InodeType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            cur = child;
+        }
+        Ok(cur)
+    }
+
+    /// Resolve any path to its in-memory inode.
+    pub(crate) fn resolve(&self, path: &str) -> FsResult<Arc<MemInode>> {
+        if vpath::is_root(path) {
+            return self.get_inode(ROOT_INO, 0);
+        }
+        let (parent_comps, name) = vpath::split_parent(path)?;
+        let parent = self.resolve_dir(&parent_comps)?;
+        let meta = self.dir_lookup(&parent, name)?.ok_or(FsError::NotFound)?;
+        self.get_inode(meta.ino, parent.ino)
+    }
+
+    // ---- inode initialization (create/mkdir) ----------------------------------
+
+    /// Initialize a fresh inode's core state through the LibFS-wide
+    /// mapping (the grant mapping covers the same bytes; either handle is
+    /// valid while the inode is held). The stores here are payload of the
+    /// enclosing create's §4.2 protocol: they are flushed but *not* fenced
+    /// — the dentry commit provides (or, buggy, fails to provide) the
+    /// ordering.
+    pub(crate) fn init_inode_core_with_mode(
+        &self,
+        ino: u64,
+        itype: InodeType,
+        perm: u32,
+    ) -> FsResult<()> {
+        let m = &self.base_mapping;
+        let base = self.geom.inode_offset(ino);
+        // Assemble the record in DRAM and store it with one write (the
+        // compiler's memcpy — what the C artifact's struct assignment does),
+        // clearing any stale bytes of a recycled slot in the same store.
+        let mut rec = [0u8; INODE_SIZE as usize];
+        // The inode's own commit marker is part of the same payload batch;
+        // the flush covers all four lines, the *fence* comes from the
+        // dentry commit protocol.
+        rec[I_MARKER as usize..I_MARKER as usize + 8].copy_from_slice(&ino.to_le_bytes());
+        rec[I_TYPE as usize..I_TYPE as usize + 4].copy_from_slice(&itype.to_raw().to_le_bytes());
+        rec[I_MODE as usize..I_MODE as usize + 4].copy_from_slice(&perm.to_le_bytes());
+        rec[I_UID as usize..I_UID as usize + 4].copy_from_slice(&self.uid.to_le_bytes());
+        let nlink: u64 = if itype == InodeType::Directory {
+            rec[I_NTAILS as usize..I_NTAILS as usize + 4]
+                .copy_from_slice(&self.config.dir_tails.to_le_bytes());
+            2
+        } else {
+            1
+        };
+        rec[I_NLINK as usize..I_NLINK as usize + 8].copy_from_slice(&nlink.to_le_bytes());
+        m.write(base, &rec).map_err(map_fault)?;
+        m.clwb(base, INODE_SIZE as usize).map_err(map_fault)?;
+        Ok(())
+    }
+
+    /// Register a fresh in-memory inode for an inode this LibFS just
+    /// created, with the mapping that came with its grant.
+    fn install_fresh_inode(
+        &self,
+        ino: u64,
+        itype: InodeType,
+        parent: u64,
+        mapping: Mapping,
+    ) -> FsResult<Arc<MemInode>> {
+        let dir = (itype == InodeType::Directory)
+            .then(|| DirState::new(self.config.dir_buckets, self.config.dir_tails as usize));
+        let mi = MemInode::new(
+            ino,
+            itype,
+            parent,
+            mapping,
+            0,
+            if itype == InodeType::Directory { 2 } else { 1 },
+            0,
+            dir,
+        );
+        self.inodes.write().insert(ino, mi.clone());
+        Ok(mi)
+    }
+
+    // ---- multi-inode rules ------------------------------------------------
+
+    /// Make sure the kernel considers `dir` connected to the root: commit
+    /// the chain of ancestors top-down so each commit registers the next
+    /// level's children (Rule (1) as applied by a well-behaved LibFS).
+    pub(crate) fn ensure_connected(&self, dir: &Arc<MemInode>) -> FsResult<()> {
+        // Collect the chain of ancestors with no shadow entry.
+        let mut chain: Vec<Arc<MemInode>> = Vec::new();
+        let mut cur = dir.clone();
+        while self.kernel.shadow_entry(cur.ino).is_none() {
+            let parent_ino = cur.parent.load(Ordering::SeqCst);
+            if parent_ino == 0 {
+                return Err(FsError::Internal(format!(
+                    "inode {} has no known parent while disconnected",
+                    cur.ino
+                )));
+            }
+            let parent = self
+                .inodes
+                .read()
+                .get(&parent_ino)
+                .cloned()
+                .ok_or_else(|| {
+                    FsError::Internal(format!("parent {parent_ino} not in inode cache"))
+                })?;
+            chain.push(cur);
+            cur = parent;
+        }
+        // `cur` has a shadow entry. Commit top-down: cur registers
+        // chain.last(), and so on. After each commit, formally acquire the
+        // newly registered child so later commits/releases of it work.
+        let mut to_commit = cur;
+        while let Some(child) = chain.pop() {
+            self.kernel.commit(self.id, to_commit.ino)?;
+            to_commit = child;
+        }
+        Ok(())
+    }
+
+    /// Honor Rule (2): before the old parent of a cross-directory rename is
+    /// released, commit every new parent recorded against it.
+    fn commit_pending_renames(&self, old_parent: u64) -> FsResult<()> {
+        let pending: Vec<u64> = self
+            .pending_renames
+            .lock()
+            .remove(&old_parent)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        for new_parent in pending {
+            if self.kernel.owns(self.id, new_parent) {
+                // The new parent itself may still be unknown to the kernel
+                // (created this session): connect it first (Rule (1)), then
+                // commit it (Rule (2)).
+                if let Some(mi) = self.inodes.read().get(&new_parent).cloned() {
+                    self.ensure_connected(&mi)?;
+                }
+                self.kernel.commit(self.id, new_parent)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- the release protocol (§4.3) -----------------------------------------
+
+    /// Voluntarily release an inode back to the kernel (the sharing path,
+    /// Figure 1 ⑤).
+    ///
+    /// Original ArckFS: release immediately and drop the auxiliary state —
+    /// a concurrent thread still inside an operation dereferences the
+    /// unmapped core state and takes the modelled SIGBUS (§4.3).
+    ///
+    /// ArckFS+: take **every** lock of the inode (the file write lock, all
+    /// bucket locks, all tail locks, the metadata lock) so no operation is
+    /// in flight; keep the auxiliary state and the locks; readers keep
+    /// using the cached metadata.
+    pub fn release_inode(&self, ino: u64) -> FsResult<()> {
+        let mi = self
+            .inodes
+            .read()
+            .get(&ino)
+            .cloned()
+            .ok_or(FsError::NotFound)?;
+
+        // A well-behaved LibFS honors Rules (1) and (2) before releasing.
+        if self.config.fix_rename {
+            self.commit_pending_renames(ino)?;
+        }
+        if self.config.fix_rename && self.kernel.shadow_entry(ino).is_none() {
+            // Rule (1): connect via the parent before releasing the child.
+            let parent_ino = mi.parent.load(Ordering::SeqCst);
+            if parent_ino != 0 {
+                if let Some(parent) = self.inodes.read().get(&parent_ino).cloned() {
+                    self.ensure_connected(&parent)?;
+                    self.kernel.commit(self.id, parent_ino)?;
+                }
+            }
+        }
+
+        if self.config.fix_release_sync {
+            // §4.3 PATCH: quiesce the inode under all its locks, then
+            // release; retain the auxiliary state. Lock order matches the
+            // operations' nesting (file lock, buckets, tails, metadata) so
+            // an in-flight create completes rather than deadlocking.
+            let _w = mi.rw.write();
+            let mut _table_guard = None;
+            let mut tail_guards = Vec::new();
+            if let Some(ds) = mi.dir_state() {
+                // Exclusive access to the bucket table waits out every
+                // in-flight directory operation (they hold it in read
+                // mode for their critical sections).
+                self.count_lock();
+                _table_guard = Some(ds.buckets.write());
+                for t in &ds.tails {
+                    self.count_lock();
+                    tail_guards.push(t.lock());
+                }
+            }
+            let _m = mi.meta.lock();
+            mi.mark_released();
+            self.kernel.release(self.id, ino)?;
+            // Locks drop here; auxiliary state is retained (readers use the
+            // cached metadata; the next write re-acquires).
+            Ok(())
+        } else {
+            // BUG §4.3: no synchronization with in-flight operations, and
+            // the auxiliary state is dropped.
+            self.inodes.write().remove(&ino);
+            self.kernel.release(self.id, ino)?;
+            Ok(())
+        }
+    }
+
+    /// Open an already-resolved regular file by inode number — the fast
+    /// path used by customizations (see [`crate::custom`]) that keep their
+    /// own path index as private auxiliary state.
+    pub fn open_by_ino(&self, ino: u64, flags: OpenFlags) -> FsResult<Fd> {
+        let mi = self.get_inode(ino, 0)?;
+        if mi.itype != InodeType::Regular {
+            return Err(FsError::IsADirectory);
+        }
+        if flags.truncate {
+            if !flags.write {
+                return Err(FsError::BadAccessMode);
+            }
+            self.file_truncate(&mi, 0)?;
+        }
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(fd.0, FdEntry { ino, flags });
+        Ok(fd)
+    }
+
+    /// Stat an already-resolved inode by number (customization fast path).
+    pub fn stat_by_ino(&self, ino: u64) -> FsResult<Metadata> {
+        let mi = self.get_inode(ino, 0)?;
+        self.meta_of(&mi)
+    }
+
+    /// Commit (verify while retaining ownership) the inode at `path`.
+    pub fn commit_path(&self, path: &str) -> FsResult<()> {
+        let mi = self.resolve(path)?;
+        if self.config.fix_rename {
+            self.ensure_connected(&mi)?;
+        }
+        self.kernel.commit(self.id, mi.ino)
+    }
+
+    /// Release the inode at `path` (sharing entry point used by the
+    /// sharing-cost benchmarks and tests).
+    pub fn release_path(&self, path: &str) -> FsResult<()> {
+        let mi = self.resolve(path)?;
+        self.release_inode(mi.ino)
+    }
+
+    /// Release everything this LibFS holds, parents before children where
+    /// the kernel does not yet know the children (Rule (1) ordering), then
+    /// unregister.
+    pub fn unmount(&self) -> FsResult<()> {
+        // Hand unused grants back first so they are not force-released.
+        let inos: Vec<u64> = self.ino_pool.lock().drain(..).map(|(i, _)| i).collect();
+        if !inos.is_empty() {
+            self.kernel.return_inodes(self.id, inos);
+        }
+        let pages: Vec<u64> = self.page_pool.lock().drain(..).collect();
+        if !pages.is_empty() {
+            self.kernel.return_pages(self.id, &pages)?;
+        }
+        // Keep releasing inodes whose verification prerequisites are
+        // satisfiable until none remain.
+        loop {
+            let owned: Vec<u64> = {
+                let map = self.inodes.read();
+                map.values()
+                    .filter(|m| m.state() == InodeState::Acquired)
+                    .map(|m| m.ino)
+                    .collect()
+            };
+            let owned: Vec<u64> = owned
+                .into_iter()
+                .filter(|&i| self.kernel.owns(self.id, i))
+                .collect();
+            if owned.is_empty() {
+                break;
+            }
+            // Release shallow inodes first: an inode whose parent is also
+            // still owned can wait (its shadow entry appears when the
+            // parent verifies).
+            let mut progressed = false;
+            for ino in &owned {
+                let mi = self.inodes.read().get(ino).cloned();
+                let parent = mi.map(|m| m.parent.load(Ordering::SeqCst)).unwrap_or(0);
+                let parent_owned = parent != 0 && owned.contains(&parent);
+                if !parent_owned {
+                    self.release_inode(*ino)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                // Parent cycle in ownership (should not happen): force.
+                for ino in owned {
+                    let _ = self.kernel.force_release(self.id, ino);
+                }
+                break;
+            }
+        }
+        self.kernel.unregister_libfs(self.id)
+    }
+
+    // ---- rename orchestration (§4.1 / §4.6) -----------------------------------
+
+    fn rename_impl(&self, from: &str, to: &str) -> FsResult<()> {
+        let (from_parent_comps, from_name) = vpath::split_parent(from)?;
+        let (to_parent_comps, to_name) = vpath::split_parent(to)?;
+        vpath::validate_name(from_name)?;
+        vpath::validate_name(to_name)?;
+
+        let mut from_parent = self.resolve_dir(&from_parent_comps)?;
+        let mut to_parent = self.resolve_dir(&to_parent_comps)?;
+
+        if from_parent.ino == to_parent.ino {
+            return self.dir_rename_local(&from_parent, from_name, to_name);
+        }
+
+        let mut meta = self
+            .dir_lookup(&from_parent, from_name)?
+            .ok_or(FsError::NotFound)?;
+        if self.dir_lookup(&to_parent, to_name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        let mut child = self.get_inode(meta.ino, from_parent.ino)?;
+        let child_is_dir = child.itype == InodeType::Directory;
+
+        let cycle_check = || -> FsResult<()> {
+            // §4.6 case (2): renaming a directory under its own descendant.
+            let from_prefix = format!("{}/", from.trim_end_matches('/'));
+            if to.starts_with(&from_prefix)
+                || to.trim_end_matches('/') == from.trim_end_matches('/')
+            {
+                return Err(FsError::WouldCycle);
+            }
+            Ok(())
+        };
+        if child_is_dir && self.config.fix_dir_cycle {
+            cycle_check()?;
+        }
+
+        // §4.6 case (1): the global rename lease for directory relocations.
+        // A concurrent directory rename may have moved anything resolved so
+        // far, so re-resolve and re-check under the lease — the same reason
+        // Linux re-validates under s_vfs_rename_mutex.
+        let lease_token = if child_is_dir && (self.config.fix_dir_cycle || self.config.fix_rename) {
+            let token = self.kernel.rename_lease_acquire_blocking(self.id)?;
+            let revalidate = (|| -> FsResult<()> {
+                from_parent = self.resolve_dir(&from_parent_comps)?;
+                to_parent = self.resolve_dir(&to_parent_comps)?;
+                meta = self
+                    .dir_lookup(&from_parent, from_name)?
+                    .ok_or(FsError::NotFound)?;
+                if self.dir_lookup(&to_parent, to_name)?.is_some() {
+                    return Err(FsError::AlreadyExists);
+                }
+                child = self.get_inode(meta.ino, from_parent.ino)?;
+                if self.config.fix_dir_cycle {
+                    cycle_check()?;
+                }
+                Ok(())
+            })();
+            if let Err(e) = revalidate {
+                self.kernel.rename_lease_release(self.id, token)?;
+                return Err(e);
+            }
+            Some(token)
+        } else {
+            None
+        };
+
+        let result = (|| -> FsResult<()> {
+            if child_is_dir && self.config.fix_rename {
+                // Rule (3): commit the new parent *before* the rename (this
+                // also connects a newly created new parent — Figure 2).
+                self.ensure_connected(&to_parent)?;
+                self.kernel.commit(self.id, to_parent.ino)?;
+            }
+
+            inject::point("rename.crossdir.prepared");
+
+            // The actual relocation in core + auxiliary state: commit the
+            // new dentry, then tombstone the old.
+            self.dir_insert(&to_parent, to_name, meta.ino, |_| Ok(()))?;
+            self.dir_remove(&from_parent, from_name)?;
+            child.parent.store(to_parent.ino, Ordering::SeqCst);
+
+            if self.config.fix_rename {
+                if child_is_dir {
+                    // Rule (2) as per-operation verification (§4.1 patch):
+                    // commit the new parent after the rename, updating the
+                    // child's shadow parent pointer.
+                    self.kernel.commit(self.id, to_parent.ino)?;
+                } else {
+                    // Files: defer to release time (Rule (2) ordering).
+                    self.pending_renames
+                        .lock()
+                        .entry(from_parent.ino)
+                        .or_default()
+                        .insert(to_parent.ino);
+                }
+            }
+            Ok(())
+        })();
+
+        if let Some(token) = lease_token {
+            self.kernel.rename_lease_release(self.id, token)?;
+        }
+        result
+    }
+
+    // ---- misc ------------------------------------------------------------
+
+    fn meta_of(&self, mi: &MemInode) -> FsResult<Metadata> {
+        let (size, nlink) = if self.config.fix_release_sync {
+            // §4.3 patch: lock-free reads use the cached state.
+            (
+                mi.cached_size.load(Ordering::SeqCst),
+                mi.cached_nlink.load(Ordering::SeqCst),
+            )
+        } else {
+            // Original: read through the mapping (faults if concurrently
+            // released).
+            let m = mi.mapping_handle();
+            let base = self.geom.inode_offset(mi.ino);
+            (
+                m.read_u64(base + I_SIZE).map_err(map_fault)?,
+                m.read_u64(base + I_NLINK).map_err(map_fault)?,
+            )
+        };
+        Ok(Metadata {
+            ino: mi.ino,
+            file_type: match mi.itype {
+                InodeType::Regular => FileType::Regular,
+                InodeType::Directory => FileType::Directory,
+            },
+            size,
+            nlink,
+        })
+    }
+
+    fn fd_entry(&self, fd: Fd) -> FsResult<FdEntry> {
+        self.fds
+            .read()
+            .get(&fd.0)
+            .cloned()
+            .ok_or(FsError::BadDescriptor)
+    }
+
+    fn file_inode(&self, fd: Fd) -> FsResult<(Arc<MemInode>, FdEntry)> {
+        let entry = self.fd_entry(fd)?;
+        let mi = self.get_inode(entry.ino, 0)?;
+        if mi.itype != InodeType::Regular {
+            return Err(FsError::IsADirectory);
+        }
+        Ok((mi, entry))
+    }
+
+    fn create_impl(&self, path: &str, itype: InodeType) -> FsResult<u64> {
+        self.create_impl_with_mode(path, itype, mode::RW_ALL)
+    }
+
+    /// Create a file or directory with explicit permission bits — used by
+    /// the §3.1 attack-scenario tests where App1 lacks write permission on
+    /// dir3 and file1.
+    pub fn create_with_mode(&self, path: &str, dir: bool, perm: u32) -> FsResult<()> {
+        let itype = if dir {
+            InodeType::Directory
+        } else {
+            InodeType::Regular
+        };
+        self.create_impl_with_mode(path, itype, perm).map(|_| ())
+    }
+
+    fn create_impl_with_mode(&self, path: &str, itype: InodeType, perm: u32) -> FsResult<u64> {
+        let (parent_comps, name) = vpath::split_parent(path)?;
+        vpath::validate_name(name)?;
+        if name.len() > DENTRY_NAME_CAP {
+            return Err(FsError::NameTooLong);
+        }
+        let parent = self.resolve_dir(&parent_comps)?;
+        let (child_ino, child_mapping) = self.alloc_ino()?;
+        let res = self.dir_insert(&parent, name, child_ino, |fs| {
+            fs.init_inode_core_with_mode(child_ino, itype, perm)
+        });
+        if let Err(e) = res {
+            self.recycle_ino(child_ino, Some(child_mapping));
+            return Err(e);
+        }
+        self.install_fresh_inode(child_ino, itype, parent.ino, child_mapping)?;
+        if self.config.verify_every_op {
+            self.ensure_connected(&parent)?;
+            self.kernel.commit(self.id, parent.ino)?;
+        }
+        Ok(child_ino)
+    }
+
+    fn remove_impl(&self, path: &str, want_dir: bool) -> FsResult<()> {
+        let (parent_comps, name) = vpath::split_parent(path)?;
+        let parent = self.resolve_dir(&parent_comps)?;
+        let meta = self.dir_lookup(&parent, name)?.ok_or(FsError::NotFound)?;
+
+        // Load the child inode directly from the mapped core state, as the
+        // C artifact does by pointer. If a racing create has inserted the
+        // auxiliary entry but not yet written the core state (§4.4, buggy
+        // mode), this is the dereference that crashes there — here it
+        // surfaces as a detected dangling core reference.
+        let pm = parent.mapping_handle();
+        let ibase = self.geom.inode_offset(meta.ino);
+        let marker = pm.read_u64(ibase + I_MARKER).map_err(map_fault)?;
+        if marker != meta.ino {
+            return Err(FsError::Fault(vfs::FaultKind::DanglingCoreRef {
+                offset: ibase,
+                detail: format!(
+                    "auxiliary index names '{name}' (inode {}) but its core state is                      uninitialized (racing create updated only the auxiliary state)",
+                    meta.ino
+                ),
+            }));
+        }
+        let itype = InodeType::from_raw(pm.read_u32(ibase + I_TYPE).map_err(map_fault)?)
+            .ok_or_else(|| FsError::Corrupted(format!("inode {} has malformed type", meta.ino)))?;
+        match (itype, want_dir) {
+            (InodeType::Directory, false) => return Err(FsError::IsADirectory),
+            (InodeType::Regular, true) => return Err(FsError::NotADirectory),
+            _ => {}
+        }
+        if want_dir {
+            let live = pm.read_u64(ibase + I_SIZE).map_err(map_fault)?;
+            if live != 0 {
+                return Err(FsError::NotEmpty);
+            }
+        }
+
+        // Remove the dentry first, then free the inode and its pages.
+        self.dir_remove(&parent, name)?;
+
+        let mut pages = if itype == InodeType::Regular {
+            self.file_collect_pages(meta.ino, &pm)?
+        } else {
+            // Directory log pages, from the on-PM tail heads.
+            let mut pages = Vec::new();
+            let ntails = pm.read_u32(ibase + I_NTAILS).map_err(map_fault)? as u64;
+            for t in 0..ntails.min(format::NDIRECT as u64) {
+                let mut p = pm
+                    .read_u64(ibase + format::I_DIRECT + 8 * t)
+                    .map_err(map_fault)?;
+                let mut hops = 0u64;
+                while p != 0 && hops < self.geom.total_pages {
+                    pages.push(p);
+                    p = pm.read_u64(p * pmem::PAGE_SIZE as u64).map_err(map_fault)?;
+                    hops += 1;
+                }
+            }
+            pages
+        };
+
+        // Free the inode: clear the commit marker and persist.
+        pm.write_u64(ibase + I_MARKER, 0).map_err(map_fault)?;
+        pm.clwb(ibase, 8).map_err(map_fault)?;
+        pm.sfence();
+
+        // If the kernel granted us this inode through acquire, hand it
+        // back (the verifier accepts freed inodes).
+        let had_shadow = self.kernel.shadow_entry(meta.ino).is_some();
+        if self.kernel.owns(self.id, meta.ino) && had_shadow {
+            self.kernel.release(self.id, meta.ino)?;
+        }
+        let removed = self.inodes.write().remove(&meta.ino);
+        pages.sort_unstable();
+        pages.dedup();
+        self.recycle_pages(pages);
+        // Keep the mapping with the recycled number when the kernel did
+        // not revoke it (fresh inodes); a revoked one is remapped lazily.
+        let mapping = removed.map(|mi| mi.mapping_handle());
+        self.recycle_ino(meta.ino, mapping);
+
+        if self.config.verify_every_op {
+            self.ensure_connected(&parent)?;
+            self.kernel.commit(self.id, parent.ino)?;
+        }
+        Ok(())
+    }
+
+    /// Read the faults counter style stats (exposed through the trait).
+    fn gather_stats(&self) -> FsStats {
+        let dev = self.kernel.device().stats().snapshot();
+        let ks = self.kernel.stats().snapshot();
+        FsStats {
+            flushes: dev.clwb,
+            fences: dev.sfences,
+            syscalls: ks.syscalls,
+            verifications: ks.verifications,
+            pm_bytes_written: dev.bytes_written,
+            shared_lock_acqs: self.shared_lock_acqs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl FileSystem for LibFs {
+    fn fs_name(&self) -> &str {
+        &self.label
+    }
+
+    fn create(&self, path: &str) -> FsResult<Fd> {
+        let ino = self.create_impl(path, InodeType::Regular)?;
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(
+            fd.0,
+            FdEntry {
+                ino,
+                flags: OpenFlags::RDWR,
+            },
+        );
+        Ok(fd)
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let ino = match self.resolve(path) {
+            Ok(mi) => {
+                if mi.itype != InodeType::Regular {
+                    return Err(FsError::IsADirectory);
+                }
+                if flags.truncate {
+                    if !flags.write {
+                        return Err(FsError::BadAccessMode);
+                    }
+                    self.file_truncate(&mi, 0)?;
+                }
+                mi.ino
+            }
+            Err(FsError::NotFound) if flags.create => self.create_impl(path, InodeType::Regular)?,
+            Err(e) => return Err(e),
+        };
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(fd.0, FdEntry { ino, flags });
+        Ok(fd)
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        self.fds
+            .write()
+            .remove(&fd.0)
+            .map(|_| ())
+            .ok_or(FsError::BadDescriptor)
+    }
+
+    fn read_at(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize> {
+        let (mi, entry) = self.file_inode(fd)?;
+        if !entry.flags.read {
+            return Err(FsError::BadAccessMode);
+        }
+        self.file_read_at(&mi, buf, offset)
+    }
+
+    fn write_at(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize> {
+        let (mi, entry) = self.file_inode(fd)?;
+        if !entry.flags.write {
+            return Err(FsError::BadAccessMode);
+        }
+        self.file_write_at(&mi, buf, offset)
+    }
+
+    fn append(&self, fd: Fd, buf: &[u8]) -> FsResult<u64> {
+        let (mi, entry) = self.file_inode(fd)?;
+        if !entry.flags.write {
+            return Err(FsError::BadAccessMode);
+        }
+        // The file write lock serializes concurrent appends; the offset is
+        // read under it inside file_write_at via the size field. Here we
+        // take the simple approach: lock, compute, write.
+        let mapping = mi.mapping_handle();
+        let offset = self.file_size(&mi, &mapping)?;
+        self.file_write_at(&mi, buf, offset)?;
+        Ok(offset)
+    }
+
+    fn fsync(&self, _fd: Fd) -> FsResult<()> {
+        // §2.2: every operation persists synchronously; fsync returns
+        // immediately.
+        Ok(())
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        let (mi, entry) = self.file_inode(fd)?;
+        if !entry.flags.write {
+            return Err(FsError::BadAccessMode);
+        }
+        self.file_truncate(&mi, size)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.remove_impl(path, false)
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.create_impl(path, InodeType::Directory).map(|_| ())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.remove_impl(path, true)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let r = self.rename_impl(from, to);
+        if r.is_ok() && self.config.verify_every_op {
+            if let Ok((parent_comps, _)) = vpath::split_parent(to) {
+                if let Ok(parent) = self.resolve_dir(&parent_comps) {
+                    self.ensure_connected(&parent)?;
+                    self.kernel.commit(self.id, parent.ino)?;
+                }
+            }
+        }
+        r
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let mi = self.resolve(path)?;
+        if mi.itype != InodeType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        let metas = self.dir_iterate(&mi)?;
+        let mut out = Vec::with_capacity(metas.len());
+        for m in metas {
+            // Child type from the cache when possible, else from PM.
+            let ftype = match self.inodes.read().get(&m.ino) {
+                Some(c) => match c.itype {
+                    InodeType::Regular => FileType::Regular,
+                    InodeType::Directory => FileType::Directory,
+                },
+                None => {
+                    let raw = format::read_inode(self.kernel.device(), &self.geom, m.ino)
+                        .map_err(|e| FsError::Internal(e.to_string()))?;
+                    match raw.inode_type() {
+                        Some(InodeType::Directory) => FileType::Directory,
+                        _ => FileType::Regular,
+                    }
+                }
+            };
+            out.push(DirEntry {
+                name: m.name,
+                ino: m.ino,
+                file_type: ftype,
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let mi = self.resolve(path)?;
+        self.meta_of(&mi)
+    }
+
+    fn stats(&self) -> FsStats {
+        self.gather_stats()
+    }
+
+    fn reset_stats(&self) {
+        self.kernel.device().stats().reset();
+        self.shared_lock_acqs.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::{read_file, write_file};
+
+    fn fs(config: Config) -> Arc<LibFs> {
+        crate::new_fs(64 << 20, config).expect("format").1
+    }
+
+    fn both() -> Vec<Arc<LibFs>> {
+        vec![fs(Config::arckfs()), fs(Config::arckfs_plus())]
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        for f in both() {
+            write_file(f.as_ref(), "/hello.txt", b"hello world").unwrap();
+            assert_eq!(read_file(f.as_ref(), "/hello.txt").unwrap(), b"hello world");
+            let st = f.stat("/hello.txt").unwrap();
+            assert_eq!(st.size, 11);
+            assert_eq!(st.file_type, FileType::Regular);
+        }
+    }
+
+    #[test]
+    fn create_rejects_duplicates() {
+        let f = fs(Config::arckfs_plus());
+        f.create("/a").unwrap();
+        assert_eq!(f.create("/a").unwrap_err(), FsError::AlreadyExists);
+    }
+
+    #[test]
+    fn open_missing_fails_without_create() {
+        let f = fs(Config::arckfs_plus());
+        assert_eq!(
+            f.open("/nope", OpenFlags::RDONLY).unwrap_err(),
+            FsError::NotFound
+        );
+        let fd = f.open("/nope", OpenFlags::CREATE).unwrap();
+        f.close(fd).unwrap();
+        assert!(f.stat("/nope").is_ok());
+    }
+
+    #[test]
+    fn mkdir_and_nested_files() {
+        for f in both() {
+            f.mkdir("/d").unwrap();
+            f.mkdir("/d/e").unwrap();
+            write_file(f.as_ref(), "/d/e/f.txt", b"deep").unwrap();
+            assert_eq!(read_file(f.as_ref(), "/d/e/f.txt").unwrap(), b"deep");
+            assert_eq!(f.stat("/d").unwrap().file_type, FileType::Directory);
+            assert_eq!(f.stat("/d/e").unwrap().size, 1);
+        }
+    }
+
+    #[test]
+    fn readdir_lists_entries_sorted() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/dir").unwrap();
+        for n in ["c", "a", "b"] {
+            f.create(&format!("/dir/{n}")).unwrap();
+        }
+        let names: Vec<String> = f
+            .readdir("/dir")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn unlink_removes() {
+        for f in both() {
+            f.create("/x").unwrap();
+            f.unlink("/x").unwrap();
+            assert_eq!(f.stat("/x").unwrap_err(), FsError::NotFound);
+            assert_eq!(f.unlink("/x").unwrap_err(), FsError::NotFound);
+            // Name and inode are reusable.
+            f.create("/x").unwrap();
+        }
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/d").unwrap();
+        f.create("/d/f").unwrap();
+        assert_eq!(f.rmdir("/d").unwrap_err(), FsError::NotEmpty);
+        f.unlink("/d/f").unwrap();
+        f.rmdir("/d").unwrap();
+        assert_eq!(f.stat("/d").unwrap_err(), FsError::NotFound);
+    }
+
+    #[test]
+    fn unlink_dir_mismatch_errors() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/d").unwrap();
+        f.create("/f").unwrap();
+        assert_eq!(f.unlink("/d").unwrap_err(), FsError::IsADirectory);
+        assert_eq!(f.rmdir("/f").unwrap_err(), FsError::NotADirectory);
+    }
+
+    #[test]
+    fn rename_same_dir() {
+        for f in both() {
+            write_file(f.as_ref(), "/old", b"data").unwrap();
+            f.rename("/old", "/new").unwrap();
+            assert_eq!(f.stat("/old").unwrap_err(), FsError::NotFound);
+            assert_eq!(read_file(f.as_ref(), "/new").unwrap(), b"data");
+        }
+    }
+
+    #[test]
+    fn rename_cross_dir_file() {
+        for f in both() {
+            f.mkdir("/a").unwrap();
+            f.mkdir("/b").unwrap();
+            write_file(f.as_ref(), "/a/f", b"move me").unwrap();
+            f.rename("/a/f", "/b/g").unwrap();
+            assert_eq!(read_file(f.as_ref(), "/b/g").unwrap(), b"move me");
+            assert_eq!(f.stat("/a/f").unwrap_err(), FsError::NotFound);
+            assert_eq!(f.stat("/a").unwrap().size, 0);
+            assert_eq!(f.stat("/b").unwrap().size, 1);
+        }
+    }
+
+    #[test]
+    fn rename_into_own_descendant_rejected_when_fixed() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/a").unwrap();
+        f.mkdir("/a/b").unwrap();
+        assert_eq!(f.rename("/a", "/a/b/c").unwrap_err(), FsError::WouldCycle);
+    }
+
+    #[test]
+    fn large_file_through_indirect_blocks() {
+        let f = fs(Config::arckfs_plus());
+        // 16 direct pages = 64 KiB; write 256 KiB to exercise the single
+        // indirect level.
+        let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
+        write_file(f.as_ref(), "/big", &data).unwrap();
+        assert_eq!(read_file(f.as_ref(), "/big").unwrap(), data);
+        assert_eq!(f.stat("/big").unwrap().size, 256 * 1024);
+    }
+
+    #[test]
+    fn sparse_writes_read_zeroes_in_holes() {
+        let f = fs(Config::arckfs_plus());
+        let fd = f.open("/sparse", OpenFlags::CREATE).unwrap();
+        f.write_at(fd, b"end", 10_000).unwrap();
+        let mut buf = vec![0xFFu8; 100];
+        let n = f.read_at(fd, &mut buf, 0).unwrap();
+        assert_eq!(n, 100);
+        assert!(buf.iter().all(|&b| b == 0), "hole must read as zeroes");
+        f.close(fd).unwrap();
+    }
+
+    #[test]
+    fn truncate_shrinks_dwtl_style() {
+        let f = fs(Config::arckfs_plus());
+        let data = vec![7u8; 64 * 1024];
+        write_file(f.as_ref(), "/t", &data).unwrap();
+        let fd = f.open("/t", OpenFlags::RDWR).unwrap();
+        // DWTL: reduce the size of a private file by 4K.
+        f.truncate(fd, 60 * 1024).unwrap();
+        assert_eq!(f.stat("/t").unwrap().size, 60 * 1024);
+        f.close(fd).unwrap();
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let f = fs(Config::arckfs_plus());
+        let fd = f.open("/log", OpenFlags::CREATE).unwrap();
+        assert_eq!(f.append(fd, b"aaa").unwrap(), 0);
+        assert_eq!(f.append(fd, b"bb").unwrap(), 3);
+        assert_eq!(read_file(f.as_ref(), "/log").unwrap(), b"aaabb");
+    }
+
+    #[test]
+    fn fsync_is_immediate() {
+        let f = fs(Config::arckfs_plus());
+        let fd = f.create("/s").unwrap();
+        f.fsync(fd).unwrap();
+    }
+
+    #[test]
+    fn bad_descriptor_errors() {
+        let f = fs(Config::arckfs_plus());
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            f.read_at(Fd(999), &mut buf, 0).unwrap_err(),
+            FsError::BadDescriptor
+        );
+        assert_eq!(f.close(Fd(999)).unwrap_err(), FsError::BadDescriptor);
+    }
+
+    #[test]
+    fn access_mode_enforced() {
+        let f = fs(Config::arckfs_plus());
+        write_file(f.as_ref(), "/m", b"x").unwrap();
+        let rd = f.open("/m", OpenFlags::RDONLY).unwrap();
+        assert_eq!(f.write_at(rd, b"y", 0).unwrap_err(), FsError::BadAccessMode);
+        let wr = f.open("/m", OpenFlags::WRONLY).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            f.read_at(wr, &mut buf, 0).unwrap_err(),
+            FsError::BadAccessMode
+        );
+    }
+
+    #[test]
+    fn many_files_spill_across_log_pages() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/many").unwrap();
+        // 31 dentries per page x 4 tails; 500 files force page chaining.
+        for i in 0..500 {
+            f.create(&format!("/many/file-{i:04}")).unwrap();
+        }
+        assert_eq!(f.stat("/many").unwrap().size, 500);
+        assert_eq!(f.readdir("/many").unwrap().len(), 500);
+        for i in (0..500).step_by(7) {
+            f.unlink(&format!("/many/file-{i:04}")).unwrap();
+        }
+        let remaining = f.readdir("/many").unwrap().len();
+        assert_eq!(remaining as u64, f.stat("/many").unwrap().size);
+    }
+
+    #[test]
+    fn release_and_commit_paths_verify_cleanly() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/d").unwrap();
+        f.create("/d/f").unwrap();
+        // Commit the root (registers /d), then commit /d (registers f).
+        f.commit_path("/").unwrap();
+        f.commit_path("/d").unwrap();
+        // Release /d; the kernel verifies it.
+        f.release_path("/d").unwrap();
+        // Operations after a release transparently re-acquire.
+        f.create("/d/g").unwrap();
+        assert_eq!(f.readdir("/d").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unmount_releases_everything() {
+        let (kernel, f) = crate::new_fs(64 << 20, Config::arckfs_plus()).unwrap();
+        f.mkdir("/a").unwrap();
+        f.mkdir("/a/b").unwrap();
+        f.create("/a/b/c").unwrap();
+        f.unmount().unwrap();
+        let snap = kernel.stats().snapshot();
+        assert!(
+            snap.verify_failures == 0,
+            "clean unmount must verify: {snap:?}"
+        );
+        // A fresh LibFS sees the whole tree.
+        let f2 = LibFs::mount(kernel, Config::arckfs_plus(), 0).unwrap();
+        assert_eq!(f2.stat("/a/b/c").unwrap().file_type, FileType::Regular);
+    }
+
+    #[test]
+    fn concurrent_creates_in_shared_dir() {
+        let f = fs(Config::arckfs_plus());
+        f.mkdir("/shared").unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let f = f.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        f.create(&format!("/shared/t{t}-{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(f.readdir("/shared").unwrap().len(), 200);
+        assert_eq!(f.stat("/shared").unwrap().size, 200);
+    }
+
+    #[test]
+    fn concurrent_private_dirs() {
+        let f = fs(Config::arckfs_plus());
+        for t in 0..4 {
+            f.mkdir(&format!("/p{t}")).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let f = f.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let p = format!("/p{t}/f{i}");
+                        write_file(f.as_ref(), &p, b"x").unwrap();
+                        assert_eq!(read_file(f.as_ref(), &p).unwrap(), b"x");
+                    }
+                    for i in 0..50 {
+                        f.unlink(&format!("/p{t}/f{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            assert_eq!(f.stat(&format!("/p{t}")).unwrap().size, 0);
+        }
+    }
+
+    #[test]
+    fn long_names_span_cache_lines() {
+        let f = fs(Config::arckfs_plus());
+        let name = "n".repeat(100);
+        let path = format!("/{name}");
+        write_file(f.as_ref(), &path, b"long").unwrap();
+        assert_eq!(read_file(f.as_ref(), &path).unwrap(), b"long");
+        let over = format!("/{}", "x".repeat(DENTRY_NAME_CAP + 1));
+        assert!(matches!(
+            f.create(&over).unwrap_err(),
+            FsError::NameTooLong | FsError::InvalidPath(_)
+        ));
+    }
+}

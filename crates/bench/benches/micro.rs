@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks: the single operations whose costs the
+//! paper's patches change (Table 1 / Figure 3), measured on ArckFS vs
+//! ArckFS+ without injected device latency so the software path itself is
+//! what is compared.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arckfs::{Config, LibFs};
+use vfs::{FileSystem, OpenFlags};
+
+fn fs_of(config: Config) -> Arc<LibFs> {
+    arckfs::new_fs(128 << 20, config).expect("format").1
+}
+
+fn variants() -> Vec<(&'static str, Config)> {
+    vec![
+        ("arckfs", Config::arckfs()),
+        ("arckfs+", Config::arckfs_plus()),
+    ]
+}
+
+fn bench_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("create");
+    for (label, config) in variants() {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            // Creates consume inodes; reformat outside the timed region
+            // whenever a chunk fills up.
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                let mut done = 0u64;
+                while done < iters {
+                    let chunk = (iters - done).min(8000);
+                    let fs = fs_of(config.clone());
+                    fs.mkdir("/d").unwrap();
+                    let t = Instant::now();
+                    for i in 0..chunk {
+                        let fd = fs.create(&format!("/d/c{i}")).unwrap();
+                        fs.close(fd).unwrap();
+                    }
+                    total += t.elapsed();
+                    done += chunk;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_open(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open");
+    for (label, config) in variants() {
+        let fs = fs_of(config);
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/target")
+            .map(|fd| fs.close(fd))
+            .unwrap()
+            .unwrap();
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let fd = fs.open("/d/target", OpenFlags::RDONLY).unwrap();
+                fs.close(fd).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_unlink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unlink");
+    for (label, config) in variants() {
+        let fs = fs_of(config);
+        fs.mkdir("/d").unwrap();
+        let mut i = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                i += 1;
+                let p = format!("/d/u{i}");
+                let fd = fs.create(&p).unwrap();
+                fs.close(fd).unwrap();
+                fs.unlink(&p).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_readdir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("readdir32");
+    for (label, config) in variants() {
+        let fs = fs_of(config);
+        fs.mkdir("/d").unwrap();
+        for i in 0..32 {
+            fs.create(&format!("/d/f{i}"))
+                .map(|fd| fs.close(fd))
+                .unwrap()
+                .unwrap();
+        }
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| fs.readdir("/d").unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_4k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write4k");
+    for (label, config) in variants() {
+        let fs = fs_of(config);
+        let fd = fs.open("/data", OpenFlags::CREATE).unwrap();
+        let block = vec![0u8; 4096];
+        fs.write_at(fd, &block, 0).unwrap();
+        let mut i = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                i += 1;
+                fs.write_at(fd, &block, (i % 256) * 4096).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_create, bench_open, bench_unlink, bench_readdir, bench_write_4k
+}
+criterion_main!(benches);

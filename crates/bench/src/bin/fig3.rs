@@ -1,0 +1,173 @@
+//! Figure 3 — single-thread throughput for common metadata operations
+//! (open, create, delete), plus the §5.1 data-performance check
+//! (4K read / write).
+//!
+//! The paper's headline numbers for this figure: ArckFS+ reaches 83.3% of
+//! ArckFS on open, 92.8% on create and 92.2% on delete (RCU read-side cost
+//! on open/delete, the added §4.2 fence on create), while read/write are
+//! comparable.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{bench_duration, make_fs, record_json, FsKind};
+use vfs::{FileSystem, OpenFlags};
+
+const DEV: usize = 256 << 20;
+const DATA_FILE_SIZE: u64 = 8 << 20;
+
+fn ops_per_sec(ops: u64, secs: f64) -> f64 {
+    ops as f64 / secs.max(1e-9)
+}
+
+/// Measure one op kind for the configured duration; returns (ops/s, µs/op).
+fn measure(fs: &Arc<dyn FileSystem>, op: &str) -> (f64, f64) {
+    let d = bench_duration();
+    // Setup per op kind.
+    vfs::mkdir_all(fs.as_ref(), "/bench/d1/d2").expect("setup dirs");
+    match op {
+        "open" | "delete" => {
+            // A pool of files; open reopens, delete consumes + refills.
+        }
+        "read" | "write" => {
+            let fd = fs
+                .open("/bench/data", OpenFlags::CREATE)
+                .expect("data file");
+            let block = vec![0u8; 4096];
+            for i in 0..(DATA_FILE_SIZE / 4096) {
+                fs.write_at(fd, &block, i * 4096).expect("prefill");
+            }
+            fs.close(fd).expect("close");
+        }
+        _ => {}
+    }
+    if op == "open" {
+        let fd = fs
+            .open("/bench/d1/d2/target", OpenFlags::CREATE)
+            .expect("target");
+        fs.close(fd).expect("close");
+    }
+
+    let mut timed = std::time::Duration::ZERO;
+    let mut chunk_start = Instant::now();
+    let wall = Instant::now();
+    let mut ops = 0u64;
+    let mut i = 0u64;
+    let mut pending: Vec<String> = Vec::new();
+    let mut buf = vec![0u8; 4096];
+    let blocks = DATA_FILE_SIZE / 4096;
+    let mut data_fd = None;
+    if op == "read" || op == "write" {
+        data_fd = Some(fs.open("/bench/data", OpenFlags::RDWR).expect("reopen"));
+    }
+    while wall.elapsed() < d {
+        match op {
+            "create" => {
+                i += 1;
+                let fd = fs.create(&format!("/bench/d1/d2/c{i}")).expect("create");
+                fs.close(fd).expect("close");
+                ops += 1;
+                if i.is_multiple_of(16_384) {
+                    // Recycle outside the timed window so long cells never
+                    // exhaust the inode table.
+                    timed += chunk_start.elapsed();
+                    for j in (i - 16_383)..=i {
+                        fs.unlink(&format!("/bench/d1/d2/c{j}")).expect("recycle");
+                    }
+                    chunk_start = Instant::now();
+                }
+            }
+            "open" => {
+                let fd = fs
+                    .open("/bench/d1/d2/target", OpenFlags::RDONLY)
+                    .expect("open");
+                fs.close(fd).expect("close");
+                ops += 1;
+            }
+            "delete" => {
+                if pending.is_empty() {
+                    for _ in 0..64 {
+                        i += 1;
+                        let p = format!("/bench/d1/d2/u{i}");
+                        let fd = fs.create(&p).expect("refill");
+                        fs.close(fd).expect("close");
+                        pending.push(p);
+                    }
+                    continue;
+                }
+                fs.unlink(&pending.pop().expect("non-empty"))
+                    .expect("unlink");
+                ops += 1;
+            }
+            "read" => {
+                i += 1;
+                fs.read_at(data_fd.expect("fd"), &mut buf, (i % blocks) * 4096)
+                    .expect("read");
+                ops += 1;
+            }
+            "write" => {
+                i += 1;
+                fs.write_at(data_fd.expect("fd"), &buf, (i % blocks) * 4096)
+                    .expect("write");
+                ops += 1;
+            }
+            other => panic!("unknown op {other}"),
+        }
+    }
+    timed += chunk_start.elapsed();
+    let secs = timed.as_secs_f64();
+    if let Some(fd) = data_fd {
+        fs.close(fd).expect("close");
+    }
+    (ops_per_sec(ops, secs), secs * 1e6 / ops.max(1) as f64)
+}
+
+fn main() {
+    let ops = ["open", "create", "delete", "read", "write"];
+    println!("# Figure 3: single-thread throughput (ops/s), 4K blocks for read/write");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "fs", "open", "create", "delete", "read", "write"
+    );
+
+    let mut arck: Vec<f64> = Vec::new();
+    let mut plus: Vec<f64> = Vec::new();
+    for kind in FsKind::paper_set() {
+        let mut row = Vec::new();
+        for op in &ops {
+            // A fresh FS per cell keeps directories small and runs
+            // independent.
+            let fs = make_fs(kind, DEV, true);
+            let (tput, us) = measure(&fs, op);
+            row.push(tput);
+            record_json(
+                "fig3",
+                serde_json::json!({
+                    "fs": kind.label(), "op": op, "ops_per_sec": tput, "us_per_op": us,
+                }),
+            );
+        }
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            kind.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+        if kind == FsKind::ArckFs {
+            arck = row.clone();
+        }
+        if kind == FsKind::ArckFsPlus {
+            plus = row.clone();
+        }
+    }
+
+    if !arck.is_empty() && !plus.is_empty() {
+        println!("\n# ArckFS+ relative to ArckFS (paper: open 83.3%, create 92.8%, delete 92.2%, data comparable)");
+        for (i, op) in ops.iter().enumerate() {
+            println!("  {op:<8} {:>6.1}%", 100.0 * plus[i] / arck[i].max(1e-9));
+        }
+    }
+}

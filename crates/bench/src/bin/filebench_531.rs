@@ -1,0 +1,72 @@
+//! §5.3 — Filebench Webproxy and Varmail.
+//!
+//! Runs both personalities on ArckFS and ArckFS+ in the paper's new
+//! shared-directory framework (fine-grained filename locks), plus the TRIO
+//! artifact's private-directory variant for comparison, at 1 and 16
+//! threads. The paper's numbers for the shared framework: ArckFS+ reaches
+//! 101.1% (webproxy) / 102.1% (varmail) of ArckFS at 1 thread and 97.1% /
+//! 98.8% at 16 threads.
+
+use bench::{bench_duration, make_fs, record_json, FsKind};
+use filebench::{run, FbResult, FilebenchConfig, FilesetMode, Personality};
+
+const DEV: usize = 512 << 20;
+
+fn cell(kind: FsKind, p: Personality, mode: FilesetMode, threads: usize) -> FbResult {
+    let fs = make_fs(kind, DEV, true);
+    let cfg = FilebenchConfig::new(p, mode);
+    run(fs, cfg, threads, bench_duration())
+        .unwrap_or_else(|e| panic!("{} {} {mode:?} t={threads}: {e}", kind.label(), p.name()))
+}
+
+fn main() {
+    let thread_counts = [1usize, 16];
+    println!("# §5.3 Filebench (flow-iterations/s)");
+    for mode in [FilesetMode::SharedDir, FilesetMode::PrivateDirs] {
+        println!(
+            "\n## {} fileset",
+            match mode {
+                FilesetMode::SharedDir => "shared-directory (this paper's framework)",
+                FilesetMode::PrivateDirs => "private-directory (TRIO artifact variant)",
+            }
+        );
+        for p in [Personality::Webproxy, Personality::Varmail] {
+            println!("### {}", p.name());
+            println!("{:<14} {:>12} {:>12}", "fs", "t=1", "t=16");
+            let mut rows: Vec<(FsKind, Vec<f64>)> = Vec::new();
+            for kind in FsKind::arck_pair() {
+                let mut tputs = Vec::new();
+                for &t in &thread_counts {
+                    let r = cell(kind, p, mode, t);
+                    tputs.push(r.ops_per_sec());
+                    record_json(
+                        "filebench",
+                        serde_json::json!({
+                            "fs": kind.label(), "personality": p.name(),
+                            "mode": format!("{mode:?}"), "threads": t,
+                            "ops_per_sec": r.ops_per_sec(),
+                        }),
+                    );
+                }
+                println!("{:<14} {:>12.0} {:>12.0}", kind.label(), tputs[0], tputs[1]);
+                rows.push((kind, tputs));
+            }
+            let plus = &rows
+                .iter()
+                .find(|(k, _)| *k == FsKind::ArckFsPlus)
+                .expect("plus row")
+                .1;
+            let arck = &rows
+                .iter()
+                .find(|(k, _)| *k == FsKind::ArckFs)
+                .expect("arckfs row")
+                .1;
+            println!(
+                "  arckfs+/arckfs: t=1 {:>6.1}%   t=16 {:>6.1}%",
+                100.0 * plus[0] / arck[0].max(1e-9),
+                100.0 * plus[1] / arck[1].max(1e-9)
+            );
+        }
+    }
+    println!("\n# paper (shared framework): webproxy 101.1% (t=1) / 97.1% (t=16); varmail 102.1% / 98.8%");
+}

@@ -1,0 +1,102 @@
+//! §5.1 (data performance) and §5.2 (data scalability) — fio-style
+//! sequential/random 4K reads and writes.
+//!
+//! The paper's claim: ArckFS (and ArckFS+ identically — "all bugs are
+//! primarily related to metadata operations") outperforms the kernel file
+//! systems on data through direct access and I/O delegation, and the two
+//! ArckFS variants are indistinguishable.
+
+use bench::{bench_duration, bench_threads, make_fs, record_json, FsKind};
+use fxmark::data::{run_data_workload, DataWorkload};
+use fxmark::fio::{run_fio, Direction, FioJob, Pattern, Sharing};
+
+const DEV: usize = 512 << 20;
+const FILE_SIZE: u64 = 64 << 20;
+
+fn main() {
+    let threads = bench_threads();
+    let jobs = [
+        FioJob::new(
+            Pattern::Sequential,
+            Direction::Read,
+            Sharing::Private,
+            FILE_SIZE,
+        ),
+        FioJob::new(
+            Pattern::Random,
+            Direction::Read,
+            Sharing::Private,
+            FILE_SIZE,
+        ),
+        FioJob::new(
+            Pattern::Sequential,
+            Direction::Write,
+            Sharing::Private,
+            FILE_SIZE,
+        ),
+        FioJob::new(
+            Pattern::Random,
+            Direction::Write,
+            Sharing::Private,
+            FILE_SIZE,
+        ),
+    ];
+    println!(
+        "# fio-style data workloads (GiB/s), 4K blocks, {}MiB files",
+        FILE_SIZE >> 20
+    );
+    for job in jobs {
+        println!("\n## {}", job.label());
+        print!("{:<14}", "fs");
+        for t in &threads {
+            print!(" {:>10}", format!("t={t}"));
+        }
+        println!();
+        for kind in FsKind::paper_set() {
+            print!("{:<14}", kind.label());
+            for &t in &threads {
+                let fs = make_fs(kind, DEV, true);
+                let r = run_fio(fs, job, t, bench_duration())
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", kind.label(), job.label()));
+                print!(" {:>10.3}", r.gib_per_sec());
+                record_json(
+                    "fio",
+                    serde_json::json!({
+                        "fs": kind.label(), "job": job.label(), "threads": t,
+                        "gib_per_sec": r.gib_per_sec(),
+                    }),
+                );
+            }
+            println!();
+        }
+    }
+    println!("\n# FxMark data workloads (GiB/s, 4K blocks)");
+    for w in DataWorkload::all() {
+        println!("\n## {w}");
+        print!("{:<14}", "fs");
+        for t in &threads {
+            print!(" {:>10}", format!("t={t}"));
+        }
+        println!();
+        for kind in FsKind::arck_pair() {
+            print!("{:<14}", kind.label());
+            for &t in &threads {
+                let fs = make_fs(kind, DEV, true);
+                let r = run_data_workload(fs, w, t, bench_duration())
+                    .unwrap_or_else(|e| panic!("{} {w}: {e}", kind.label()));
+                print!(" {:>10.3}", r.gib_per_sec());
+                record_json(
+                    "fxmark_data",
+                    serde_json::json!({
+                        "fs": kind.label(), "workload": w.name(), "threads": t,
+                        "gib_per_sec": r.gib_per_sec(),
+                    }),
+                );
+            }
+            println!();
+        }
+    }
+
+    println!("\n# expected shape: arckfs ≈ arckfs+ on every data job; both lead the");
+    println!("# syscall-mediated kernel file systems, with odinfs closest (delegation).");
+}

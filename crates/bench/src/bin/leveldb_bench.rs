@@ -1,0 +1,66 @@
+//! §5.3 — the LevelDB experiment: `db_bench` workloads on the LSM store
+//! over every file system.
+//!
+//! The paper: "since the LevelDB benchmark is dominated by data
+//! operations, ArckFS+ and ArckFS exhibit similar performance and
+//! outperform other file systems".
+
+use bench::{make_fs, record_json, FsKind};
+use kvstore::db_bench::{run, DbWorkload};
+
+const DEV: usize = 512 << 20;
+
+fn ops() -> u64 {
+    std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn main() {
+    let n = ops();
+    println!("# LevelDB-style db_bench over each file system ({n} ops per cell, µs/op)");
+    print!("{:<14}", "fs");
+    for w in DbWorkload::all() {
+        print!(" {:>12}", w.name());
+    }
+    println!();
+
+    let mut arck_row = Vec::new();
+    let mut plus_row = Vec::new();
+    for kind in FsKind::paper_set() {
+        print!("{:<14}", kind.label());
+        let mut row = Vec::new();
+        for w in DbWorkload::all() {
+            let fs = make_fs(kind, DEV, true);
+            let r = run(fs, "/db", w, n)
+                .unwrap_or_else(|e| panic!("{} {}: {e}", kind.label(), w.name()));
+            print!(" {:>12.2}", r.micros_per_op());
+            row.push(r.micros_per_op());
+            record_json(
+                "leveldb",
+                serde_json::json!({
+                    "fs": kind.label(), "workload": w.name(),
+                    "us_per_op": r.micros_per_op(),
+                }),
+            );
+        }
+        println!();
+        if kind == FsKind::ArckFs {
+            arck_row = row.clone();
+        }
+        if kind == FsKind::ArckFsPlus {
+            plus_row = row.clone();
+        }
+    }
+    if !arck_row.is_empty() {
+        println!("\n# ArckFS+ relative throughput vs ArckFS (paper: similar — data-dominated)");
+        for (i, w) in DbWorkload::all().iter().enumerate() {
+            println!(
+                "  {:<12} {:>6.1}%",
+                w.name(),
+                100.0 * arck_row[i] / plus_row[i].max(1e-9)
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Developer diagnostic: break down the cost of one shared-directory
+//! ownership handoff (not part of the paper's tables).
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use arckfs::{Config, LibFs};
+use pmem::{LatencyModel, PmemDevice};
+use trio::{Geometry, Kernel, KernelConfig};
+use vfs::FileSystem;
+
+fn main() {
+    let dev_len = 256 << 20;
+    let device = PmemDevice::with_latency(dev_len, LatencyModel::optane());
+    let geom = Geometry::for_device(dev_len);
+    let kernel = Kernel::format(
+        device,
+        geom,
+        KernelConfig::arckfs_plus().with_syscall_cost(Duration::from_nanos(400)),
+    )
+    .unwrap();
+    let a = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 0).unwrap();
+    let b = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 0).unwrap();
+    a.mkdir("/share").unwrap();
+    for i in 0..10 {
+        a.create(&format!("/share/seed{i}"))
+            .map(|fd| a.close(fd))
+            .unwrap()
+            .unwrap();
+    }
+    a.release_path("/share").unwrap();
+    a.release_path("/").unwrap();
+
+    let apps: [&Arc<LibFs>; 2] = [&a, &b];
+    let mut sums = [Duration::ZERO; 5];
+    let rounds = 200usize;
+    for round in 0..rounds {
+        let app = apps[0];
+        let _ = round;
+        let t0 = Instant::now();
+        let st = match app.stat("/share/seed0") {
+            Ok(st) => st,
+            Err(e) => {
+                eprintln!("round {round}: stat failed: {e}");
+                return;
+            }
+        }; // acquire root+share
+        let t1 = Instant::now();
+        let fd = app.create("/share/tmp").unwrap();
+        app.close(fd).unwrap();
+        let t2 = Instant::now();
+        app.unlink("/share/tmp").unwrap();
+        let t3 = Instant::now();
+        app.release_path("/share").unwrap();
+        let t4 = Instant::now();
+        app.release_path("/").unwrap();
+        let t5 = Instant::now();
+        let _ = st;
+        sums[0] += t1 - t0;
+        sums[1] += t2 - t1;
+        sums[2] += t3 - t2;
+        sums[3] += t4 - t3;
+        sums[4] += t5 - t4;
+    }
+    println!(
+        "avg: acquire+stat {:?}  create {:?}  unlink {:?}  release-share {:?}  release-root {:?}",
+        sums[0] / rounds as u32,
+        sums[1] / rounds as u32,
+        sums[2] / rounds as u32,
+        sums[3] / rounds as u32,
+        sums[4] / rounds as u32
+    );
+    // Isolate: root-only handoff (release + stat of "/").
+    let t = Instant::now();
+    let n = 500u32;
+    for _ in 0..n {
+        a.stat("/").unwrap();
+        a.release_path("/").unwrap();
+    }
+    println!("root-only handoff: {:?}/op", t.elapsed() / n);
+
+    // Isolate: kernel acquire/release of root via app a's id.
+    let t = Instant::now();
+    for _ in 0..n {
+        kernel.acquire(a.id(), 1).unwrap();
+        kernel.release(a.id(), 1).unwrap();
+    }
+    println!("kernel-only root pair: {:?}/op", t.elapsed() / n);
+
+    // nova-style single write timing for comparison
+    let kfs = kernelfs::KernelFs::new(64 << 20, kernelfs::Profile::nova());
+    let fd = kfs.open("/f", vfs::OpenFlags::CREATE).unwrap();
+    let block = vec![0u8; 4096];
+    kfs.write_at(fd, &block, 0).unwrap();
+    let t = Instant::now();
+    for i in 0..1000u64 {
+        kfs.write_at(fd, &block, (i % 16) * 4096).unwrap();
+    }
+    println!("nova 4K write: {:?}/op", t.elapsed() / 1000);
+}

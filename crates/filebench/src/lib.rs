@@ -1,0 +1,533 @@
+#![warn(missing_docs)]
+
+//! Filebench — the Webproxy and Varmail macrobenchmarks (§5.3).
+//!
+//! Two fileset modes reproduce the paper's methodology:
+//!
+//! * [`FilesetMode::PrivateDirs`] — the TRIO artifact's modification:
+//!   every thread works in a private directory, sidestepping Filebench's
+//!   whole-fileset lock but deviating from the original semantics.
+//! * [`FilesetMode::SharedDir`] — **this paper's new framework**: all
+//!   threads share one directory, and contention is kept low with
+//!   fine-grained locks *on filenames* rather than a lock over the entire
+//!   fileset ("we introduce fine-grained locks on filenames rather than
+//!   locking the entire fileset").
+//!
+//! The flows follow the classic personalities:
+//!
+//! * **Varmail** (mail server): delete → create+append+fsync →
+//!   open+read+append+fsync → open+read, 16 KiB mean appends.
+//! * **Webproxy**: delete → create+append, then five open+read-whole-file
+//!   iterations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vfs::{mkdir_all, FileSystem, FsError, FsResult, OpenFlags};
+
+/// Which personality to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Personality {
+    /// The Webproxy workload.
+    Webproxy,
+    /// The Varmail workload.
+    Varmail,
+}
+
+impl Personality {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Personality::Webproxy => "webproxy",
+            Personality::Varmail => "varmail",
+        }
+    }
+}
+
+/// Fileset organization (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilesetMode {
+    /// One private directory (and fileset) per thread — the TRIO artifact's
+    /// variant.
+    PrivateDirs,
+    /// One shared directory with per-filename locks — this paper's
+    /// framework restoring the original Filebench semantics.
+    SharedDir,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct FilebenchConfig {
+    /// Personality.
+    pub personality: Personality,
+    /// Fileset organization.
+    pub mode: FilesetMode,
+    /// Files per fileset.
+    pub nfiles: usize,
+    /// Mean append size in bytes (Filebench's default is 16 KiB).
+    pub append_size: usize,
+}
+
+impl FilebenchConfig {
+    /// Paper-flavoured defaults (scaled filesets for the emulated device).
+    pub fn new(personality: Personality, mode: FilesetMode) -> Self {
+        FilebenchConfig {
+            personality,
+            mode,
+            nfiles: 256,
+            append_size: 16 * 1024,
+        }
+    }
+}
+
+/// Result of a filebench run.
+#[derive(Debug, Clone)]
+pub struct FbResult {
+    /// Personality name.
+    pub personality: &'static str,
+    /// Fileset mode.
+    pub mode: FilesetMode,
+    /// File-system label.
+    pub fs_name: String,
+    /// Threads.
+    pub threads: usize,
+    /// Completed flow iterations.
+    pub ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl FbResult {
+    /// Flow iterations per second (Filebench's "ops/s").
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The per-filename lock table of the shared-directory framework.
+struct NameLocks {
+    locks: Vec<Mutex<()>>,
+}
+
+impl NameLocks {
+    fn new(n: usize) -> Self {
+        NameLocks {
+            locks: (0..n).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    fn lock_for(&self, name: &str) -> parking_lot::MutexGuard<'_, ()> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.locks[(h as usize) % self.locks.len()].lock()
+    }
+}
+
+fn dir_of(config: &FilebenchConfig, thread: usize) -> String {
+    match config.mode {
+        FilesetMode::PrivateDirs => format!("/fb/t{thread}"),
+        FilesetMode::SharedDir => "/fb/shared".to_string(),
+    }
+}
+
+/// Pre-create the fileset(s): directories plus roughly half the files
+/// (Filebench's `prealloc 50`).
+pub fn setup(fs: &dyn FileSystem, config: &FilebenchConfig, threads: usize) -> FsResult<()> {
+    let data = vec![0x42u8; config.append_size];
+    let dirs: Vec<String> = match config.mode {
+        FilesetMode::PrivateDirs => (0..threads).map(|t| dir_of(config, t)).collect(),
+        FilesetMode::SharedDir => vec![dir_of(config, 0)],
+    };
+    for dir in dirs {
+        mkdir_all(fs, &dir)?;
+        for i in 0..config.nfiles {
+            if i % 2 == 0 {
+                let path = format!("{dir}/f{i:05}");
+                let fd = fs.open(&path, OpenFlags::CREATE)?;
+                fs.write_at(fd, &data, 0)?;
+                fs.close(fd)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One flow iteration. Files that a concurrent (or previous) delete removed
+/// are recreated on demand, as Filebench's flowops do.
+fn flow(
+    fs: &dyn FileSystem,
+    config: &FilebenchConfig,
+    dir: &str,
+    rng: &mut SmallRng,
+    data: &[u8],
+    buf: &mut [u8],
+    locks: Option<&NameLocks>,
+) -> FsResult<()> {
+    let pick = |rng: &mut SmallRng| format!("{dir}/f{:05}", rng.gen_range(0..config.nfiles));
+
+    let with_lock = |name: &str, f: &mut dyn FnMut() -> FsResult<()>| -> FsResult<()> {
+        match locks {
+            Some(l) => {
+                let _g = l.lock_for(name);
+                f()
+            }
+            None => f(),
+        }
+    };
+
+    // 1. delete a random file (ignore if absent).
+    let victim = pick(rng);
+    with_lock(&victim, &mut || match fs.unlink(&victim) {
+        Ok(()) | Err(FsError::NotFound) => Ok(()),
+        Err(e) => Err(e),
+    })?;
+
+    // 2. create + append (+fsync for varmail).
+    let fresh = pick(rng);
+    with_lock(&fresh, &mut || {
+        let fd = fs.open(&fresh, OpenFlags::CREATE)?;
+        fs.append(fd, data)?;
+        if config.personality == Personality::Varmail {
+            fs.fsync(fd)?;
+        }
+        fs.close(fd)
+    })?;
+
+    match config.personality {
+        Personality::Varmail => {
+            // 3. open + read whole + append + fsync.
+            let target = pick(rng);
+            with_lock(&target, &mut || {
+                let fd = match fs.open(&target, OpenFlags::RDWR) {
+                    Ok(fd) => fd,
+                    Err(FsError::NotFound) => fs.open(&target, OpenFlags::CREATE)?,
+                    Err(e) => return Err(e),
+                };
+                let mut off = 0u64;
+                loop {
+                    let n = fs.read_at(fd, buf, off)?;
+                    if n == 0 {
+                        break;
+                    }
+                    off += n as u64;
+                }
+                fs.append(fd, data)?;
+                fs.fsync(fd)?;
+                fs.close(fd)
+            })?;
+            // 4. open + read whole.
+            let target = pick(rng);
+            with_lock(&target, &mut || {
+                let fd = match fs.open(&target, OpenFlags::RDONLY) {
+                    Ok(fd) => fd,
+                    Err(FsError::NotFound) => return Ok(()),
+                    Err(e) => return Err(e),
+                };
+                let mut off = 0u64;
+                loop {
+                    let n = fs.read_at(fd, buf, off)?;
+                    if n == 0 {
+                        break;
+                    }
+                    off += n as u64;
+                }
+                fs.close(fd)
+            })?;
+        }
+        Personality::Webproxy => {
+            // 3. five open + read-whole-file iterations.
+            for _ in 0..5 {
+                let target = pick(rng);
+                with_lock(&target, &mut || {
+                    let fd = match fs.open(&target, OpenFlags::RDONLY) {
+                        Ok(fd) => fd,
+                        Err(FsError::NotFound) => return Ok(()),
+                        Err(e) => return Err(e),
+                    };
+                    let mut off = 0u64;
+                    loop {
+                        let n = fs.read_at(fd, buf, off)?;
+                        if n == 0 {
+                            break;
+                        }
+                        off += n as u64;
+                    }
+                    fs.close(fd)
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the workload for `duration` with `threads` workers.
+pub fn run(
+    fs: Arc<dyn FileSystem>,
+    config: FilebenchConfig,
+    threads: usize,
+    duration: Duration,
+) -> FsResult<FbResult> {
+    setup(fs.as_ref(), &config, threads)?;
+    let locks = Arc::new(NameLocks::new(4096));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let error: Arc<Mutex<Option<FsError>>> = Arc::new(Mutex::new(None));
+
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            let fs = fs.clone();
+            let config = config.clone();
+            let locks = locks.clone();
+            let stop = stop.clone();
+            let total = total.clone();
+            let barrier = barrier.clone();
+            let error = error.clone();
+            s.spawn(move || {
+                let dir = dir_of(&config, t);
+                let mut rng = SmallRng::seed_from_u64(0xfb + t as u64);
+                let data = vec![0x42u8; config.append_size];
+                let mut buf = vec![0u8; 64 * 1024];
+                let use_locks = config.mode == FilesetMode::SharedDir;
+                barrier.wait();
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let locks_ref = use_locks.then_some(locks.as_ref());
+                    match flow(
+                        fs.as_ref(),
+                        &config,
+                        &dir,
+                        &mut rng,
+                        &data,
+                        &mut buf,
+                        locks_ref,
+                    ) {
+                        Ok(()) => local += 1,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            break;
+                        }
+                    }
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        start
+    });
+    let elapsed = start.elapsed();
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+    Ok(FbResult {
+        personality: config.personality.name(),
+        mode: config.mode,
+        fs_name: fs.fs_name().to_string(),
+        threads,
+        ops: total.load(Ordering::Relaxed),
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+    use std::collections::HashMap;
+
+    /// Minimal in-memory FS for harness tests (the real file systems are
+    /// exercised in the workspace integration tests and benches).
+    #[derive(Default)]
+    struct MemFs {
+        files: RwLock<HashMap<String, Vec<u8>>>,
+        dirs: RwLock<HashMap<String, ()>>,
+        fds: RwLock<HashMap<u64, String>>,
+        next: AtomicU64,
+    }
+
+    impl FileSystem for MemFs {
+        fn fs_name(&self) -> &str {
+            "memfs"
+        }
+        fn create(&self, path: &str) -> FsResult<vfs::Fd> {
+            let mut f = self.files.write();
+            if f.contains_key(path) {
+                return Err(FsError::AlreadyExists);
+            }
+            f.insert(path.into(), Vec::new());
+            drop(f);
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            self.fds.write().insert(id, path.into());
+            Ok(vfs::Fd(id))
+        }
+        fn open(&self, path: &str, flags: OpenFlags) -> FsResult<vfs::Fd> {
+            if !self.files.read().contains_key(path) {
+                if flags.create {
+                    return self.create(path);
+                }
+                return Err(FsError::NotFound);
+            }
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            self.fds.write().insert(id, path.into());
+            Ok(vfs::Fd(id))
+        }
+        fn close(&self, fd: vfs::Fd) -> FsResult<()> {
+            self.fds
+                .write()
+                .remove(&fd.0)
+                .map(|_| ())
+                .ok_or(FsError::BadDescriptor)
+        }
+        fn read_at(&self, fd: vfs::Fd, buf: &mut [u8], off: u64) -> FsResult<usize> {
+            let path = self
+                .fds
+                .read()
+                .get(&fd.0)
+                .cloned()
+                .ok_or(FsError::BadDescriptor)?;
+            let files = self.files.read();
+            let data = files.get(&path).ok_or(FsError::NotFound)?;
+            if off as usize >= data.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(data.len() - off as usize);
+            buf[..n].copy_from_slice(&data[off as usize..off as usize + n]);
+            Ok(n)
+        }
+        fn write_at(&self, fd: vfs::Fd, buf: &[u8], off: u64) -> FsResult<usize> {
+            let path = self
+                .fds
+                .read()
+                .get(&fd.0)
+                .cloned()
+                .ok_or(FsError::BadDescriptor)?;
+            let mut files = self.files.write();
+            let data = files.get_mut(&path).ok_or(FsError::NotFound)?;
+            let end = off as usize + buf.len();
+            if data.len() < end {
+                data.resize(end, 0);
+            }
+            data[off as usize..end].copy_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn append(&self, fd: vfs::Fd, buf: &[u8]) -> FsResult<u64> {
+            let path = self
+                .fds
+                .read()
+                .get(&fd.0)
+                .cloned()
+                .ok_or(FsError::BadDescriptor)?;
+            let len = self.files.read().get(&path).map(|d| d.len()).unwrap_or(0);
+            self.write_at(fd, buf, len as u64)?;
+            Ok(len as u64)
+        }
+        fn fsync(&self, _fd: vfs::Fd) -> FsResult<()> {
+            Ok(())
+        }
+        fn truncate(&self, _fd: vfs::Fd, _size: u64) -> FsResult<()> {
+            Ok(())
+        }
+        fn unlink(&self, path: &str) -> FsResult<()> {
+            self.files
+                .write()
+                .remove(path)
+                .map(|_| ())
+                .ok_or(FsError::NotFound)
+        }
+        fn mkdir(&self, path: &str) -> FsResult<()> {
+            let mut d = self.dirs.write();
+            if d.contains_key(path) {
+                return Err(FsError::AlreadyExists);
+            }
+            d.insert(path.into(), ());
+            Ok(())
+        }
+        fn rmdir(&self, _path: &str) -> FsResult<()> {
+            Ok(())
+        }
+        fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+            let mut f = self.files.write();
+            let v = f.remove(from).ok_or(FsError::NotFound)?;
+            f.insert(to.into(), v);
+            Ok(())
+        }
+        fn readdir(&self, _path: &str) -> FsResult<Vec<vfs::DirEntry>> {
+            Ok(Vec::new())
+        }
+        fn stat(&self, path: &str) -> FsResult<vfs::Metadata> {
+            let files = self.files.read();
+            match files.get(path) {
+                Some(d) => Ok(vfs::Metadata {
+                    ino: 0,
+                    file_type: vfs::FileType::Regular,
+                    size: d.len() as u64,
+                    nlink: 1,
+                }),
+                None => {
+                    if self.dirs.read().contains_key(path) {
+                        Ok(vfs::Metadata {
+                            ino: 0,
+                            file_type: vfs::FileType::Directory,
+                            size: 0,
+                            nlink: 2,
+                        })
+                    } else {
+                        Err(FsError::NotFound)
+                    }
+                }
+            }
+        }
+    }
+
+    fn mem() -> Arc<dyn FileSystem> {
+        Arc::new(MemFs::default())
+    }
+
+    #[test]
+    fn varmail_private_runs() {
+        let cfg = FilebenchConfig::new(Personality::Varmail, FilesetMode::PrivateDirs);
+        let r = run(mem(), cfg, 2, Duration::from_millis(50)).unwrap();
+        assert!(r.ops > 0);
+        assert_eq!(r.personality, "varmail");
+    }
+
+    #[test]
+    fn webproxy_shared_runs_with_name_locks() {
+        let cfg = FilebenchConfig::new(Personality::Webproxy, FilesetMode::SharedDir);
+        let r = run(mem(), cfg, 4, Duration::from_millis(50)).unwrap();
+        assert!(r.ops > 0);
+        assert_eq!(r.mode, FilesetMode::SharedDir);
+    }
+
+    #[test]
+    fn name_locks_are_stable() {
+        let l = NameLocks::new(16);
+        // Same name always maps to the same lock (guard drop then re-lock).
+        let g1 = l.lock_for("abc");
+        drop(g1);
+        let _g2 = l.lock_for("abc");
+    }
+
+    #[test]
+    fn ops_per_sec_math() {
+        let r = FbResult {
+            personality: "varmail",
+            mode: FilesetMode::SharedDir,
+            fs_name: "x".into(),
+            threads: 1,
+            ops: 500,
+            elapsed: Duration::from_millis(500),
+        };
+        assert!((r.ops_per_sec() - 1000.0).abs() < 1e-6);
+    }
+}

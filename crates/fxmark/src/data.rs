@@ -1,0 +1,262 @@
+//! FxMark's data-operation workloads (§5.2 "In both FxMark data operations
+//! and fio, ArckFS outperforms other file systems").
+//!
+//! Naming follows FxMark: D=data, W/R=write/read, then the block pattern
+//! (A=append, O=overwrite, B=read block), then the sharing level.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vfs::{mkdir_all, FileSystem, FsError, FsResult, OpenFlags};
+
+/// Block size used by every data workload (FxMark uses 4K).
+pub const BLOCK: usize = 4096;
+/// Pre-sized file length for the overwrite/read workloads.
+pub const FILE_SIZE: u64 = 4 << 20;
+
+/// One FxMark data workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum DataWorkload {
+    /// Append a 4K block to a private file.
+    DWAL,
+    /// Overwrite a random 4K block of a private file.
+    DWOL,
+    /// Overwrite a random 4K block of one shared file.
+    DWOM,
+    /// Read a random 4K block of a private file.
+    DRBL,
+    /// Read a random 4K block of one shared file.
+    DRBM,
+    /// Read the *same* 4K block of one shared file.
+    DRBH,
+}
+
+impl fmt::Display for DataWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl DataWorkload {
+    /// All data workloads in FxMark order.
+    pub fn all() -> Vec<DataWorkload> {
+        use DataWorkload::*;
+        vec![DWAL, DWOL, DWOM, DRBL, DRBM, DRBH]
+    }
+
+    /// FxMark's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataWorkload::DWAL => "DWAL",
+            DataWorkload::DWOL => "DWOL",
+            DataWorkload::DWOM => "DWOM",
+            DataWorkload::DRBL => "DRBL",
+            DataWorkload::DRBM => "DRBM",
+            DataWorkload::DRBH => "DRBH",
+        }
+    }
+
+    fn is_private(&self) -> bool {
+        matches!(
+            self,
+            DataWorkload::DWAL | DataWorkload::DWOL | DataWorkload::DRBL
+        )
+    }
+
+    fn path(&self, thread: usize) -> String {
+        if self.is_private() {
+            format!("/fxdata/t{thread}/file")
+        } else {
+            "/fxdata/shared/file".to_string()
+        }
+    }
+
+    /// Create and pre-size the files.
+    pub fn setup(&self, fs: &dyn FileSystem, threads: usize) -> FsResult<()> {
+        let block = vec![0x6Du8; BLOCK];
+        let fill = |path: &str, bytes: u64| -> FsResult<()> {
+            let fd = fs.open(path, OpenFlags::CREATE)?;
+            for off in (0..bytes).step_by(BLOCK) {
+                fs.write_at(fd, &block, off)?;
+            }
+            fs.close(fd)
+        };
+        if self.is_private() {
+            for t in 0..threads {
+                mkdir_all(fs, &format!("/fxdata/t{t}"))?;
+                let prefill = if *self == DataWorkload::DWAL {
+                    0
+                } else {
+                    FILE_SIZE
+                };
+                match fs.create(&self.path(t)) {
+                    Ok(fd) => fs.close(fd)?,
+                    Err(FsError::AlreadyExists) => {}
+                    Err(e) => return Err(e),
+                }
+                if prefill > 0 {
+                    fill(&self.path(t), prefill)?;
+                }
+            }
+        } else {
+            mkdir_all(fs, "/fxdata/shared")?;
+            match fs.create(&self.path(0)) {
+                Ok(fd) => fs.close(fd)?,
+                Err(FsError::AlreadyExists) => {}
+                Err(e) => return Err(e),
+            }
+            fill(&self.path(0), FILE_SIZE)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of one data-workload run.
+#[derive(Debug, Clone)]
+pub struct DataRunResult {
+    /// Workload.
+    pub workload: DataWorkload,
+    /// File-system label.
+    pub fs_name: String,
+    /// Threads.
+    pub threads: usize,
+    /// Blocks transferred.
+    pub ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl DataRunResult {
+    /// Throughput in GiB/s.
+    pub fn gib_per_sec(&self) -> f64 {
+        (self.ops * BLOCK as u64) as f64
+            / (1u64 << 30) as f64
+            / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `workload` for `duration` with `threads` workers.
+pub fn run_data_workload(
+    fs: Arc<dyn FileSystem>,
+    workload: DataWorkload,
+    threads: usize,
+    duration: Duration,
+) -> FsResult<DataRunResult> {
+    workload.setup(fs.as_ref(), threads)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let error: Arc<parking_lot::Mutex<Option<FsError>>> = Arc::new(parking_lot::Mutex::new(None));
+    let blocks = FILE_SIZE / BLOCK as u64;
+
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            let fs = fs.clone();
+            let stop = stop.clone();
+            let total = total.clone();
+            let barrier = barrier.clone();
+            let error = error.clone();
+            s.spawn(move || {
+                barrier.wait();
+                let run = || -> FsResult<u64> {
+                    let fd = fs.open(&workload.path(t), OpenFlags::RDWR)?;
+                    let mut rng = SmallRng::seed_from_u64(0xda7a + t as u64);
+                    let mut buf = vec![0x2Eu8; BLOCK];
+                    let mut appended = 0u64;
+                    let mut local = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match workload {
+                            DataWorkload::DWAL => {
+                                // Bounded append: wrap by truncating back.
+                                if appended >= FILE_SIZE {
+                                    fs.truncate(fd, 0)?;
+                                    appended = 0;
+                                    continue;
+                                }
+                                fs.append(fd, &buf)?;
+                                appended += BLOCK as u64;
+                            }
+                            DataWorkload::DWOL | DataWorkload::DWOM => {
+                                let b = rng.gen_range(0..blocks);
+                                fs.write_at(fd, &buf, b * BLOCK as u64)?;
+                            }
+                            DataWorkload::DRBL | DataWorkload::DRBM => {
+                                let b = rng.gen_range(0..blocks);
+                                fs.read_at(fd, &mut buf, b * BLOCK as u64)?;
+                            }
+                            DataWorkload::DRBH => {
+                                fs.read_at(fd, &mut buf, 0)?;
+                            }
+                        }
+                        local += 1;
+                    }
+                    fs.close(fd)?;
+                    Ok(local)
+                };
+                match run() {
+                    Ok(n) => {
+                        total.fetch_add(n, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        *error.lock() = Some(e);
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        start
+    });
+    let elapsed = start.elapsed();
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+    Ok(DataRunResult {
+        workload,
+        fs_name: fs.fs_name().to_string(),
+        threads,
+        ops: total.load(Ordering::Relaxed),
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_workloads_with_names() {
+        let all = DataWorkload::all();
+        assert_eq!(all.len(), 6);
+        let mut names: Vec<_> = all.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn sharing_classification() {
+        assert!(DataWorkload::DWAL.is_private());
+        assert!(!DataWorkload::DWOM.is_private());
+        assert!(!DataWorkload::DRBH.is_private());
+    }
+
+    #[test]
+    fn gib_math() {
+        let r = DataRunResult {
+            workload: DataWorkload::DRBL,
+            fs_name: "x".into(),
+            threads: 1,
+            ops: 262_144,
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((r.gib_per_sec() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,262 @@
+//! fio-style data workloads (§5.2 data scalability, §5.1 data performance).
+//!
+//! Each worker thread owns (or shares, per [`Sharing`]) a pre-sized file
+//! and performs fixed-size sequential or random reads/writes, mirroring the
+//! fio job files the TRIO artifact ships.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vfs::{mkdir_all, FileSystem, FsError, FsResult, OpenFlags};
+
+/// Access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Sequential, wrapping at end of file.
+    Sequential,
+    /// Uniformly random block offsets.
+    Random,
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `pread`-style reads.
+    Read,
+    /// `pwrite`-style overwrites (no extension).
+    Write,
+}
+
+/// Whether threads share one file or own private files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// One private file per thread.
+    Private,
+    /// All threads on one shared file.
+    Shared,
+}
+
+/// One fio-style job.
+#[derive(Debug, Clone, Copy)]
+pub struct FioJob {
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Read or write.
+    pub direction: Direction,
+    /// Private or shared file.
+    pub sharing: Sharing,
+    /// I/O unit in bytes (the paper uses 4K).
+    pub block_size: usize,
+    /// File size in bytes.
+    pub file_size: u64,
+}
+
+impl FioJob {
+    /// The paper's default: 4K blocks.
+    pub fn new(pattern: Pattern, direction: Direction, sharing: Sharing, file_size: u64) -> Self {
+        FioJob {
+            pattern,
+            direction,
+            sharing,
+            block_size: 4096,
+            file_size,
+        }
+    }
+
+    /// A short label like `seq-write-private`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            match self.pattern {
+                Pattern::Sequential => "seq",
+                Pattern::Random => "rand",
+            },
+            match self.direction {
+                Direction::Read => "read",
+                Direction::Write => "write",
+            },
+            match self.sharing {
+                Sharing::Private => "private",
+                Sharing::Shared => "shared",
+            }
+        )
+    }
+
+    fn path(&self, thread: usize) -> String {
+        match self.sharing {
+            Sharing::Private => format!("/fio/t{thread}/data"),
+            Sharing::Shared => "/fio/shared/data".to_string(),
+        }
+    }
+
+    /// Create and pre-size the job's files.
+    pub fn setup(&self, fs: &dyn FileSystem, threads: usize) -> FsResult<()> {
+        let blocks = self.file_size / self.block_size as u64;
+        assert!(blocks > 0, "file must hold at least one block");
+        let data = vec![0x5Au8; self.block_size];
+        let write_all = |path: &str| -> FsResult<()> {
+            let fd = fs.open(path, OpenFlags::CREATE)?;
+            for b in 0..blocks {
+                fs.write_at(fd, &data, b * self.block_size as u64)?;
+            }
+            fs.close(fd)
+        };
+        match self.sharing {
+            Sharing::Private => {
+                for t in 0..threads {
+                    mkdir_all(fs, &format!("/fio/t{t}"))?;
+                    write_all(&self.path(t))?;
+                }
+            }
+            Sharing::Shared => {
+                mkdir_all(fs, "/fio/shared")?;
+                write_all(&self.path(0))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one fio run.
+#[derive(Debug, Clone)]
+pub struct FioResult {
+    /// Job description.
+    pub label: String,
+    /// File-system label.
+    pub fs_name: String,
+    /// Threads.
+    pub threads: usize,
+    /// Blocks transferred.
+    pub ops: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl FioResult {
+    /// Throughput in GiB/s (the paper's Table 4 unit).
+    pub fn gib_per_sec(&self) -> f64 {
+        self.bytes as f64 / (1u64 << 30) as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `job` on `fs` with `threads` workers for `duration`.
+pub fn run_fio(
+    fs: Arc<dyn FileSystem>,
+    job: FioJob,
+    threads: usize,
+    duration: Duration,
+) -> FsResult<FioResult> {
+    job.setup(fs.as_ref(), threads)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let error: Arc<parking_lot::Mutex<Option<FsError>>> = Arc::new(parking_lot::Mutex::new(None));
+    let blocks = job.file_size / job.block_size as u64;
+
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            let fs = fs.clone();
+            let stop = stop.clone();
+            let total = total.clone();
+            let barrier = barrier.clone();
+            let error = error.clone();
+            s.spawn(move || {
+                // Wait before any fallible work so the barrier contract
+                // holds even when open() fails.
+                barrier.wait();
+                let run = || -> FsResult<u64> {
+                    let path = job.path(t);
+                    let fd = fs.open(
+                        &path,
+                        if job.direction == Direction::Read {
+                            OpenFlags::RDONLY
+                        } else {
+                            OpenFlags::RDWR
+                        },
+                    )?;
+                    let mut rng = SmallRng::seed_from_u64(0xf10 + t as u64);
+                    let mut buf = vec![0x3Cu8; job.block_size];
+                    let mut next = 0u64;
+                    let mut local = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let block = match job.pattern {
+                            Pattern::Sequential => {
+                                let b = next % blocks;
+                                next += 1;
+                                b
+                            }
+                            Pattern::Random => rng.gen_range(0..blocks),
+                        };
+                        let off = block * job.block_size as u64;
+                        match job.direction {
+                            Direction::Read => {
+                                fs.read_at(fd, &mut buf, off)?;
+                            }
+                            Direction::Write => {
+                                fs.write_at(fd, &buf, off)?;
+                            }
+                        }
+                        local += 1;
+                    }
+                    fs.close(fd)?;
+                    Ok(local)
+                };
+                match run() {
+                    Ok(n) => {
+                        total.fetch_add(n, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        *error.lock() = Some(e);
+                    }
+                }
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        start
+    });
+    let elapsed = start.elapsed();
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+    let ops = total.load(Ordering::Relaxed);
+    Ok(FioResult {
+        label: job.label(),
+        fs_name: fs.fs_name().to_string(),
+        threads,
+        ops,
+        bytes: ops * job.block_size as u64,
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        let j = FioJob::new(Pattern::Random, Direction::Write, Sharing::Shared, 1 << 20);
+        assert_eq!(j.label(), "rand-write-shared");
+    }
+
+    #[test]
+    fn gib_math() {
+        let r = FioResult {
+            label: "x".into(),
+            fs_name: "y".into(),
+            threads: 1,
+            ops: 262_144,
+            bytes: 1 << 30,
+            elapsed: Duration::from_secs(1),
+        };
+        assert!((r.gib_per_sec() - 1.0).abs() < 1e-9);
+    }
+}

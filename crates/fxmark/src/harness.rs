@@ -1,0 +1,521 @@
+//! The FxMark thread harness.
+//!
+//! Workers synchronize on a start barrier, run their per-operation loop
+//! until the stop flag (duration mode) or a fixed per-thread operation
+//! count, and report summed operations. Throughput is `ops / elapsed`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vfs::{FileSystem, FsError, FsResult, OpenFlags};
+
+use crate::workloads::Workload;
+
+/// How long a run lasts.
+#[derive(Debug, Clone, Copy)]
+pub enum RunMode {
+    /// Run for a wall-clock duration.
+    Duration(Duration),
+    /// Run a fixed number of operations per thread.
+    OpsPerThread(u64),
+}
+
+/// Result of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload executed.
+    pub workload: Workload,
+    /// File-system label.
+    pub fs_name: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Total completed operations across threads.
+    pub ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Throughput in M ops/s (the paper's Figure 3/4 unit).
+    pub fn mops_per_sec(&self) -> f64 {
+        self.ops_per_sec() / 1e6
+    }
+}
+
+/// Batch size for the unlink/rename refill phases (uncounted work that
+/// replenishes the files the measured operation consumes).
+const REFILL: u64 = 64;
+
+struct WorkerCtx<'a> {
+    fs: &'a dyn FileSystem,
+    workload: Workload,
+    thread: usize,
+    rng: SmallRng,
+    /// Monotone per-thread counter for unique names.
+    counter: u64,
+    /// Pending pre-created files for MWUL/MWUM/MWRM.
+    pending: Vec<String>,
+    /// DWTL current size.
+    dwtl_size: u64,
+}
+
+impl<'a> WorkerCtx<'a> {
+    fn new(fs: &'a dyn FileSystem, workload: Workload, thread: usize) -> Self {
+        WorkerCtx {
+            fs,
+            workload,
+            thread,
+            rng: SmallRng::seed_from_u64(0x5eed_0000 + thread as u64),
+            counter: 0,
+            pending: Vec::new(),
+            dwtl_size: Workload::DWTL_FILE_SIZE,
+        }
+    }
+
+    fn unique(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter
+    }
+
+    /// One measured operation. Returns Ok(ops_counted).
+    fn op(&mut self) -> FsResult<u64> {
+        let t = self.thread;
+        match self.workload {
+            Workload::DWTL => {
+                let path = format!("{}/dwtl", Workload::private_dir(t));
+                let fd = self.fs.open(&path, OpenFlags::RDWR)?;
+                if self.dwtl_size < 4096 {
+                    // Re-extend (uncounted) once fully consumed.
+                    self.fs.truncate(fd, Workload::DWTL_FILE_SIZE)?;
+                    self.dwtl_size = Workload::DWTL_FILE_SIZE;
+                    self.fs.close(fd)?;
+                    return Ok(0);
+                }
+                self.dwtl_size -= 4096;
+                self.fs.truncate(fd, self.dwtl_size)?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MRPL => {
+                let path = format!("{}/target", Workload::private_deep_dir(t));
+                let fd = self.fs.open(&path, OpenFlags::RDONLY)?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MRPM => {
+                let i = self.rng.gen_range(0..Workload::FILES_PER_DIR);
+                let path = format!("{}/f{i}", Workload::shared_deep_dir());
+                let fd = self.fs.open(&path, OpenFlags::RDONLY)?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MRPH => {
+                let path = format!("{}/f0", Workload::shared_deep_dir());
+                let fd = self.fs.open(&path, OpenFlags::RDONLY)?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MRDL => {
+                let entries = self.fs.readdir(&Workload::private_dir(t))?;
+                debug_assert!(entries.len() >= Workload::FILES_PER_DIR);
+                Ok(1)
+            }
+            Workload::MRDM => {
+                let _ = self.fs.readdir(&Workload::shared_dir())?;
+                Ok(1)
+            }
+            Workload::MWCL => {
+                let n = self.unique();
+                let path = format!("{}/c{t}-{n}", Workload::private_dir(t));
+                let fd = self.fs.create(&path)?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MWCM => {
+                let n = self.unique();
+                let path = format!("{}/c{t}-{n}", Workload::shared_dir());
+                let fd = self.fs.create(&path)?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MWUL | Workload::MWUM => {
+                if self.pending.is_empty() {
+                    // Refill (uncounted): create a batch to unlink.
+                    let dir = if self.workload == Workload::MWUL {
+                        Workload::private_dir(t)
+                    } else {
+                        Workload::shared_dir()
+                    };
+                    for _ in 0..REFILL {
+                        let n = self.unique();
+                        let path = format!("{dir}/u{t}-{n}");
+                        let fd = self.fs.create(&path)?;
+                        self.fs.close(fd)?;
+                        self.pending.push(path);
+                    }
+                    return Ok(0);
+                }
+                let path = self.pending.pop().expect("non-empty");
+                self.fs.unlink(&path)?;
+                Ok(1)
+            }
+            Workload::MWRL => {
+                // Toggle a private file between two names.
+                let dir = Workload::private_dir(t);
+                let a = format!("{dir}/r{t}-a");
+                let b = format!("{dir}/r{t}-b");
+                if self.counter == 0 {
+                    let fd = self.fs.create(&a)?;
+                    self.fs.close(fd)?;
+                    self.counter = 1;
+                    return Ok(0);
+                }
+                let (from, to) = if self.counter % 2 == 1 {
+                    (&a, &b)
+                } else {
+                    (&b, &a)
+                };
+                self.fs.rename(from, to)?;
+                self.counter += 1;
+                Ok(1)
+            }
+            Workload::MWRM => {
+                if self.pending.is_empty() {
+                    // Refill (uncounted): create private files to move.
+                    let dir = Workload::private_dir(t);
+                    for _ in 0..REFILL {
+                        let n = self.unique();
+                        let path = format!("{dir}/m{t}-{n}");
+                        let fd = self.fs.create(&path)?;
+                        self.fs.close(fd)?;
+                        self.pending.push(path);
+                    }
+                    return Ok(0);
+                }
+                let from = self.pending.pop().expect("non-empty");
+                let name = from.rsplit('/').next().expect("has name");
+                let to = format!("{}/{name}", Workload::shared_dir());
+                self.fs.rename(&from, &to)?;
+                Ok(1)
+            }
+        }
+    }
+}
+
+/// Set up and run `workload` on `fs` with `threads` workers.
+///
+/// In [`RunMode::Duration`] the workers run until the stop flag; in
+/// [`RunMode::OpsPerThread`] this delegates to [`run_workload_timed`].
+pub fn run_workload(
+    fs: Arc<dyn FileSystem>,
+    workload: Workload,
+    threads: usize,
+    mode: RunMode,
+) -> FsResult<RunResult> {
+    let duration = match mode {
+        RunMode::Duration(d) => d,
+        RunMode::OpsPerThread(n) => return run_workload_timed(fs, workload, threads, n),
+    };
+    workload.setup(fs.as_ref(), threads)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let error: Arc<parking_lot::Mutex<Option<FsError>>> = Arc::new(parking_lot::Mutex::new(None));
+
+    let start = std::thread::scope(|s| {
+        for t in 0..threads {
+            let fs = fs.clone();
+            let stop = stop.clone();
+            let total = total.clone();
+            let barrier = barrier.clone();
+            let error = error.clone();
+            s.spawn(move || {
+                let mut ctx = WorkerCtx::new(fs.as_ref(), workload, t);
+                barrier.wait();
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match ctx.op() {
+                        Ok(n) => local += n,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            break;
+                        }
+                    }
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        start
+        // Scope joins all workers here.
+    });
+    let elapsed = start.elapsed();
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+    Ok(RunResult {
+        workload,
+        fs_name: fs.fs_name().to_string(),
+        threads,
+        ops: total.load(Ordering::Relaxed),
+        elapsed,
+    })
+}
+
+/// Run with precise wall-clock measurement (used for fixed-op runs where
+/// `run_workload`'s duration bookkeeping does not apply).
+pub fn run_workload_timed(
+    fs: Arc<dyn FileSystem>,
+    workload: Workload,
+    threads: usize,
+    ops_per_thread: u64,
+) -> FsResult<RunResult> {
+    workload.setup(fs.as_ref(), threads)?;
+    let total = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let error: Arc<parking_lot::Mutex<Option<FsError>>> = Arc::new(parking_lot::Mutex::new(None));
+
+    let start_cell = Arc::new(parking_lot::Mutex::new(None::<Instant>));
+    let elapsed = std::thread::scope(|s| {
+        for t in 0..threads {
+            let fs = fs.clone();
+            let total = total.clone();
+            let barrier = barrier.clone();
+            let error = error.clone();
+            s.spawn(move || {
+                let mut ctx = WorkerCtx::new(fs.as_ref(), workload, t);
+                barrier.wait();
+                let mut local = 0u64;
+                while local < ops_per_thread {
+                    match ctx.op() {
+                        Ok(n) => local += n,
+                        Err(e) => {
+                            *error.lock() = Some(e);
+                            break;
+                        }
+                    }
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        *start_cell.lock() = Some(Instant::now());
+        // Scope joins all workers here.
+        start_cell
+    });
+    let start = elapsed.lock().take().expect("start recorded");
+    let elapsed = start.elapsed();
+    if let Some(e) = error.lock().take() {
+        return Err(e);
+    }
+    Ok(RunResult {
+        workload,
+        fs_name: fs.fs_name().to_string(),
+        threads,
+        ops: total.load(Ordering::Relaxed),
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelfs_for_tests::mk_fs;
+
+    /// A tiny in-crate stand-in file system is overkill; use the arckfs
+    /// crate's public constructor through dynamic dispatch in integration
+    /// tests instead. Here we test the harness with a minimal in-memory FS.
+    mod kernelfs_for_tests {
+        use super::*;
+        use parking_lot::RwLock;
+        use std::collections::HashMap;
+
+        /// Minimal in-memory FS implementing just enough for the harness.
+        #[derive(Default)]
+        pub struct MemFs {
+            nodes: RwLock<HashMap<String, (bool, u64)>>, // path -> (is_dir, size)
+            fds: RwLock<HashMap<u64, String>>,
+            next: std::sync::atomic::AtomicU64,
+        }
+
+        pub fn mk_fs() -> Arc<dyn FileSystem> {
+            let fs = MemFs::default();
+            fs.nodes.write().insert("/".into(), (true, 0));
+            Arc::new(fs)
+        }
+
+        impl FileSystem for MemFs {
+            fn fs_name(&self) -> &str {
+                "memfs"
+            }
+            fn create(&self, path: &str) -> FsResult<vfs::Fd> {
+                let mut n = self.nodes.write();
+                if n.contains_key(path) {
+                    return Err(FsError::AlreadyExists);
+                }
+                n.insert(path.to_string(), (false, 0));
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                self.fds.write().insert(id, path.to_string());
+                Ok(vfs::Fd(id))
+            }
+            fn open(&self, path: &str, flags: OpenFlags) -> FsResult<vfs::Fd> {
+                if !self.nodes.read().contains_key(path) {
+                    if flags.create {
+                        return self.create(path);
+                    }
+                    return Err(FsError::NotFound);
+                }
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                self.fds.write().insert(id, path.to_string());
+                Ok(vfs::Fd(id))
+            }
+            fn close(&self, fd: vfs::Fd) -> FsResult<()> {
+                self.fds
+                    .write()
+                    .remove(&fd.0)
+                    .map(|_| ())
+                    .ok_or(FsError::BadDescriptor)
+            }
+            fn read_at(&self, _fd: vfs::Fd, _buf: &mut [u8], _off: u64) -> FsResult<usize> {
+                Ok(0)
+            }
+            fn write_at(&self, _fd: vfs::Fd, buf: &[u8], _off: u64) -> FsResult<usize> {
+                Ok(buf.len())
+            }
+            fn append(&self, _fd: vfs::Fd, buf: &[u8]) -> FsResult<u64> {
+                Ok(buf.len() as u64)
+            }
+            fn fsync(&self, _fd: vfs::Fd) -> FsResult<()> {
+                Ok(())
+            }
+            fn truncate(&self, fd: vfs::Fd, size: u64) -> FsResult<()> {
+                let path = self
+                    .fds
+                    .read()
+                    .get(&fd.0)
+                    .cloned()
+                    .ok_or(FsError::BadDescriptor)?;
+                self.nodes.write().get_mut(&path).expect("open file").1 = size;
+                Ok(())
+            }
+            fn unlink(&self, path: &str) -> FsResult<()> {
+                self.nodes
+                    .write()
+                    .remove(path)
+                    .map(|_| ())
+                    .ok_or(FsError::NotFound)
+            }
+            fn mkdir(&self, path: &str) -> FsResult<()> {
+                let mut n = self.nodes.write();
+                if n.contains_key(path) {
+                    return Err(FsError::AlreadyExists);
+                }
+                n.insert(path.to_string(), (true, 0));
+                Ok(())
+            }
+            fn rmdir(&self, path: &str) -> FsResult<()> {
+                self.nodes
+                    .write()
+                    .remove(path)
+                    .map(|_| ())
+                    .ok_or(FsError::NotFound)
+            }
+            fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+                let mut n = self.nodes.write();
+                let v = n.remove(from).ok_or(FsError::NotFound)?;
+                n.insert(to.to_string(), v);
+                Ok(())
+            }
+            fn readdir(&self, path: &str) -> FsResult<Vec<vfs::DirEntry>> {
+                let prefix = format!("{}/", path.trim_end_matches('/'));
+                Ok(self
+                    .nodes
+                    .read()
+                    .iter()
+                    .filter(|(k, _)| k.starts_with(&prefix) && !k[prefix.len()..].contains('/'))
+                    .map(|(k, (d, _))| vfs::DirEntry {
+                        name: k[prefix.len()..].to_string(),
+                        ino: 0,
+                        file_type: if *d {
+                            vfs::FileType::Directory
+                        } else {
+                            vfs::FileType::Regular
+                        },
+                    })
+                    .collect())
+            }
+            fn stat(&self, path: &str) -> FsResult<vfs::Metadata> {
+                let n = self.nodes.read();
+                let (d, size) = n.get(path).ok_or(FsError::NotFound)?;
+                Ok(vfs::Metadata {
+                    ino: 0,
+                    file_type: if *d {
+                        vfs::FileType::Directory
+                    } else {
+                        vfs::FileType::Regular
+                    },
+                    size: *size,
+                    nlink: 1,
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn every_workload_runs_single_thread() {
+        for w in Workload::all() {
+            let fs = mk_fs();
+            let r = run_workload_timed(fs, w, 1, 50).unwrap_or_else(|e| {
+                panic!("workload {w} failed: {e}");
+            });
+            assert_eq!(r.ops, 50, "workload {w}");
+            assert!(r.ops_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn multithreaded_counts_sum() {
+        let fs = mk_fs();
+        let r = run_workload_timed(fs, Workload::MWCL, 4, 25).unwrap();
+        assert_eq!(r.ops, 100);
+        assert_eq!(r.threads, 4);
+    }
+
+    #[test]
+    fn duration_mode_stops() {
+        let fs = mk_fs();
+        let r = run_workload(
+            fs,
+            Workload::MWCL,
+            2,
+            RunMode::Duration(Duration::from_millis(50)),
+        )
+        .unwrap();
+        assert!(r.ops > 0);
+        assert!(r.elapsed >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn mops_math() {
+        let r = RunResult {
+            workload: Workload::MWCL,
+            fs_name: "x".into(),
+            threads: 1,
+            ops: 2_000_000,
+            elapsed: Duration::from_secs(2),
+        };
+        assert!((r.mops_per_sec() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! FxMark — the file-system scalability microbenchmark suite (Min et al.,
+//! ATC 2016), as adapted by the TRIO artifact and this paper.
+//!
+//! Table 3 of the paper summarizes the metadata workloads reproduced here
+//! (see [`Workload`]). Following the paper's §5.2, this port:
+//!
+//! * uses **threads** (not processes) for parallel execution, introducing
+//!   synchronization within one LibFS process — which is exactly what
+//!   exposes the §4.3–§4.5 bugs;
+//! * omits the write in MWCM to focus on inode creation;
+//! * makes the DWTL file size configurable (the paper used 256 MB instead
+//!   of 3 GB "due to insufficient PM capacity"; the default here is
+//!   smaller still, scaled to the emulated device).
+//!
+//! The [`fio`] module provides the fio-style sequential/random data
+//! workloads used by §5.2's data-scalability experiment.
+
+pub mod data;
+pub mod fio;
+pub mod harness;
+pub mod workloads;
+
+pub use data::{run_data_workload, DataWorkload};
+pub use harness::{run_workload, RunMode, RunResult};
+pub use workloads::Workload;

@@ -1,0 +1,237 @@
+//! The FxMark workload definitions (paper Table 3).
+
+use std::fmt;
+
+use vfs::{mkdir_all, FileSystem, FsError, FsResult};
+
+/// Create a file if it does not exist (setup is idempotent so workloads
+/// can share one file system instance).
+fn ensure_file(fs: &dyn FileSystem, path: &str) -> FsResult<()> {
+    match fs.create(path) {
+        Ok(fd) => fs.close(fd),
+        Err(FsError::AlreadyExists) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// One FxMark workload. Naming: D=data/M=metadata, R=read/W=write, then the
+/// object (P=path, D=directory, C=create, U=unlink, R=rename, T=truncate),
+/// then the sharing level (L=low/private, M=medium/shared, H=high/same
+/// object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Workload {
+    /// Reduces the size of a private file by 4K.
+    DWTL,
+    /// Open a private file in five-depth dirs.
+    MRPL,
+    /// Open a random file in five-depth dirs.
+    MRPM,
+    /// Open the same file in five-depth dirs.
+    MRPH,
+    /// Enumerate files of a private directory.
+    MRDL,
+    /// Enumerate files of a shared directory.
+    MRDM,
+    /// Create an empty file in a private directory.
+    MWCL,
+    /// Create an empty file in a shared directory.
+    MWCM,
+    /// Unlink an empty file in a private directory.
+    MWUL,
+    /// Unlink an empty file in a shared directory.
+    MWUM,
+    /// Rename a private file in a private directory.
+    MWRL,
+    /// Move a private file to a shared directory.
+    MWRM,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl Workload {
+    /// All metadata workloads plus DWTL, in the paper's Figure 4 order.
+    pub fn all() -> Vec<Workload> {
+        use Workload::*;
+        vec![
+            DWTL, MRPL, MRPM, MRPH, MRDL, MRDM, MWCL, MWCM, MWUL, MWUM, MWRL, MWRM,
+        ]
+    }
+
+    /// The workload's FxMark name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::DWTL => "DWTL",
+            Workload::MRPL => "MRPL",
+            Workload::MRPM => "MRPM",
+            Workload::MRPH => "MRPH",
+            Workload::MRDL => "MRDL",
+            Workload::MRDM => "MRDM",
+            Workload::MWCL => "MWCL",
+            Workload::MWCM => "MWCM",
+            Workload::MWUL => "MWUL",
+            Workload::MWUM => "MWUM",
+            Workload::MWRL => "MWRL",
+            Workload::MWRM => "MWRM",
+        }
+    }
+
+    /// Table 3's description text.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Workload::DWTL => "Reduces the size of a private file by 4K.",
+            Workload::MRPL => "Open a private file in five-depth dirs.",
+            Workload::MRPM => "Open a random file in five-depth dirs.",
+            Workload::MRPH => "Open the same file in five-depth dirs.",
+            Workload::MRDL => "Enumerate files of a private directory.",
+            Workload::MRDM => "Enumerate files of a shared directory.",
+            Workload::MWCL => "Create an empty file in a private dir.",
+            Workload::MWCM => "Create an empty file in a shared dir.",
+            Workload::MWUL => "Unlink an empty file in a private dir.",
+            Workload::MWUM => "Unlink an empty file in a shared dir.",
+            Workload::MWRL => "Rename a private file in a private dir.",
+            Workload::MWRM => "Move a private file to a shared dir.",
+        }
+    }
+
+    /// Parse a workload name.
+    pub fn from_name(s: &str) -> Option<Workload> {
+        Workload::all()
+            .into_iter()
+            .find(|w| w.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Number of files pre-created per directory for the read workloads.
+    pub const FILES_PER_DIR: usize = 32;
+
+    /// DWTL's initial private-file size (the paper used 256 MB; scaled to
+    /// the emulated device here).
+    pub const DWTL_FILE_SIZE: u64 = 4 << 20;
+
+    /// The five-depth directory prefix for the path-resolution workloads.
+    fn deep_dir(private_to: Option<usize>) -> String {
+        match private_to {
+            Some(t) => format!("/fx/p{t}/d1/d2/d3/d4"),
+            None => "/fx/shared/d1/d2/d3/d4".to_string(),
+        }
+    }
+
+    /// Path helpers used by both setup and the per-op loops.
+    pub(crate) fn private_deep_dir(thread: usize) -> String {
+        Self::deep_dir(Some(thread))
+    }
+
+    pub(crate) fn shared_deep_dir() -> String {
+        Self::deep_dir(None)
+    }
+
+    pub(crate) fn private_dir(thread: usize) -> String {
+        format!("/fx/flat{thread}")
+    }
+
+    pub(crate) fn shared_dir() -> String {
+        "/fx/sharedflat".to_string()
+    }
+
+    /// Prepare the directory trees and file sets the workload expects, for
+    /// `threads` worker threads.
+    pub fn setup(&self, fs: &dyn FileSystem, threads: usize) -> FsResult<()> {
+        match self {
+            Workload::DWTL => {
+                for t in 0..threads {
+                    mkdir_all(fs, &Self::private_dir(t))?;
+                    let path = format!("{}/dwtl", Self::private_dir(t));
+                    let fd = fs.open(&path, vfs::OpenFlags::CREATE)?;
+                    fs.truncate(fd, Self::DWTL_FILE_SIZE)?;
+                    fs.close(fd)?;
+                }
+            }
+            Workload::MRPL => {
+                for t in 0..threads {
+                    let dir = Self::private_deep_dir(t);
+                    mkdir_all(fs, &dir)?;
+                    ensure_file(fs, &format!("{dir}/target"))?;
+                }
+            }
+            Workload::MRPM | Workload::MRPH => {
+                let dir = Self::shared_deep_dir();
+                mkdir_all(fs, &dir)?;
+                for i in 0..Self::FILES_PER_DIR {
+                    ensure_file(fs, &format!("{dir}/f{i}"))?;
+                }
+            }
+            Workload::MRDL => {
+                for t in 0..threads {
+                    let dir = Self::private_dir(t);
+                    mkdir_all(fs, &dir)?;
+                    for i in 0..Self::FILES_PER_DIR {
+                        ensure_file(fs, &format!("{dir}/f{i}"))?;
+                    }
+                }
+            }
+            Workload::MRDM => {
+                let dir = Self::shared_dir();
+                mkdir_all(fs, &dir)?;
+                for i in 0..Self::FILES_PER_DIR {
+                    ensure_file(fs, &format!("{dir}/f{i}"))?;
+                }
+            }
+            Workload::MWCL | Workload::MWUL | Workload::MWRL => {
+                for t in 0..threads {
+                    mkdir_all(fs, &Self::private_dir(t))?;
+                }
+            }
+            Workload::MWCM | Workload::MWUM => {
+                mkdir_all(fs, &Self::shared_dir())?;
+            }
+            Workload::MWRM => {
+                mkdir_all(fs, &Self::shared_dir())?;
+                for t in 0..threads {
+                    mkdir_all(fs, &Self::private_dir(t))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for w in Workload::all() {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+            assert_eq!(Workload::from_name(&w.name().to_lowercase()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+
+    #[test]
+    fn twelve_workloads() {
+        assert_eq!(Workload::all().len(), 12);
+    }
+
+    #[test]
+    fn descriptions_match_table3() {
+        assert_eq!(
+            Workload::DWTL.description(),
+            "Reduces the size of a private file by 4K."
+        );
+        assert_eq!(
+            Workload::MWRM.description(),
+            "Move a private file to a shared dir."
+        );
+    }
+
+    #[test]
+    fn deep_dirs_have_five_levels() {
+        let p = Workload::private_deep_dir(0);
+        assert_eq!(p.matches('/').count(), 6); // /fx/p0/d1/d2/d3/d4
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Baseline file systems for the paper's comparison set.
+//!
+//! The evaluation (§5) compares ArckFS/ArckFS+ against ext4, PMFS, NOVA,
+//! OdinFS, WineFS, SplitFS and Strata. Those systems differ from ArckFS —
+//! and from each other — in exactly the cost components this crate models
+//! on top of the shared PM emulator:
+//!
+//! * **kernel crossings**: every operation of a kernel file system enters
+//!   the kernel through a syscall and the VFS layer ([`Profile::syscall_cost`]);
+//!   SplitFS/Strata-class userspace designs cross only for metadata.
+//! * **journaling/logging**: ext4 journals metadata twice (journal +
+//!   checkpoint), PMFS keeps a fine-grained undo journal, NOVA/WineFS/OdinFS
+//!   append to per-inode logs — all implemented as real PM writes with the
+//!   corresponding flushes and fences ([`journal`]).
+//! * **locking granularity**: POSIX kernel file systems serialize directory
+//!   modifications on the parent inode's mutex, which is what collapses
+//!   their shared-directory scalability in FxMark (MWCM/MWUM); ArckFS's
+//!   per-bucket locks avoid that.
+//! * **data path**: OdinFS delegates large I/O to non-temporal stores;
+//!   Strata digests its update log (extra flushes per metadata op).
+//!
+//! The result is a *real* file system (namespace, block allocation, data
+//! pages on the emulated device) whose relative costs reproduce the shape
+//! of the paper's baselines. Crash recovery for the baselines is out of
+//! scope — no experiment in the paper exercises it.
+
+pub mod fs;
+pub mod journal;
+pub mod profile;
+
+pub use fs::KernelFs;
+pub use profile::{JournalMode, Profile};

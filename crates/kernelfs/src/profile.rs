@@ -1,0 +1,174 @@
+//! Per-baseline cost and behaviour profiles.
+
+use std::time::Duration;
+
+/// Metadata journaling discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalMode {
+    /// No journal (metadata persisted in place; NOVA-class systems use
+    /// their per-inode logs instead).
+    None,
+    /// Undo journal: old values logged before in-place update (PMFS).
+    Undo,
+    /// Redo journal: new values logged, committed, then checkpointed —
+    /// every metadata update hits PM twice (ext4's jbd2).
+    Redo,
+}
+
+/// The knobs distinguishing the paper's baseline file systems.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Display name used in benchmark tables.
+    pub name: &'static str,
+    /// Cost of a kernel crossing charged on every operation that enters
+    /// the kernel — the syscall trap plus the VFS dispatch, dcache path
+    /// walk and permission checks that userspace direct access avoids
+    /// entirely (the motivation in the paper's §1: kernel file systems
+    /// "incur non-negligible overhead" through syscalls and the VFS
+    /// layer).
+    pub syscall_cost: Duration,
+    /// Whether *data* operations also cross into the kernel (true for all
+    /// kernel file systems, false for SplitFS/Strata-class designs that
+    /// serve data in userspace).
+    pub data_ops_enter_kernel: bool,
+    /// Metadata journaling mode.
+    pub journal: JournalMode,
+    /// Per-inode log append on each metadata operation (NOVA-class).
+    pub inode_log: bool,
+    /// Extra PM writes per metadata operation (Strata's log digest, ext4's
+    /// block-group bookkeeping...), in cache lines.
+    pub extra_meta_lines: u32,
+    /// Large data writes bypass the cache via non-temporal stores
+    /// (OdinFS-style delegation).
+    pub data_ntstore: bool,
+}
+
+impl Profile {
+    /// ext4 (DAX): full kernel path, redo journal, extra bookkeeping.
+    pub fn ext4() -> Self {
+        Profile {
+            name: "ext4",
+            syscall_cost: Duration::from_nanos(2600),
+            data_ops_enter_kernel: true,
+            journal: JournalMode::Redo,
+            inode_log: false,
+            extra_meta_lines: 4,
+            data_ntstore: false,
+        }
+    }
+
+    /// PMFS: kernel PM file system with a fine-grained undo journal.
+    pub fn pmfs() -> Self {
+        Profile {
+            name: "pmfs",
+            syscall_cost: Duration::from_nanos(2100),
+            data_ops_enter_kernel: true,
+            journal: JournalMode::Undo,
+            inode_log: false,
+            extra_meta_lines: 1,
+            data_ntstore: false,
+        }
+    }
+
+    /// NOVA: log-structured kernel PM file system (per-inode logs).
+    pub fn nova() -> Self {
+        Profile {
+            name: "nova",
+            syscall_cost: Duration::from_nanos(2100),
+            data_ops_enter_kernel: true,
+            journal: JournalMode::None,
+            inode_log: true,
+            extra_meta_lines: 0,
+            data_ntstore: false,
+        }
+    }
+
+    /// WineFS: hugepage-aware PM file system; NOVA-like logging with
+    /// slightly cheaper allocation.
+    pub fn winefs() -> Self {
+        Profile {
+            name: "winefs",
+            syscall_cost: Duration::from_nanos(2100),
+            data_ops_enter_kernel: true,
+            journal: JournalMode::Undo,
+            inode_log: false,
+            extra_meta_lines: 0,
+            data_ntstore: false,
+        }
+    }
+
+    /// OdinFS: NOVA-class metadata plus delegated (non-temporal) data I/O.
+    pub fn odinfs() -> Self {
+        Profile {
+            name: "odinfs",
+            syscall_cost: Duration::from_nanos(2100),
+            data_ops_enter_kernel: true,
+            journal: JournalMode::None,
+            inode_log: true,
+            extra_meta_lines: 0,
+            data_ntstore: true,
+        }
+    }
+
+    /// SplitFS: data served in userspace, metadata operations relayed to a
+    /// trusted kernel component per operation.
+    pub fn splitfs() -> Self {
+        Profile {
+            name: "splitfs",
+            syscall_cost: Duration::from_nanos(1800),
+            data_ops_enter_kernel: false,
+            journal: JournalMode::Undo,
+            inode_log: false,
+            extra_meta_lines: 1,
+            data_ntstore: false,
+        }
+    }
+
+    /// Strata: userspace update log digested by a trusted component;
+    /// metadata integrity enforced per operation.
+    pub fn strata() -> Self {
+        Profile {
+            name: "strata",
+            syscall_cost: Duration::from_nanos(1900),
+            data_ops_enter_kernel: false,
+            journal: JournalMode::Redo,
+            inode_log: false,
+            extra_meta_lines: 2,
+            data_ntstore: false,
+        }
+    }
+
+    /// All seven baselines, in the paper's order.
+    pub fn all() -> Vec<Profile> {
+        vec![
+            Profile::ext4(),
+            Profile::pmfs(),
+            Profile::nova(),
+            Profile::winefs(),
+            Profile::odinfs(),
+            Profile::splitfs(),
+            Profile::strata(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_distinct_names() {
+        let all = Profile::all();
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn userspace_designs_skip_kernel_for_data() {
+        assert!(!Profile::splitfs().data_ops_enter_kernel);
+        assert!(!Profile::strata().data_ops_enter_kernel);
+        assert!(Profile::ext4().data_ops_enter_kernel);
+    }
+}

@@ -1,0 +1,161 @@
+//! LevelDB `db_bench`-style workloads (§5.3's LevelDB experiment).
+//!
+//! LevelDB defaults: 16-byte keys, 100-byte values. The harness reports
+//! operations per second, like `db_bench`'s `fillseq` / `fillrandom` /
+//! `readrandom` / `overwrite` lines.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vfs::{FileSystem, FsResult};
+
+use crate::Db;
+
+/// Key size in bytes (db_bench default).
+pub const KEY_SIZE: usize = 16;
+/// Value size in bytes (db_bench default).
+pub const VALUE_SIZE: usize = 100;
+
+/// One db_bench workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbWorkload {
+    /// Sequential-key fills.
+    FillSeq,
+    /// Random-key fills.
+    FillRandom,
+    /// Random point reads over a pre-filled store.
+    ReadRandom,
+    /// Random overwrites over a pre-filled store.
+    Overwrite,
+}
+
+impl DbWorkload {
+    /// db_bench's name for the workload.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DbWorkload::FillSeq => "fillseq",
+            DbWorkload::FillRandom => "fillrandom",
+            DbWorkload::ReadRandom => "readrandom",
+            DbWorkload::Overwrite => "overwrite",
+        }
+    }
+
+    /// All workloads in db_bench order.
+    pub fn all() -> Vec<DbWorkload> {
+        vec![
+            DbWorkload::FillSeq,
+            DbWorkload::FillRandom,
+            DbWorkload::ReadRandom,
+            DbWorkload::Overwrite,
+        ]
+    }
+}
+
+/// Result of one db_bench run.
+#[derive(Debug, Clone)]
+pub struct DbBenchResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// File-system label.
+    pub fs_name: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl DbBenchResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Microseconds per operation (db_bench's primary unit).
+    pub fn micros_per_op(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e6 / self.ops.max(1) as f64
+    }
+}
+
+fn key_for(i: u64) -> Vec<u8> {
+    format!("{i:0width$}", width = KEY_SIZE).into_bytes()
+}
+
+/// Run `workload` for `n` operations on a fresh database under `dir`.
+/// Read/overwrite workloads pre-fill `n` keys first (uncounted).
+pub fn run(
+    fs: Arc<dyn FileSystem>,
+    dir: &str,
+    workload: DbWorkload,
+    n: u64,
+) -> FsResult<DbBenchResult> {
+    let db = Db::open(fs.clone(), dir)?;
+    let value = vec![0x56u8; VALUE_SIZE];
+    let mut rng = SmallRng::seed_from_u64(0xdb);
+
+    if matches!(workload, DbWorkload::ReadRandom | DbWorkload::Overwrite) {
+        for i in 0..n {
+            db.put(&key_for(i), &value)?;
+        }
+        db.flush()?;
+    }
+
+    let start = Instant::now();
+    match workload {
+        DbWorkload::FillSeq => {
+            for i in 0..n {
+                db.put(&key_for(i), &value)?;
+            }
+        }
+        DbWorkload::FillRandom => {
+            for _ in 0..n {
+                db.put(&key_for(rng.gen_range(0..n * 4)), &value)?;
+            }
+        }
+        DbWorkload::ReadRandom => {
+            let mut found = 0u64;
+            for _ in 0..n {
+                if db.get(&key_for(rng.gen_range(0..n)))?.is_some() {
+                    found += 1;
+                }
+            }
+            debug_assert!(found > 0);
+        }
+        DbWorkload::Overwrite => {
+            for _ in 0..n {
+                db.put(&key_for(rng.gen_range(0..n)), &value)?;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    Ok(DbBenchResult {
+        workload: workload.name(),
+        fs_name: fs.fs_name().to_string(),
+        ops: n,
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_width_fixed() {
+        assert_eq!(key_for(0).len(), KEY_SIZE);
+        assert_eq!(key_for(123_456).len(), KEY_SIZE);
+    }
+
+    #[test]
+    fn unit_math() {
+        let r = DbBenchResult {
+            workload: "fillseq",
+            fs_name: "x".into(),
+            ops: 1000,
+            elapsed: Duration::from_millis(100),
+        };
+        assert!((r.ops_per_sec() - 10_000.0).abs() < 1e-6);
+        assert!((r.micros_per_op() - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,408 @@
+#![warn(missing_docs)]
+
+//! A LevelDB-like LSM key-value store over the common file-system trait.
+//!
+//! The paper's §5.3 runs LevelDB's `db_bench` over each file system; the
+//! workload is "dominated by data operations" (WAL appends, SSTable writes
+//! and reads). This crate is a compact LSM tree with the same I/O shape:
+//!
+//! * every write appends to a write-ahead log and lands in a sorted
+//!   memtable ([`memtable`]);
+//! * a full memtable flushes to an immutable sorted-table file
+//!   ([`sstable`]);
+//! * reads consult the memtable and then the tables newest-first;
+//! * when enough tables accumulate, they are merge-compacted into one.
+//!
+//! [`db_bench`] provides the fillseq / fillrandom / readrandom / overwrite
+//! workloads with LevelDB's default 16-byte keys and 100-byte values.
+
+pub mod db_bench;
+pub mod memtable;
+pub mod sstable;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vfs::{mkdir_all, FileSystem, FsError, FsResult};
+
+use memtable::MemTable;
+use sstable::SsTable;
+
+/// Flush the memtable once it holds this many bytes.
+const MEMTABLE_LIMIT: usize = 1 << 20;
+/// Compact once this many L0 tables accumulate.
+const COMPACT_TRIGGER: usize = 4;
+
+struct DbInner {
+    mem: MemTable,
+    wal_fd: vfs::Fd,
+    wal_path: String,
+    /// Newest table last.
+    tables: Vec<SsTable>,
+    next_table: u64,
+}
+
+/// A LevelDB-like database on a directory of `fs`.
+///
+/// # Examples
+///
+/// ```
+/// let (_kernel, fs) = arckfs::new_fs(32 << 20, arckfs::Config::arckfs_plus())?;
+/// let db = kvstore::Db::open(fs, "/db")?;
+/// db.put(b"k", b"v")?;
+/// db.flush()?; // memtable -> sstable
+/// assert_eq!(db.get(b"k")?, Some(b"v".to_vec()));
+/// db.delete(b"k")?;
+/// assert_eq!(db.get(b"k")?, None);
+/// # Ok::<(), vfs::FsError>(())
+/// ```
+pub struct Db {
+    fs: Arc<dyn FileSystem>,
+    dir: String,
+    inner: Mutex<DbInner>,
+}
+
+impl Db {
+    /// Open (create) a database under `dir`.
+    pub fn open(fs: Arc<dyn FileSystem>, dir: &str) -> FsResult<Db> {
+        mkdir_all(fs.as_ref(), dir)?;
+        let wal_path = format!("{dir}/wal.log");
+        let wal_fd = fs.open(&wal_path, vfs::OpenFlags::CREATE_TRUNC)?;
+        Ok(Db {
+            fs,
+            dir: dir.to_string(),
+            inner: Mutex::new(DbInner {
+                mem: MemTable::new(),
+                wal_fd,
+                wal_path,
+                tables: Vec::new(),
+                next_table: 0,
+            }),
+        })
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        self.wal_append(&mut inner, key, Some(value))?;
+        inner.mem.put(key.to_vec(), Some(value.to_vec()));
+        if inner.mem.bytes() >= MEMTABLE_LIMIT {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Delete a key (writes a tombstone).
+    pub fn delete(&self, key: &[u8]) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        self.wal_append(&mut inner, key, None)?;
+        inner.mem.put(key.to_vec(), None);
+        if inner.mem.bytes() >= MEMTABLE_LIMIT {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &[u8]) -> FsResult<Option<Vec<u8>>> {
+        let inner = self.inner.lock();
+        if let Some(v) = inner.mem.get(key) {
+            return Ok(v.clone());
+        }
+        for table in inner.tables.iter().rev() {
+            if let Some(v) = table.get(self.fs.as_ref(), key)? {
+                return Ok(v);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Force a memtable flush.
+    pub fn flush(&self) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    /// Number of on-disk tables (observability for tests).
+    pub fn table_count(&self) -> usize {
+        self.inner.lock().tables.len()
+    }
+
+    fn wal_append(&self, inner: &mut DbInner, key: &[u8], value: Option<&[u8]>) -> FsResult<()> {
+        let mut rec = Vec::with_capacity(9 + key.len() + value.map_or(0, |v| v.len()));
+        rec.push(if value.is_some() { 1 } else { 0 });
+        rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&(value.map_or(0, |v| v.len()) as u32).to_le_bytes());
+        rec.extend_from_slice(key);
+        if let Some(v) = value {
+            rec.extend_from_slice(v);
+        }
+        self.fs.append(inner.wal_fd, &rec)?;
+        self.fs.fsync(inner.wal_fd)?;
+        Ok(())
+    }
+
+    fn flush_locked(&self, inner: &mut DbInner) -> FsResult<()> {
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        let id = inner.next_table;
+        inner.next_table += 1;
+        let path = format!("{}/sst-{id:06}.tbl", self.dir);
+        let mem = std::mem::replace(&mut inner.mem, MemTable::new());
+        let table = SsTable::write(self.fs.as_ref(), &path, mem.into_sorted_entries())?;
+        inner.tables.push(table);
+
+        // Reset the WAL: its contents are now durable in the table.
+        self.fs.close(inner.wal_fd)?;
+        self.fs.unlink(&inner.wal_path)?;
+        inner.wal_fd = self.fs.open(&inner.wal_path, vfs::OpenFlags::CREATE)?;
+
+        if inner.tables.len() >= COMPACT_TRIGGER {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    fn compact_locked(&self, inner: &mut DbInner) -> FsResult<()> {
+        // Merge all tables newest-wins into one.
+        let mut merged = MemTable::new();
+        for table in &inner.tables {
+            for (k, v) in table.scan(self.fs.as_ref())? {
+                merged.put(k, v); // later (newer) tables overwrite
+            }
+        }
+        let id = inner.next_table;
+        inner.next_table += 1;
+        let path = format!("{}/sst-{id:06}.tbl", self.dir);
+        // Compaction drops tombstones (nothing older remains).
+        let live = merged
+            .into_sorted_entries()
+            .filter(|(_, v)| v.is_some())
+            .collect::<Vec<_>>();
+        let table = SsTable::write(self.fs.as_ref(), &path, live.into_iter())?;
+        for old in inner.tables.drain(..) {
+            match self.fs.unlink(old.path()) {
+                Ok(()) | Err(FsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        inner.tables.push(table);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arckfs_like_memfs::mem_fs;
+
+    /// Reuse a tiny in-memory FS for unit tests; integration tests run the
+    /// store over ArckFS and the baselines.
+    mod arckfs_like_memfs {
+        use super::*;
+        use parking_lot::RwLock;
+        use std::collections::HashMap;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        pub struct MemFs {
+            files: RwLock<HashMap<String, Vec<u8>>>,
+            fds: RwLock<HashMap<u64, String>>,
+            next: AtomicU64,
+        }
+
+        pub fn mem_fs() -> Arc<dyn FileSystem> {
+            Arc::new(MemFs::default())
+        }
+
+        impl FileSystem for MemFs {
+            fn fs_name(&self) -> &str {
+                "memfs"
+            }
+            fn create(&self, path: &str) -> FsResult<vfs::Fd> {
+                self.files.write().insert(path.into(), Vec::new());
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                self.fds.write().insert(id, path.into());
+                Ok(vfs::Fd(id))
+            }
+            fn open(&self, path: &str, flags: vfs::OpenFlags) -> FsResult<vfs::Fd> {
+                let exists = self.files.read().contains_key(path);
+                if !exists {
+                    if flags.create {
+                        return self.create(path);
+                    }
+                    return Err(FsError::NotFound);
+                }
+                if flags.truncate {
+                    self.files.write().get_mut(path).expect("exists").clear();
+                }
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                self.fds.write().insert(id, path.into());
+                Ok(vfs::Fd(id))
+            }
+            fn close(&self, fd: vfs::Fd) -> FsResult<()> {
+                self.fds
+                    .write()
+                    .remove(&fd.0)
+                    .map(|_| ())
+                    .ok_or(FsError::BadDescriptor)
+            }
+            fn read_at(&self, fd: vfs::Fd, buf: &mut [u8], off: u64) -> FsResult<usize> {
+                let p = self
+                    .fds
+                    .read()
+                    .get(&fd.0)
+                    .cloned()
+                    .ok_or(FsError::BadDescriptor)?;
+                let files = self.files.read();
+                let d = files.get(&p).ok_or(FsError::NotFound)?;
+                if off as usize >= d.len() {
+                    return Ok(0);
+                }
+                let n = buf.len().min(d.len() - off as usize);
+                buf[..n].copy_from_slice(&d[off as usize..off as usize + n]);
+                Ok(n)
+            }
+            fn write_at(&self, fd: vfs::Fd, buf: &[u8], off: u64) -> FsResult<usize> {
+                let p = self
+                    .fds
+                    .read()
+                    .get(&fd.0)
+                    .cloned()
+                    .ok_or(FsError::BadDescriptor)?;
+                let mut files = self.files.write();
+                let d = files.get_mut(&p).ok_or(FsError::NotFound)?;
+                let end = off as usize + buf.len();
+                if d.len() < end {
+                    d.resize(end, 0);
+                }
+                d[off as usize..end].copy_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn append(&self, fd: vfs::Fd, buf: &[u8]) -> FsResult<u64> {
+                let p = self
+                    .fds
+                    .read()
+                    .get(&fd.0)
+                    .cloned()
+                    .ok_or(FsError::BadDescriptor)?;
+                let len = self.files.read().get(&p).map(|d| d.len()).unwrap_or(0) as u64;
+                self.write_at(fd, buf, len)?;
+                Ok(len)
+            }
+            fn fsync(&self, _fd: vfs::Fd) -> FsResult<()> {
+                Ok(())
+            }
+            fn truncate(&self, _fd: vfs::Fd, _s: u64) -> FsResult<()> {
+                Ok(())
+            }
+            fn unlink(&self, path: &str) -> FsResult<()> {
+                self.files
+                    .write()
+                    .remove(path)
+                    .map(|_| ())
+                    .ok_or(FsError::NotFound)
+            }
+            fn mkdir(&self, _path: &str) -> FsResult<()> {
+                Ok(())
+            }
+            fn rmdir(&self, _path: &str) -> FsResult<()> {
+                Ok(())
+            }
+            fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+                let mut f = self.files.write();
+                let v = f.remove(from).ok_or(FsError::NotFound)?;
+                f.insert(to.into(), v);
+                Ok(())
+            }
+            fn readdir(&self, _p: &str) -> FsResult<Vec<vfs::DirEntry>> {
+                Ok(Vec::new())
+            }
+            fn stat(&self, path: &str) -> FsResult<vfs::Metadata> {
+                let files = self.files.read();
+                let d = files.get(path).ok_or(FsError::NotFound)?;
+                Ok(vfs::Metadata {
+                    ino: 0,
+                    file_type: vfs::FileType::Regular,
+                    size: d.len() as u64,
+                    nlink: 1,
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let db = Db::open(mem_fs(), "/db").unwrap();
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"beta").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(db.get(b"gamma").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_wins() {
+        let db = Db::open(mem_fs(), "/db").unwrap();
+        db.put(b"k", b"old").unwrap();
+        db.put(b"k", b"new").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn delete_hides_older_versions() {
+        let db = Db::open(mem_fs(), "/db").unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.flush().unwrap(); // v now lives in an sstable
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+        db.flush().unwrap(); // tombstone in a newer table
+        assert_eq!(db.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn reads_span_memtable_and_tables() {
+        let db = Db::open(mem_fs(), "/db").unwrap();
+        db.put(b"old", b"1").unwrap();
+        db.flush().unwrap();
+        db.put(b"new", b"2").unwrap();
+        assert_eq!(db.get(b"old").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(b"new").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn flush_and_compaction_preserve_data() {
+        let db = Db::open(mem_fs(), "/db").unwrap();
+        for round in 0..6u32 {
+            for i in 0..100u32 {
+                let k = format!("key-{i:04}");
+                let v = format!("val-{round}-{i}");
+                db.put(k.as_bytes(), v.as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // Compaction triggered at least once.
+        assert!(db.table_count() < 6);
+        for i in 0..100u32 {
+            let k = format!("key-{i:04}");
+            assert_eq!(
+                db.get(k.as_bytes()).unwrap(),
+                Some(format!("val-5-{i}").into_bytes()),
+                "newest version must win for {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_fill_spills_to_tables() {
+        let db = Db::open(mem_fs(), "/db").unwrap();
+        let value = vec![7u8; 100];
+        for i in 0..20_000u32 {
+            db.put(format!("k{i:08}").as_bytes(), &value).unwrap();
+        }
+        assert!(db.table_count() >= 1, "memtable limit must trigger flushes");
+        assert_eq!(db.get(b"k00000000").unwrap(), Some(value.clone()));
+        assert_eq!(db.get(b"k00019999").unwrap(), Some(value));
+    }
+}

@@ -1,0 +1,88 @@
+//! The in-memory sorted write buffer.
+
+use std::collections::BTreeMap;
+
+/// A sorted map from key to value-or-tombstone, with byte accounting.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl MemTable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Insert a value (`None` = tombstone).
+    pub fn put(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let klen = key.len();
+        let vlen = value.as_ref().map_or(1, |v| v.len());
+        if let Some(old) = self.map.insert(key, value) {
+            // Key bytes already counted; swap the value contribution.
+            self.bytes = self.bytes.saturating_sub(old.map_or(1, |v| v.len()));
+            self.bytes += vlen;
+        } else {
+            self.bytes += klen + vlen;
+        }
+    }
+
+    /// Look up. Outer `None` = not present; inner `None` = tombstone.
+    pub fn get(&self, key: &[u8]) -> Option<&Option<Vec<u8>>> {
+        self.map.get(key)
+    }
+
+    /// Approximate heap bytes held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of entries (incl. tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Consume into sorted (key, value) pairs.
+    pub fn into_sorted_entries(self) -> impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)> {
+        self.map.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_iteration() {
+        let mut m = MemTable::new();
+        m.put(b"b".to_vec(), Some(b"2".to_vec()));
+        m.put(b"a".to_vec(), Some(b"1".to_vec()));
+        m.put(b"c".to_vec(), None);
+        let keys: Vec<Vec<u8>> = m.into_sorted_entries().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn bytes_grow_with_inserts() {
+        let mut m = MemTable::new();
+        assert_eq!(m.bytes(), 0);
+        m.put(b"key".to_vec(), Some(vec![0; 100]));
+        assert!(m.bytes() >= 103);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstone_is_present_but_none() {
+        let mut m = MemTable::new();
+        m.put(b"k".to_vec(), None);
+        assert_eq!(m.get(b"k"), Some(&None));
+        assert_eq!(m.get(b"other"), None);
+        assert!(!m.is_empty());
+    }
+}

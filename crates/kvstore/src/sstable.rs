@@ -1,0 +1,154 @@
+//! Immutable sorted-table files.
+//!
+//! Format: a sequence of records
+//! `[tomb: u8][klen: u32][vlen: u32][key][value]`, keys strictly
+//! ascending, followed by nothing (the file size bounds the scan). A small
+//! in-memory index (every 16th key and its offset) accelerates point reads
+//! the way LevelDB's block index does.
+
+use vfs::{FileSystem, FsResult, OpenFlags};
+
+/// A decoded `(key, value-or-tombstone)` record.
+pub type Record = (Vec<u8>, Option<Vec<u8>>);
+
+/// Index every Nth record.
+const INDEX_EVERY: usize = 16;
+
+/// An immutable sorted table.
+#[derive(Debug)]
+pub struct SsTable {
+    path: String,
+    size: u64,
+    /// Sparse index: (first key of group, file offset).
+    index: Vec<(Vec<u8>, u64)>,
+}
+
+impl SsTable {
+    /// Write sorted `entries` to a new file at `path`.
+    pub fn write(
+        fs: &dyn FileSystem,
+        path: &str,
+        entries: impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>,
+    ) -> FsResult<SsTable> {
+        let fd = fs.open(path, OpenFlags::CREATE_TRUNC)?;
+        let mut index = Vec::new();
+        let mut buf = Vec::with_capacity(64 * 1024);
+        let mut off = 0u64;
+        for (n, (key, value)) in entries.enumerate() {
+            if n.is_multiple_of(INDEX_EVERY) {
+                index.push((key.clone(), off + buf.len() as u64));
+            }
+            buf.push(if value.is_some() { 0 } else { 1 });
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&(value.as_ref().map_or(0, |v| v.len()) as u32).to_le_bytes());
+            buf.extend_from_slice(&key);
+            if let Some(v) = &value {
+                buf.extend_from_slice(v);
+            }
+            if buf.len() >= 64 * 1024 {
+                fs.write_at(fd, &buf, off)?;
+                off += buf.len() as u64;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            fs.write_at(fd, &buf, off)?;
+            off += buf.len() as u64;
+        }
+        fs.fsync(fd)?;
+        fs.close(fd)?;
+        Ok(SsTable {
+            path: path.to_string(),
+            size: off,
+            index,
+        })
+    }
+
+    /// File path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Point lookup. `Ok(None)` = key absent here; `Ok(Some(None))` =
+    /// tombstone (key deleted); `Ok(Some(Some(v)))` = value.
+    #[allow(clippy::option_option)]
+    pub fn get(&self, fs: &dyn FileSystem, key: &[u8]) -> FsResult<Option<Option<Vec<u8>>>> {
+        // Find the index group that may contain the key.
+        let start = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => self.index[i].1,
+            Err(0) => return Ok(None), // before the first key
+            Err(i) => self.index[i - 1].1,
+        };
+        let fd = fs.open(&self.path, OpenFlags::RDONLY)?;
+        let result = self.scan_from(fs, fd, start, Some(key));
+        fs.close(fd)?;
+        result.map(|v| v.into_iter().next().map(|(_, val)| val))
+    }
+
+    /// Scan the whole table into (key, value) pairs (used by compaction).
+    pub fn scan(&self, fs: &dyn FileSystem) -> FsResult<Vec<Record>> {
+        let fd = fs.open(&self.path, OpenFlags::RDONLY)?;
+        let result = self.scan_from(fs, fd, 0, None);
+        fs.close(fd)?;
+        result
+    }
+
+    /// Scan records from `start`; with `needle`, stop at the first match
+    /// (or once past it, keys being sorted) and return at most that one.
+    fn scan_from(
+        &self,
+        fs: &dyn FileSystem,
+        fd: vfs::Fd,
+        start: u64,
+        needle: Option<&[u8]>,
+    ) -> FsResult<Vec<Record>> {
+        let mut out = Vec::new();
+        let mut off = start;
+        let mut hdr = [0u8; 9];
+        while off < self.size {
+            let n = fs.read_at(fd, &mut hdr, off)?;
+            if n < 9 {
+                break;
+            }
+            let tomb = hdr[0] == 1;
+            let klen = u32::from_le_bytes(hdr[1..5].try_into().expect("4 bytes")) as usize;
+            let vlen = u32::from_le_bytes(hdr[5..9].try_into().expect("4 bytes")) as usize;
+            let mut key = vec![0u8; klen];
+            fs.read_at(fd, &mut key, off + 9)?;
+            match needle {
+                Some(target) => {
+                    match key.as_slice().cmp(target) {
+                        std::cmp::Ordering::Less => {
+                            off += 9 + klen as u64 + vlen as u64;
+                            continue;
+                        }
+                        std::cmp::Ordering::Greater => return Ok(out), // past it
+                        std::cmp::Ordering::Equal => {
+                            let value = if tomb {
+                                None
+                            } else {
+                                let mut v = vec![0u8; vlen];
+                                fs.read_at(fd, &mut v, off + 9 + klen as u64)?;
+                                Some(v)
+                            };
+                            out.push((key, value));
+                            return Ok(out);
+                        }
+                    }
+                }
+                None => {
+                    let value = if tomb {
+                        None
+                    } else {
+                        let mut v = vec![0u8; vlen];
+                        fs.read_at(fd, &mut v, off + 9 + klen as u64)?;
+                        Some(v)
+                    };
+                    out.push((key, value));
+                    off += 9 + klen as u64 + vlen as u64;
+                }
+            }
+        }
+        Ok(out)
+    }
+}

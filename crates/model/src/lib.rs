@@ -1,0 +1,299 @@
+#![warn(missing_docs)]
+
+//! Calibrated scalability model.
+//!
+//! The paper's scalability figures (Figure 4, Table 2) were measured on a
+//! 48-core dual-socket server. This reproduction runs on whatever the host
+//! provides (possibly a single core), so the benchmark harness reports two
+//! things side by side:
+//!
+//! 1. **measured** throughput with real threads (which exercises every
+//!    synchronization path but cannot exceed the host's core count), and
+//! 2. **modelled** throughput at the paper's thread counts, from a
+//!    Universal-Scalability-Law curve calibrated with *measured*
+//!    single-thread cost and *measured* per-operation synchronization
+//!    profile (shared-lock acquisitions, fences, kernel crossings — all
+//!    counted organically by the implementations).
+//!
+//! USL: `X(N) = N / (T1 · (1 + σ·(N−1) + κ·N·(N−1)))`, where `σ` is the
+//! serialized fraction of an operation (contention) and `κ` the coherence
+//! (crosstalk) penalty. `σ` is estimated structurally:
+//!
+//! * operations on **private** objects contend only on allocator pools and
+//!   global counters — a small baseline;
+//! * operations on a **shared directory** serialize on that directory's
+//!   lock(s): a kernel file system holds *one* parent-inode mutex for
+//!   nearly the whole operation (σ → the op's lock-covered fraction),
+//!   while ArckFS spreads the same work over its per-bucket locks, dividing
+//!   the contended fraction by the bucket count (§2.2's design point);
+//! * **read-mostly same-object** workloads serialize only on cache-line
+//!   coherence (κ), not on locks.
+//!
+//! This is a model, not a measurement — DESIGN.md documents it as the
+//! substitution for the paper's 48-core testbed — but every input except
+//! the two USL shape constants is measured from the running system.
+
+use serde::{Deserialize, Serialize};
+
+/// What an operation contends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingLevel {
+    /// Per-thread private objects (FxMark's `*L` workloads).
+    Private,
+    /// One directory shared by all threads (`*M` workloads).
+    SharedDir,
+    /// One object accessed read-mostly by all threads (`MRPH`).
+    SameObject,
+}
+
+/// Which locking structure the file system uses for the shared object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LockStructure {
+    /// A single lock covers the shared object for most of the operation
+    /// (kernel file systems' parent-inode mutex).
+    SingleLock {
+        /// Fraction of the operation spent under that lock.
+        covered_fraction: f64,
+    },
+    /// The shared object is partitioned over `partitions` locks, each
+    /// covering `covered_fraction` of the operation (ArckFS's per-bucket
+    /// locks and per-tail logs).
+    Partitioned {
+        /// Number of lock partitions (hash buckets × tails).
+        partitions: usize,
+        /// Fraction of the operation under any one of them.
+        covered_fraction: f64,
+    },
+    /// Reads take no lock at all (RCU / lock-free cached reads).
+    LockFree,
+}
+
+/// Per-operation synchronization profile, measured by the harness.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Cache-line flushes per operation.
+    pub flushes: f64,
+    /// Store fences per operation.
+    pub fences: f64,
+    /// Kernel crossings per operation.
+    pub syscalls: f64,
+    /// Shared-lock acquisitions per operation.
+    pub lock_acqs: f64,
+}
+
+/// A calibrated per-(file-system, workload) operation profile.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Measured single-thread cost, µs per operation.
+    pub t1_us: f64,
+    /// USL contention parameter σ.
+    pub sigma: f64,
+    /// USL coherence parameter κ.
+    pub kappa: f64,
+}
+
+/// Baseline serialized fraction for private-object operations (allocator
+/// pools, statistics counters).
+const SIGMA_FLOOR: f64 = 0.004;
+/// Coherence penalty per shared cache-line writer (per fence on a shared
+/// object, scaled).
+const KAPPA_PER_SHARED_FENCE: f64 = 4e-5;
+/// Coherence floor for read-mostly sharing (cache-line bouncing of the
+/// object's metadata).
+const KAPPA_FLOOR_SAME_OBJECT: f64 = 2e-4;
+
+impl OpProfile {
+    /// Calibrate a profile from measurements and the structural facts.
+    pub fn estimate(
+        t1_us: f64,
+        sharing: SharingLevel,
+        locks: LockStructure,
+        stats: OpStats,
+    ) -> OpProfile {
+        let (sigma, kappa) = match sharing {
+            SharingLevel::Private => (SIGMA_FLOOR, SIGMA_FLOOR * 1e-3),
+            SharingLevel::SharedDir => match locks {
+                LockStructure::SingleLock { covered_fraction } => (
+                    covered_fraction.clamp(0.0, 1.0),
+                    KAPPA_PER_SHARED_FENCE * stats.fences.max(1.0),
+                ),
+                LockStructure::Partitioned {
+                    partitions,
+                    covered_fraction,
+                } => (
+                    (covered_fraction / partitions.max(1) as f64) + SIGMA_FLOOR,
+                    KAPPA_PER_SHARED_FENCE * stats.fences.max(1.0) / partitions.max(1) as f64,
+                ),
+                LockStructure::LockFree => (SIGMA_FLOOR, KAPPA_FLOOR_SAME_OBJECT),
+            },
+            SharingLevel::SameObject => match locks {
+                LockStructure::LockFree => (SIGMA_FLOOR, KAPPA_FLOOR_SAME_OBJECT),
+                LockStructure::SingleLock { covered_fraction } => (
+                    (covered_fraction * 0.3).clamp(0.0, 1.0), // read lock: shared mode
+                    KAPPA_FLOOR_SAME_OBJECT * 2.0,
+                ),
+                LockStructure::Partitioned { .. } => (SIGMA_FLOOR * 2.0, KAPPA_FLOOR_SAME_OBJECT),
+            },
+        };
+        OpProfile {
+            t1_us,
+            sigma,
+            kappa,
+        }
+    }
+
+    /// Modelled throughput at `threads`, in operations per second.
+    pub fn throughput(&self, threads: usize) -> f64 {
+        let n = threads as f64;
+        let denom = 1.0 + self.sigma * (n - 1.0) + self.kappa * n * (n - 1.0);
+        n / (self.t1_us * 1e-6 * denom)
+    }
+
+    /// Modelled curve over the given thread counts.
+    pub fn curve(&self, threads: &[usize]) -> Vec<(usize, f64)> {
+        threads.iter().map(|&n| (n, self.throughput(n))).collect()
+    }
+
+    /// The thread count at which throughput peaks (USL's optimum).
+    pub fn peak_threads(&self) -> f64 {
+        if self.kappa <= 0.0 {
+            return f64::INFINITY;
+        }
+        ((1.0 - self.sigma) / self.kappa).sqrt()
+    }
+}
+
+/// The paper's Figure 4 thread counts.
+pub fn paper_thread_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 28, 48]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> OpStats {
+        OpStats {
+            flushes: 4.0,
+            fences: 3.0,
+            syscalls: 0.0,
+            lock_acqs: 3.0,
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_t1() {
+        let p = OpProfile {
+            t1_us: 2.0,
+            sigma: 0.1,
+            kappa: 0.001,
+        };
+        assert!((p.throughput(1) - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn private_ops_scale_nearly_linearly() {
+        let p = OpProfile::estimate(1.0, SharingLevel::Private, LockStructure::LockFree, stats());
+        let x1 = p.throughput(1);
+        let x48 = p.throughput(48);
+        assert!(
+            x48 > 38.0 * x1,
+            "private ops must scale near-linearly: {x48} vs {x1}"
+        );
+    }
+
+    #[test]
+    fn single_lock_shared_dir_flattens() {
+        let p = OpProfile::estimate(
+            1.0,
+            SharingLevel::SharedDir,
+            LockStructure::SingleLock {
+                covered_fraction: 0.85,
+            },
+            stats(),
+        );
+        let x1 = p.throughput(1);
+        let x48 = p.throughput(48);
+        assert!(
+            x48 < 3.0 * x1,
+            "a single-lock shared dir must flatten: {x48} vs {x1}"
+        );
+    }
+
+    #[test]
+    fn partitioned_locks_beat_single_lock_at_scale() {
+        let single = OpProfile::estimate(
+            1.0,
+            SharingLevel::SharedDir,
+            LockStructure::SingleLock {
+                covered_fraction: 0.85,
+            },
+            stats(),
+        );
+        let partitioned = OpProfile::estimate(
+            1.0,
+            SharingLevel::SharedDir,
+            LockStructure::Partitioned {
+                partitions: 64,
+                covered_fraction: 0.5,
+            },
+            stats(),
+        );
+        assert!(
+            partitioned.throughput(48) > 5.0 * single.throughput(48),
+            "ArckFS's partitioned locks must dominate at 48 threads"
+        );
+    }
+
+    #[test]
+    fn slower_t1_means_lower_curve_same_shape() {
+        // ArckFS+ vs ArckFS: slightly higher T1, identical structure — the
+        // modelled gap at 48 threads stays proportional (Table 2's ~97%).
+        let arckfs = OpProfile::estimate(
+            1.00,
+            SharingLevel::SharedDir,
+            LockStructure::Partitioned {
+                partitions: 64,
+                covered_fraction: 0.5,
+            },
+            stats(),
+        );
+        let plus = OpProfile::estimate(
+            1.05,
+            SharingLevel::SharedDir,
+            LockStructure::Partitioned {
+                partitions: 64,
+                covered_fraction: 0.5,
+            },
+            stats(),
+        );
+        let ratio = plus.throughput(48) / arckfs.throughput(48);
+        assert!((0.90..1.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn peak_is_finite_with_coherence() {
+        let p = OpProfile {
+            t1_us: 1.0,
+            sigma: 0.05,
+            kappa: 0.001,
+        };
+        let peak = p.peak_threads();
+        assert!(peak.is_finite() && peak > 1.0);
+        let p0 = OpProfile {
+            t1_us: 1.0,
+            sigma: 0.05,
+            kappa: 0.0,
+        };
+        assert!(p0.peak_threads().is_infinite());
+    }
+
+    #[test]
+    fn curve_covers_requested_counts() {
+        let p = OpProfile::estimate(1.0, SharingLevel::Private, LockStructure::LockFree, stats());
+        let c = p.curve(&paper_thread_counts());
+        assert_eq!(c.len(), 7);
+        assert_eq!(c[0].0, 1);
+        assert_eq!(c[6].0, 48);
+    }
+}

@@ -1,0 +1,613 @@
+//! The emulated persistent-memory device.
+//!
+//! A [`PmemDevice`] is a fixed-size byte-addressable region with explicit
+//! persistence primitives (`clwb`, `ntstore`, `sfence`). See the crate docs
+//! for the two backings.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::latency::LatencyModel;
+use crate::stats::PmemStats;
+use crate::tracker::Tracker;
+use crate::{line_of, CACHE_LINE, PAGE_SIZE};
+
+/// Result alias for device operations.
+pub type PmemResult<T> = Result<T, PmemError>;
+
+/// Errors raised by device accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// Access outside the device.
+    OutOfBounds {
+        /// First byte of the access.
+        offset: u64,
+        /// Length of the access.
+        len: usize,
+        /// Device size.
+        size: usize,
+    },
+    /// A crash-state operation was requested on a fast (untracked) device.
+    NotTracked,
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "pm access out of bounds: offset {offset:#x} len {len} on device of {size} bytes"
+            ),
+            PmemError::NotTracked => {
+                write!(f, "crash-state operation on an untracked (fast) device")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+/// Which backing a device uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Plain memory + accounting; crash states unavailable. For benchmarks.
+    Fast,
+    /// Full store-level persistency tracking; serialized by a mutex. For
+    /// crash-consistency checking and deterministic bug reproduction.
+    Tracked,
+}
+
+/// Fast backing: a heap buffer accessed through raw pointers.
+///
+/// Interior mutability through `&self` is required because many LibFS
+/// threads store to disjoint device regions concurrently, exactly like
+/// `mmap`ed persistent memory. The file-system layers above guarantee that
+/// concurrent accesses to *overlapping* regions are synchronized (that is
+/// the property whose violations the paper studies; the deterministic bug
+/// reproductions run on the `Tracked` backing, which is fully serialized).
+struct FastBuf {
+    buf: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: `FastBuf` hands out raw pointers only through `PmemDevice`'s
+// read/write methods, which perform bounds checks. Cross-thread access to
+// disjoint ranges is sound; overlapping unsynchronized access is excluded by
+// the locking protocol of the file systems built on top (see struct docs).
+unsafe impl Send for FastBuf {}
+// SAFETY: as above.
+unsafe impl Sync for FastBuf {}
+
+impl FastBuf {
+    /// Reinterpret a plain byte buffer as a cell buffer. `UnsafeCell<u8>`
+    /// is `repr(transparent)` over `u8`, so the layouts are identical;
+    /// building the buffer as bytes first keeps construction at memcpy
+    /// speed instead of a per-element loop.
+    fn from_bytes(bytes: Box<[u8]>) -> Self {
+        let ptr = Box::into_raw(bytes) as *mut [UnsafeCell<u8>];
+        // SAFETY: `UnsafeCell<u8>` is repr(transparent) over `u8`: same
+        // size, alignment and slice layout, so the fat pointer cast is
+        // valid and ownership transfers intact.
+        let buf = unsafe { Box::from_raw(ptr) };
+        FastBuf { buf }
+    }
+
+    fn new(len: usize) -> Self {
+        Self::from_bytes(vec![0u8; len].into_boxed_slice())
+    }
+
+    fn from_image(image: &[u8]) -> Self {
+        Self::from_bytes(image.to_vec().into_boxed_slice())
+    }
+
+    #[inline]
+    fn base(&self) -> *mut u8 {
+        self.buf.as_ptr() as *mut u8
+    }
+}
+
+enum Backing {
+    Fast(FastBuf),
+    Tracked(Mutex<Tracker>),
+}
+
+/// An emulated persistent-memory device.
+///
+/// All offsets are absolute byte offsets from the start of the device.
+/// Devices are usually wrapped in an [`Arc`] and shared between the kernel
+/// substrate and every LibFS.
+///
+/// # Examples
+///
+/// A store is durable only after `clwb` + `sfence`; a tracked device can
+/// show you the crash states in between:
+///
+/// ```
+/// use pmem::PmemDevice;
+///
+/// let dev = PmemDevice::new_tracked(4096);
+/// dev.write(0, b"hello")?;
+/// assert_eq!(&dev.persistent_image()?[..5], &[0; 5]); // not durable yet
+/// dev.persist(0, 5)?;
+/// assert_eq!(&dev.persistent_image()?[..5], b"hello");
+/// # Ok::<(), pmem::PmemError>(())
+/// ```
+pub struct PmemDevice {
+    len: usize,
+    backing: Backing,
+    stats: PmemStats,
+    latency: LatencyModel,
+}
+
+impl fmt::Debug for PmemDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PmemDevice")
+            .field("len", &self.len)
+            .field("mode", &self.mode())
+            .finish()
+    }
+}
+
+impl PmemDevice {
+    /// A zero-initialized fast-mode device of `len` bytes.
+    pub fn new(len: usize) -> Arc<Self> {
+        Arc::new(PmemDevice {
+            len,
+            backing: Backing::Fast(FastBuf::new(len)),
+            stats: PmemStats::default(),
+            latency: LatencyModel::disabled(),
+        })
+    }
+
+    /// A zero-initialized tracked-mode device of `len` bytes.
+    pub fn new_tracked(len: usize) -> Arc<Self> {
+        Arc::new(PmemDevice {
+            len,
+            backing: Backing::Tracked(Mutex::new(Tracker::new(len))),
+            stats: PmemStats::default(),
+            latency: LatencyModel::disabled(),
+        })
+    }
+
+    /// A fast-mode device initialized from a durable image (e.g. a crash
+    /// image produced by [`PmemDevice::sample_crash_image`]), for recovery.
+    pub fn from_image(image: &[u8]) -> Arc<Self> {
+        Arc::new(PmemDevice {
+            len: image.len(),
+            backing: Backing::Fast(FastBuf::from_image(image)),
+            stats: PmemStats::default(),
+            latency: LatencyModel::disabled(),
+        })
+    }
+
+    /// A tracked-mode device initialized from a durable image.
+    pub fn tracked_from_image(image: Vec<u8>) -> Arc<Self> {
+        let len = image.len();
+        Arc::new(PmemDevice {
+            len,
+            backing: Backing::Tracked(Mutex::new(Tracker::from_image(image))),
+            stats: PmemStats::default(),
+            latency: LatencyModel::disabled(),
+        })
+    }
+
+    /// A fast-mode device with an injected latency model (benchmarks).
+    pub fn with_latency(len: usize, latency: LatencyModel) -> Arc<Self> {
+        Arc::new(PmemDevice {
+            len,
+            backing: Backing::Fast(FastBuf::new(len)),
+            stats: PmemStats::default(),
+            latency,
+        })
+    }
+
+    /// Device length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the device has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages on the device.
+    pub fn page_count(&self) -> u64 {
+        (self.len / PAGE_SIZE) as u64
+    }
+
+    /// The device's backing mode.
+    pub fn mode(&self) -> Mode {
+        match self.backing {
+            Backing::Fast(_) => Mode::Fast,
+            Backing::Tracked(_) => Mode::Tracked,
+        }
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &PmemStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn check(&self, off: u64, len: usize) -> PmemResult<()> {
+        if (off as usize).checked_add(len).is_none_or(|e| e > self.len) {
+            return Err(PmemError::OutOfBounds {
+                offset: off,
+                len,
+                size: self.len,
+            });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn lines_touched(off: u64, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        (line_of(off + len as u64 - 1) - line_of(off)) / CACHE_LINE as u64 + 1
+    }
+
+    /// Read `buf.len()` bytes at `off`.
+    pub fn read(&self, off: u64, buf: &mut [u8]) -> PmemResult<()> {
+        self.check(off, buf.len())?;
+        self.stats.count_load(buf.len());
+        self.latency
+            .charge_read(Self::lines_touched(off, buf.len()));
+        match &self.backing {
+            Backing::Fast(fb) => {
+                // SAFETY: bounds checked above; see `FastBuf` for the
+                // aliasing discipline.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        fb.base().add(off as usize),
+                        buf.as_mut_ptr(),
+                        buf.len(),
+                    );
+                }
+            }
+            Backing::Tracked(t) => t.lock().read(off, buf),
+        }
+        Ok(())
+    }
+
+    /// Store `data` at `off`. Not durable until flushed and fenced.
+    pub fn write(&self, off: u64, data: &[u8]) -> PmemResult<()> {
+        self.check(off, data.len())?;
+        self.stats.count_store(data.len());
+        self.latency
+            .charge_write(Self::lines_touched(off, data.len()));
+        match &self.backing {
+            Backing::Fast(fb) => {
+                // SAFETY: bounds checked above; see `FastBuf` for the
+                // aliasing discipline.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        data.as_ptr(),
+                        fb.base().add(off as usize),
+                        data.len(),
+                    );
+                }
+            }
+            Backing::Tracked(t) => t.lock().write(off, data),
+        }
+        Ok(())
+    }
+
+    /// Non-temporal store: durable at the next [`PmemDevice::sfence`]
+    /// without an explicit `clwb`. Used by the I/O delegation path for
+    /// large data writes.
+    pub fn ntstore(&self, off: u64, data: &[u8]) -> PmemResult<()> {
+        self.check(off, data.len())?;
+        self.stats.count_ntstore(data.len());
+        self.latency
+            .charge_write(Self::lines_touched(off, data.len()));
+        match &self.backing {
+            Backing::Fast(fb) => {
+                // SAFETY: bounds checked above; see `FastBuf`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        data.as_ptr(),
+                        fb.base().add(off as usize),
+                        data.len(),
+                    );
+                }
+            }
+            Backing::Tracked(t) => t.lock().ntstore(off, data),
+        }
+        Ok(())
+    }
+
+    /// Flush (`clwb`) every cache line overlapping `[off, off + len)`.
+    pub fn clwb(&self, off: u64, len: usize) -> PmemResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.check(off, len)?;
+        let lines = Self::lines_touched(off, len);
+        self.stats.count_clwb(lines);
+        self.latency.charge_clwb(lines);
+        if let Backing::Tracked(t) = &self.backing {
+            t.lock().clwb(off, len as u64);
+        }
+        Ok(())
+    }
+
+    /// Store fence (`sfence`): flushed stores become durable.
+    pub fn sfence(&self) {
+        self.stats.count_sfence();
+        self.latency.charge_sfence();
+        if let Backing::Tracked(t) = &self.backing {
+            t.lock().sfence();
+        }
+    }
+
+    /// Convenience: `clwb` + `sfence` over a range.
+    pub fn persist(&self, off: u64, len: usize) -> PmemResult<()> {
+        self.clwb(off, len)?;
+        self.sfence();
+        Ok(())
+    }
+
+    /// Quiesce the device: everything currently stored becomes durable.
+    /// (On the fast backing this is a fence only; all content is implicitly
+    /// durable there.)
+    pub fn persist_all(&self) {
+        self.stats.count_sfence();
+        if let Backing::Tracked(t) = &self.backing {
+            t.lock().persist_all();
+        }
+    }
+
+    // ---- typed little-endian accessors -----------------------------------
+
+    /// Read a `u64` (little-endian) at `off`.
+    pub fn read_u64(&self, off: u64) -> PmemResult<u64> {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Store a `u64` (little-endian) at `off`.
+    pub fn write_u64(&self, off: u64, v: u64) -> PmemResult<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Read a `u32` (little-endian) at `off`.
+    pub fn read_u32(&self, off: u64) -> PmemResult<u32> {
+        let mut b = [0u8; 4];
+        self.read(off, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Store a `u32` (little-endian) at `off`.
+    pub fn write_u32(&self, off: u64, v: u32) -> PmemResult<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Read a `u16` (little-endian) at `off`.
+    pub fn read_u16(&self, off: u64) -> PmemResult<u16> {
+        let mut b = [0u8; 2];
+        self.read(off, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Store a `u16` (little-endian) at `off`.
+    pub fn write_u16(&self, off: u64, v: u16) -> PmemResult<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Read a single byte at `off`.
+    pub fn read_u8(&self, off: u64) -> PmemResult<u8> {
+        let mut b = [0u8; 1];
+        self.read(off, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Store a single byte at `off`.
+    pub fn write_u8(&self, off: u64, v: u8) -> PmemResult<()> {
+        self.write(off, &[v])
+    }
+
+    /// Zero a byte range (store of zeroes; still needs flushing to persist).
+    pub fn zero(&self, off: u64, len: usize) -> PmemResult<()> {
+        // Chunked to avoid one large temporary for big ranges.
+        const Z: [u8; 4096] = [0u8; 4096];
+        let mut cur = off;
+        let end = off + len as u64;
+        while cur < end {
+            let n = ((end - cur) as usize).min(Z.len());
+            self.write(cur, &Z[..n])?;
+            cur += n as u64;
+        }
+        Ok(())
+    }
+
+    // ---- crash-state interface (tracked mode only) ------------------------
+
+    /// Sample one crash image (tracked mode only).
+    pub fn sample_crash_image(&self, rng: &mut dyn rand::RngCore) -> PmemResult<Vec<u8>> {
+        match &self.backing {
+            Backing::Tracked(t) => Ok(t.lock().sample_crash_image(rng)),
+            Backing::Fast(_) => Err(PmemError::NotTracked),
+        }
+    }
+
+    /// Enumerate all crash images if there are at most `limit` (tracked
+    /// mode only). Returns `Ok(None)` when the state space exceeds `limit`.
+    pub fn enumerate_crash_images(&self, limit: u64) -> PmemResult<Option<Vec<Vec<u8>>>> {
+        match &self.backing {
+            Backing::Tracked(t) => Ok(t.lock().enumerate_crash_images(limit)),
+            Backing::Fast(_) => Err(PmemError::NotTracked),
+        }
+    }
+
+    /// Number of distinct crash states (tracked mode only).
+    pub fn crash_state_count(&self) -> PmemResult<u64> {
+        match &self.backing {
+            Backing::Tracked(t) => Ok(t.lock().crash_state_count()),
+            Backing::Fast(_) => Err(PmemError::NotTracked),
+        }
+    }
+
+    /// Snapshot the full volatile image (both modes). Useful for golden
+    /// comparisons in tests.
+    pub fn volatile_image(&self) -> Vec<u8> {
+        match &self.backing {
+            Backing::Fast(fb) => {
+                let mut out = vec![0u8; self.len];
+                // SAFETY: reading the full in-bounds buffer; see `FastBuf`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(fb.base(), out.as_mut_ptr(), self.len);
+                }
+                out
+            }
+            Backing::Tracked(t) => t.lock().volatile_image().to_vec(),
+        }
+    }
+
+    /// Snapshot the durable image (tracked mode only).
+    pub fn persistent_image(&self) -> PmemResult<Vec<u8>> {
+        match &self.backing {
+            Backing::Tracked(t) => Ok(t.lock().persistent_image().to_vec()),
+            Backing::Fast(_) => Err(PmemError::NotTracked),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fast_read_write_round_trip() {
+        let d = PmemDevice::new(8192);
+        d.write(100, b"hello").unwrap();
+        let mut b = [0u8; 5];
+        d.read(100, &mut b).unwrap();
+        assert_eq!(&b, b"hello");
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let d = PmemDevice::new(4096);
+        d.write_u64(0, 0xdead_beef_cafe_f00d).unwrap();
+        d.write_u32(8, 0x1234_5678).unwrap();
+        d.write_u16(12, 0xabcd).unwrap();
+        d.write_u8(14, 0xef).unwrap();
+        assert_eq!(d.read_u64(0).unwrap(), 0xdead_beef_cafe_f00d);
+        assert_eq!(d.read_u32(8).unwrap(), 0x1234_5678);
+        assert_eq!(d.read_u16(12).unwrap(), 0xabcd);
+        assert_eq!(d.read_u8(14).unwrap(), 0xef);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let d = PmemDevice::new(128);
+        assert!(matches!(
+            d.write(120, &[0u8; 16]),
+            Err(PmemError::OutOfBounds { .. })
+        ));
+        let mut b = [0u8; 16];
+        assert!(d.read(125, &mut b).is_err());
+        assert!(d.read_u64(124).is_err());
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let d = PmemDevice::new(4096);
+        d.write(0, &[0u8; 128]).unwrap();
+        d.clwb(0, 128).unwrap();
+        d.sfence();
+        let s = d.stats().snapshot();
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.bytes_written, 128);
+        assert_eq!(s.clwb, 2); // 128 bytes = 2 lines
+        assert_eq!(s.sfences, 1);
+    }
+
+    #[test]
+    fn tracked_durability() {
+        let d = PmemDevice::new_tracked(4096);
+        d.write(64, b"abc").unwrap();
+        // Not yet durable.
+        assert_eq!(&d.persistent_image().unwrap()[64..67], &[0, 0, 0]);
+        d.persist(64, 3).unwrap();
+        assert_eq!(&d.persistent_image().unwrap()[64..67], b"abc");
+    }
+
+    #[test]
+    fn fast_mode_rejects_crash_ops() {
+        let d = PmemDevice::new(128);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            d.sample_crash_image(&mut rng).unwrap_err(),
+            PmemError::NotTracked
+        );
+        assert!(d.enumerate_crash_images(10).is_err());
+        assert!(d.crash_state_count().is_err());
+        assert!(d.persistent_image().is_err());
+    }
+
+    #[test]
+    fn crash_recovery_round_trip() {
+        let d = PmemDevice::new_tracked(4096);
+        d.write(0, b"durable").unwrap();
+        d.persist(0, 7).unwrap();
+        d.write(100, b"lost").unwrap(); // never flushed
+        let mut rng = StdRng::seed_from_u64(7);
+        // Sample many crash images; "durable" is always present.
+        for _ in 0..50 {
+            let img = d.sample_crash_image(&mut rng).unwrap();
+            assert_eq!(&img[0..7], b"durable");
+            let rec = PmemDevice::from_image(&img);
+            let mut b = [0u8; 7];
+            rec.read(0, &mut b).unwrap();
+            assert_eq!(&b, b"durable");
+        }
+    }
+
+    #[test]
+    fn zero_range() {
+        let d = PmemDevice::new(16384);
+        d.write(0, &[0xFFu8; 10000]).unwrap();
+        d.zero(5, 9990).unwrap();
+        let mut b = vec![0u8; 10000];
+        d.read(0, &mut b).unwrap();
+        assert_eq!(&b[..5], &[0xFF; 5]);
+        assert!(b[5..9995].iter().all(|&x| x == 0));
+        assert_eq!(&b[9995..], &[0xFF; 5]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let d = PmemDevice::new(64 * 1024);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let d = &d;
+                s.spawn(move || {
+                    let base = t * 16 * 1024;
+                    for i in 0..100 {
+                        d.write(base + i * 64, &[t as u8 + 1; 64]).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            let mut b = [0u8; 64];
+            d.read(t * 16 * 1024, &mut b).unwrap();
+            assert_eq!(b, [t as u8 + 1; 64]);
+        }
+    }
+
+    #[test]
+    fn page_count() {
+        let d = PmemDevice::new(10 * PAGE_SIZE);
+        assert_eq!(d.page_count(), 10);
+    }
+}

@@ -1,0 +1,133 @@
+//! Optional injected latency approximating Optane DC PM timings.
+//!
+//! The emulator runs on DRAM, which is faster and symmetrical; real Optane
+//! has ~300 ns read latency, ~100 ns on-DIMM write-buffer latency, and
+//! asymmetric bandwidth. When enabled, the device spins for a configured
+//! duration per operation so that *relative* costs (flush-heavy vs.
+//! flush-light code paths) resemble the paper's platform. Disabled by
+//! default: correctness tests do not want it, and the benchmark harness
+//! enables it explicitly.
+
+use std::time::{Duration, Instant};
+
+/// Per-operation latencies injected by the emulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Whether to inject latency at all.
+    pub enabled: bool,
+    /// Added per cache line read from the device.
+    pub read_per_line: Duration,
+    /// Added per cache line written to the device.
+    pub write_per_line: Duration,
+    /// Added per `clwb` line flush.
+    pub clwb: Duration,
+    /// Added per `sfence`.
+    pub sfence: Duration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::disabled()
+    }
+}
+
+impl LatencyModel {
+    /// No injected latency (default).
+    pub const fn disabled() -> Self {
+        LatencyModel {
+            enabled: false,
+            read_per_line: Duration::ZERO,
+            write_per_line: Duration::ZERO,
+            clwb: Duration::ZERO,
+            sfence: Duration::ZERO,
+        }
+    }
+
+    /// Latencies loosely calibrated to Intel Optane DC PM 100-series
+    /// (the modules in the paper's testbed): ~300 ns media read, ~100 ns
+    /// write-buffer store, ~100 ns for a flush that reaches the DIMM, and a
+    /// drain cost for `sfence` following flushes.
+    pub const fn optane() -> Self {
+        LatencyModel {
+            enabled: true,
+            read_per_line: Duration::from_nanos(120),
+            write_per_line: Duration::from_nanos(60),
+            clwb: Duration::from_nanos(100),
+            sfence: Duration::from_nanos(80),
+        }
+    }
+
+    /// Spin for `d`. Spinning (rather than sleeping) preserves sub-µs
+    /// granularity; the OS timer cannot sleep for 100 ns.
+    #[inline]
+    pub fn spin(d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Charge the cost of reading `lines` cache lines.
+    #[inline]
+    pub fn charge_read(&self, lines: u64) {
+        if self.enabled {
+            Self::spin(self.read_per_line.saturating_mul(lines as u32));
+        }
+    }
+
+    /// Charge the cost of writing `lines` cache lines.
+    #[inline]
+    pub fn charge_write(&self, lines: u64) {
+        if self.enabled {
+            Self::spin(self.write_per_line.saturating_mul(lines as u32));
+        }
+    }
+
+    /// Charge the cost of flushing `lines` cache lines.
+    #[inline]
+    pub fn charge_clwb(&self, lines: u64) {
+        if self.enabled {
+            Self::spin(self.clwb.saturating_mul(lines as u32));
+        }
+    }
+
+    /// Charge the cost of a store fence.
+    #[inline]
+    pub fn charge_sfence(&self) {
+        if self.enabled {
+            Self::spin(self.sfence);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_charges_nothing() {
+        let m = LatencyModel::disabled();
+        let t = Instant::now();
+        m.charge_read(1_000_000);
+        m.charge_write(1_000_000);
+        m.charge_clwb(1_000_000);
+        // A million charged lines at zero cost must return immediately.
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn spin_waits_at_least_duration() {
+        let d = Duration::from_micros(200);
+        let t = Instant::now();
+        LatencyModel::spin(d);
+        assert!(t.elapsed() >= d);
+    }
+
+    #[test]
+    fn optane_is_enabled() {
+        assert!(LatencyModel::optane().enabled);
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Persistent-memory (PM) emulator.
+//!
+//! The paper's experiments ran on Intel Optane Persistent Memory. This crate
+//! substitutes that hardware with an emulated byte-addressable device that
+//! implements the part of the platform the paper's bugs and patches actually
+//! depend on: the **persistency model** — which stores are guaranteed durable
+//! at a crash, given the program's `clwb`/`ntstore`/`sfence` instructions.
+//!
+//! Two backings are provided (see [`Mode`]):
+//!
+//! * [`Mode::Fast`] — plain memory with flush/fence/byte *accounting* (and an
+//!   optional injected latency model approximating Optane timings). Used by
+//!   the benchmark harness.
+//! * [`Mode::Tracked`] — every store is recorded in a per-cache-line pending
+//!   log; `clwb` marks pending stores of a line as flush-ordered and `sfence`
+//!   makes flush-ordered stores durable. A crash may durably retain, for each
+//!   cache line independently, any *prefix* of its pending stores (stores to
+//!   the same line persist in order; distinct lines reorder freely unless
+//!   ordered by flush + fence). This is the standard simplified Px86 model
+//!   (cf. Cho et al., PLDI 2021, cited by the paper as [5]) and is exactly
+//!   the semantics under which the §4.2 missing-fence bug produces a dentry
+//!   whose commit marker is durable while its payload is not.
+//!
+//! The crate also provides [`mapping`] (generation-tagged inode mappings —
+//! access after unmap is a detected bus error, modelling the §4.3 SIGBUS)
+//! and [`alloc`] (a persistent page allocator with a durable bitmap).
+
+pub mod alloc;
+pub mod device;
+pub mod latency;
+pub mod mapping;
+pub mod stats;
+pub mod tracker;
+
+pub use alloc::PageAllocator;
+pub use device::{Mode, PmemDevice, PmemError, PmemResult};
+pub use latency::LatencyModel;
+pub use mapping::{MapError, Mapping, MappingRegistry};
+pub use stats::PmemStats;
+
+/// Cache-line size in bytes, matching x86.
+pub const CACHE_LINE: usize = 64;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Round `n` down to the start of its cache line.
+pub const fn line_of(n: u64) -> u64 {
+    n & !(CACHE_LINE as u64 - 1)
+}
+
+/// Round `n` up to a multiple of the cache-line size.
+pub const fn line_align_up(n: u64) -> u64 {
+    (n + CACHE_LINE as u64 - 1) & !(CACHE_LINE as u64 - 1)
+}
+
+/// Round `n` up to a multiple of the page size.
+pub const fn page_align_up(n: u64) -> u64 {
+    (n + PAGE_SIZE as u64 - 1) & !(PAGE_SIZE as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_align_up(1), 64);
+        assert_eq!(line_align_up(64), 64);
+        assert_eq!(page_align_up(1), 4096);
+        assert_eq!(page_align_up(4096), 4096);
+        assert_eq!(page_align_up(0), 0);
+    }
+}

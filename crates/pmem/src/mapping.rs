@@ -1,0 +1,324 @@
+//! Generation-tagged mappings of device regions.
+//!
+//! In TRIO, the kernel controller maps an inode's core state into a LibFS's
+//! address space when ownership is granted, and unmaps it on release
+//! (§2.1 steps ②/⑤). In the C artifact, a thread that dereferences a mapping
+//! after another thread released the inode dies with SIGBUS — the §4.3 bug.
+//!
+//! Here a mapping grant is a [`Mapping`]: a bounded window onto the device
+//! tagged with a generation number. `unmap` bumps the generation; every
+//! subsequent access through an old handle fails with [`MapError::Stale`]
+//! (the modelled bus error) at exactly the access that would have faulted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::device::{PmemDevice, PmemError};
+
+/// Errors raised by accesses through a [`Mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The mapping was unmapped (or remapped) after this handle was created:
+    /// the modelled SIGBUS.
+    Stale {
+        /// Device offset of the attempted access.
+        offset: u64,
+        /// Generation the handle was created under.
+        handle_gen: u64,
+        /// Current generation of the grant.
+        current_gen: u64,
+    },
+    /// Access outside the mapped window.
+    OutOfWindow {
+        /// Window-relative offset of the attempted access.
+        offset: u64,
+        /// Length of the attempted access.
+        len: usize,
+        /// Window length.
+        window: usize,
+    },
+    /// Underlying device error.
+    Device(PmemError),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Stale {
+                offset,
+                handle_gen,
+                current_gen,
+            } => write!(
+                f,
+                "stale mapping (bus error) at {offset:#x}: handle gen {handle_gen}, current {current_gen}"
+            ),
+            MapError::OutOfWindow { offset, len, window } => {
+                write!(f, "access [{offset:#x}..+{len}) outside window of {window} bytes")
+            }
+            MapError::Device(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<PmemError> for MapError {
+    fn from(e: PmemError) -> Self {
+        MapError::Device(e)
+    }
+}
+
+/// Result alias for mapping accesses.
+pub type MapResult<T> = Result<T, MapError>;
+
+/// The shared registration backing a grant; owned by the granting side
+/// (the kernel controller).
+#[derive(Debug)]
+pub struct MappingRegistry {
+    generation: AtomicU64,
+}
+
+impl Default for MappingRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MappingRegistry {
+    /// A fresh registry at generation 0 (mapped).
+    pub fn new() -> Self {
+        MappingRegistry {
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Invalidate all outstanding handles (the `munmap`).
+    pub fn unmap(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle to a mapped window of the device.
+///
+/// Cloning is cheap; clones share the same generation check. Offsets passed
+/// to accessors are *window-relative*.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    device: Arc<PmemDevice>,
+    registry: Arc<MappingRegistry>,
+    start: u64,
+    len: usize,
+    handle_gen: u64,
+}
+
+impl Mapping {
+    /// Map `[start, start + len)` of `device` under `registry`'s current
+    /// generation.
+    pub fn new(
+        device: Arc<PmemDevice>,
+        registry: Arc<MappingRegistry>,
+        start: u64,
+        len: usize,
+    ) -> Self {
+        let handle_gen = registry.generation();
+        Mapping {
+            device,
+            registry,
+            start,
+            len,
+            handle_gen,
+        }
+    }
+
+    /// Window length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Device offset of the window start.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// The device this mapping windows onto.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.device
+    }
+
+    /// True when the mapping is still valid.
+    pub fn is_live(&self) -> bool {
+        self.registry.generation() == self.handle_gen
+    }
+
+    #[inline]
+    fn translate(&self, off: u64, len: usize) -> MapResult<u64> {
+        let cur = self.registry.generation();
+        if cur != self.handle_gen {
+            return Err(MapError::Stale {
+                offset: self.start + off,
+                handle_gen: self.handle_gen,
+                current_gen: cur,
+            });
+        }
+        if (off as usize).checked_add(len).is_none_or(|e| e > self.len) {
+            return Err(MapError::OutOfWindow {
+                offset: off,
+                len,
+                window: self.len,
+            });
+        }
+        Ok(self.start + off)
+    }
+
+    /// Read through the mapping.
+    pub fn read(&self, off: u64, buf: &mut [u8]) -> MapResult<()> {
+        let abs = self.translate(off, buf.len())?;
+        self.device.read(abs, buf)?;
+        Ok(())
+    }
+
+    /// Store through the mapping.
+    pub fn write(&self, off: u64, data: &[u8]) -> MapResult<()> {
+        let abs = self.translate(off, data.len())?;
+        self.device.write(abs, data)?;
+        Ok(())
+    }
+
+    /// Non-temporal store through the mapping.
+    pub fn ntstore(&self, off: u64, data: &[u8]) -> MapResult<()> {
+        let abs = self.translate(off, data.len())?;
+        self.device.ntstore(abs, data)?;
+        Ok(())
+    }
+
+    /// Flush lines of the mapped window.
+    pub fn clwb(&self, off: u64, len: usize) -> MapResult<()> {
+        let abs = self.translate(off, len)?;
+        self.device.clwb(abs, len)?;
+        Ok(())
+    }
+
+    /// Store fence (device-global).
+    pub fn sfence(&self) {
+        self.device.sfence();
+    }
+
+    /// Read a little-endian `u64` through the mapping.
+    pub fn read_u64(&self, off: u64) -> MapResult<u64> {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Store a little-endian `u64` through the mapping.
+    pub fn write_u64(&self, off: u64, v: u64) -> MapResult<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Read a little-endian `u32` through the mapping.
+    pub fn read_u32(&self, off: u64) -> MapResult<u32> {
+        let mut b = [0u8; 4];
+        self.read(off, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Store a little-endian `u32` through the mapping.
+    pub fn write_u32(&self, off: u64, v: u32) -> MapResult<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+
+    /// Read a little-endian `u16` through the mapping.
+    pub fn read_u16(&self, off: u64) -> MapResult<u16> {
+        let mut b = [0u8; 2];
+        self.read(off, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Store a little-endian `u16` through the mapping.
+    pub fn write_u16(&self, off: u64, v: u16) -> MapResult<()> {
+        self.write(off, &v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<PmemDevice>, Arc<MappingRegistry>) {
+        (PmemDevice::new(8192), Arc::new(MappingRegistry::new()))
+    }
+
+    #[test]
+    fn mapped_access_works() {
+        let (dev, reg) = setup();
+        let m = Mapping::new(dev.clone(), reg, 4096, 4096);
+        m.write(10, b"xyz").unwrap();
+        let mut b = [0u8; 3];
+        m.read(10, &mut b).unwrap();
+        assert_eq!(&b, b"xyz");
+        // Window-relative offset 10 is device offset 4106.
+        assert_eq!(dev.read_u8(4106).unwrap(), b'x');
+        assert!(m.is_live());
+    }
+
+    #[test]
+    fn stale_after_unmap_is_bus_error() {
+        let (dev, reg) = setup();
+        let m = Mapping::new(dev, reg.clone(), 0, 4096);
+        m.write_u64(0, 42).unwrap();
+        reg.unmap();
+        assert!(!m.is_live());
+        let err = m.read_u64(0).unwrap_err();
+        assert!(matches!(err, MapError::Stale { .. }));
+        assert!(m.write_u64(0, 1).is_err());
+        assert!(m.clwb(0, 8).is_err());
+    }
+
+    #[test]
+    fn remap_creates_fresh_generation() {
+        let (dev, reg) = setup();
+        let old = Mapping::new(dev.clone(), reg.clone(), 0, 4096);
+        reg.unmap();
+        let new = Mapping::new(dev, reg, 0, 4096);
+        assert!(old.read_u64(0).is_err());
+        assert!(new.read_u64(0).is_ok());
+    }
+
+    #[test]
+    fn out_of_window_detected() {
+        let (dev, reg) = setup();
+        let m = Mapping::new(dev, reg, 0, 64);
+        assert!(matches!(
+            m.write(60, &[0u8; 8]),
+            Err(MapError::OutOfWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn clones_share_generation_check() {
+        let (dev, reg) = setup();
+        let m = Mapping::new(dev, reg.clone(), 0, 128);
+        let m2 = m.clone();
+        reg.unmap();
+        assert!(m.read_u64(0).is_err());
+        assert!(m2.read_u64(0).is_err());
+    }
+
+    #[test]
+    fn u16_round_trip() {
+        let (dev, reg) = setup();
+        let m = Mapping::new(dev, reg, 128, 128);
+        m.write_u16(2, 0xBEEF).unwrap();
+        assert_eq!(m.read_u16(2).unwrap(), 0xBEEF);
+    }
+}

@@ -1,0 +1,450 @@
+//! Store-level persistency tracking (the [`crate::Mode::Tracked`] backing).
+//!
+//! The tracker maintains two images of the device:
+//!
+//! * the **volatile image** — what loads observe (the cache hierarchy's
+//!   current contents), and
+//! * the **persistent image** — bytes guaranteed durable across a crash.
+//!
+//! Every store is appended to the pending queue of each cache line it
+//! touches. The model:
+//!
+//! * Stores to the **same** cache line persist in program order, so the
+//!   durable state of a line is always a *prefix* of its pending queue.
+//! * **Distinct** lines may persist in any order: a line can be evicted from
+//!   the cache at any moment, even without `clwb`.
+//! * `clwb` marks the line's currently-pending stores as *flush-ordered*;
+//!   the next `sfence` makes every flush-ordered store durable.
+//! * `ntstore` bypasses the cache: its stores are flush-ordered immediately
+//!   and become durable at the next `sfence`.
+//!
+//! A *crash image* is the persistent image plus, for each line
+//! independently, an arbitrary prefix of that line's pending stores. This is
+//! the simplified Px86 persistency model under which the paper's §4.2 bug
+//! (missing fence between dentry payload and commit marker) manifests.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::{line_of, CACHE_LINE};
+
+/// One pending (not yet durable) store, clipped to a single cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingStore {
+    /// Absolute device offset of the first byte.
+    pub off: u64,
+    /// The bytes stored.
+    pub data: Vec<u8>,
+    /// Whether a `clwb` has ordered this store ahead of the next `sfence`.
+    pub flushed: bool,
+}
+
+/// Store-level tracker implementing the persistency model.
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    volatile: Vec<u8>,
+    persistent: Vec<u8>,
+    /// Per-line pending stores, keyed by line start offset. Within a line the
+    /// queue is in program order and `flushed` flags always form a prefix.
+    pending: BTreeMap<u64, Vec<PendingStore>>,
+}
+
+impl Tracker {
+    /// A tracker for a zero-initialized device of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        Tracker {
+            volatile: vec![0; len],
+            persistent: vec![0; len],
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// A tracker whose volatile *and* persistent images both equal `image`
+    /// (e.g. when re-mounting a crash image).
+    pub fn from_image(image: Vec<u8>) -> Self {
+        Tracker {
+            persistent: image.clone(),
+            volatile: image,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Device length in bytes.
+    pub fn len(&self) -> usize {
+        self.volatile.len()
+    }
+
+    /// True when the device is empty.
+    pub fn is_empty(&self) -> bool {
+        self.volatile.is_empty()
+    }
+
+    /// Record a store of `data` at `off`, splitting it across cache lines.
+    pub fn write(&mut self, off: u64, data: &[u8]) {
+        self.write_impl(off, data, false);
+    }
+
+    /// Record a non-temporal store: durable at the next `sfence` without a
+    /// separate `clwb`.
+    pub fn ntstore(&mut self, off: u64, data: &[u8]) {
+        self.write_impl(off, data, true);
+    }
+
+    fn write_impl(&mut self, off: u64, data: &[u8], flushed: bool) {
+        let end = off + data.len() as u64;
+        assert!(
+            end as usize <= self.volatile.len(),
+            "tracked store out of bounds"
+        );
+        self.volatile[off as usize..end as usize].copy_from_slice(data);
+
+        // Split the store into per-line segments so crash sampling can treat
+        // lines independently.
+        let mut cur = off;
+        while cur < end {
+            let line = line_of(cur);
+            let line_end = line + CACHE_LINE as u64;
+            let seg_end = end.min(line_end);
+            let seg = &data[(cur - off) as usize..(seg_end - off) as usize];
+            let queue = self.pending.entry(line).or_default();
+            if flushed {
+                // A non-temporal store is ordered behind every earlier store
+                // to the same line (they combine in the WC buffer), so mark
+                // the whole queue flush-ordered to keep the prefix invariant.
+                for p in queue.iter_mut() {
+                    p.flushed = true;
+                }
+            }
+            queue.push(PendingStore {
+                off: cur,
+                data: seg.to_vec(),
+                flushed,
+            });
+            cur = seg_end;
+        }
+    }
+
+    /// Read `buf.len()` bytes at `off` from the volatile image.
+    pub fn read(&self, off: u64, buf: &mut [u8]) {
+        let end = off as usize + buf.len();
+        assert!(end <= self.volatile.len(), "tracked load out of bounds");
+        buf.copy_from_slice(&self.volatile[off as usize..end]);
+    }
+
+    /// `clwb` every cache line overlapping `[off, off + len)`: mark their
+    /// pending stores flush-ordered. Returns the number of lines flushed.
+    pub fn clwb(&mut self, off: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = line_of(off);
+        let last = line_of(off + len - 1);
+        let mut lines = 0;
+        let mut line = first;
+        while line <= last {
+            if let Some(queue) = self.pending.get_mut(&line) {
+                for p in queue.iter_mut() {
+                    p.flushed = true;
+                }
+            }
+            lines += 1;
+            line += CACHE_LINE as u64;
+        }
+        lines
+    }
+
+    /// `sfence`: every flush-ordered pending store becomes durable, in
+    /// per-line program order. (Flushed flags form a per-line prefix, so
+    /// applying them in queue order preserves same-line store order.)
+    pub fn sfence(&mut self) {
+        let mut empty_lines = Vec::new();
+        for (line, queue) in self.pending.iter_mut() {
+            let n_flushed = queue.iter().take_while(|p| p.flushed).count();
+            debug_assert!(
+                queue.iter().skip(n_flushed).all(|p| !p.flushed),
+                "flushed flags must form a prefix"
+            );
+            for p in queue.drain(..n_flushed) {
+                let s = p.off as usize;
+                self.persistent[s..s + p.data.len()].copy_from_slice(&p.data);
+            }
+            if queue.is_empty() {
+                empty_lines.push(*line);
+            }
+        }
+        for line in empty_lines {
+            self.pending.remove(&line);
+        }
+    }
+
+    /// Make *everything* durable (quiesce): equivalent to flushing every
+    /// dirty line and fencing. Used at controlled points by tests and by the
+    /// crash explorer to establish a known-durable baseline.
+    pub fn persist_all(&mut self) {
+        self.persistent.copy_from_slice(&self.volatile);
+        self.pending.clear();
+    }
+
+    /// The current durable image.
+    pub fn persistent_image(&self) -> &[u8] {
+        &self.persistent
+    }
+
+    /// The current volatile image.
+    pub fn volatile_image(&self) -> &[u8] {
+        &self.volatile
+    }
+
+    /// Number of cache lines with pending (possibly-lost) stores.
+    pub fn pending_line_count(&self) -> usize {
+        self.pending.values().filter(|q| !q.is_empty()).count()
+    }
+
+    /// Total number of pending stores across all lines.
+    pub fn pending_store_count(&self) -> usize {
+        self.pending.values().map(|q| q.len()).sum()
+    }
+
+    /// Sample one crash image: the persistent image plus, per line, a
+    /// uniformly random prefix of its pending stores.
+    pub fn sample_crash_image<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let mut img = self.persistent.clone();
+        for queue in self.pending.values() {
+            let k = rng.gen_range(0..=queue.len());
+            for p in &queue[..k] {
+                let s = p.off as usize;
+                img[s..s + p.data.len()].copy_from_slice(&p.data);
+            }
+        }
+        img
+    }
+
+    /// The number of distinct crash states (product over lines of
+    /// `pending + 1`), saturating at `u64::MAX`.
+    pub fn crash_state_count(&self) -> u64 {
+        let mut n: u64 = 1;
+        for queue in self.pending.values() {
+            n = n.saturating_mul(queue.len() as u64 + 1);
+        }
+        n
+    }
+
+    /// Enumerate *all* crash images if there are at most `limit` of them;
+    /// returns `None` when the state space is larger.
+    pub fn enumerate_crash_images(&self, limit: u64) -> Option<Vec<Vec<u8>>> {
+        let total = self.crash_state_count();
+        if total > limit {
+            return None;
+        }
+        let queues: Vec<&Vec<PendingStore>> =
+            self.pending.values().filter(|q| !q.is_empty()).collect();
+        let mut images = Vec::with_capacity(total as usize);
+        let mut choice = vec![0usize; queues.len()];
+        loop {
+            let mut img = self.persistent.clone();
+            for (q, &k) in queues.iter().zip(choice.iter()) {
+                for p in &q[..k] {
+                    let s = p.off as usize;
+                    img[s..s + p.data.len()].copy_from_slice(&p.data);
+                }
+            }
+            images.push(img);
+            // Odometer increment over per-line prefix lengths.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    return Some(images);
+                }
+                choice[i] += 1;
+                if choice[i] <= queues[i].len() {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unfenced_store_is_not_durable() {
+        let mut t = Tracker::new(256);
+        t.write(0, &[1, 2, 3]);
+        assert_eq!(&t.persistent_image()[..3], &[0, 0, 0]);
+        let mut buf = [0u8; 3];
+        t.read(0, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn clwb_sfence_makes_durable() {
+        let mut t = Tracker::new(256);
+        t.write(0, &[1, 2, 3]);
+        t.clwb(0, 3);
+        t.sfence();
+        assert_eq!(&t.persistent_image()[..3], &[1, 2, 3]);
+        assert_eq!(t.pending_store_count(), 0);
+    }
+
+    #[test]
+    fn sfence_without_clwb_keeps_pending() {
+        let mut t = Tracker::new(256);
+        t.write(0, &[9]);
+        t.sfence();
+        assert_eq!(t.persistent_image()[0], 0);
+        assert_eq!(t.pending_store_count(), 1);
+    }
+
+    #[test]
+    fn store_after_clwb_not_covered() {
+        let mut t = Tracker::new(256);
+        t.write(0, &[1]);
+        t.clwb(0, 1);
+        t.write(1, &[2]); // same line, after the clwb
+        t.sfence();
+        assert_eq!(t.persistent_image()[0], 1);
+        assert_eq!(
+            t.persistent_image()[1],
+            0,
+            "post-clwb store must stay pending"
+        );
+    }
+
+    #[test]
+    fn ntstore_durable_at_fence() {
+        let mut t = Tracker::new(256);
+        t.ntstore(64, &[7, 8]);
+        t.sfence();
+        assert_eq!(&t.persistent_image()[64..66], &[7, 8]);
+    }
+
+    #[test]
+    fn same_line_prefix_order() {
+        // Two stores to the same line: a crash can retain the first without
+        // the second but never the second without the first.
+        let mut t = Tracker::new(256);
+        t.write(0, &[1]);
+        t.write(8, &[2]);
+        let images = t.enumerate_crash_images(100).unwrap();
+        assert_eq!(images.len(), 3); // {}, {1st}, {1st,2nd}
+        for img in &images {
+            if img[8] == 2 {
+                assert_eq!(img[0], 1, "second store persisted without first");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_lines_reorder_freely() {
+        // Stores to two different lines: all four subsets are possible.
+        let mut t = Tracker::new(256);
+        t.write(0, &[1]);
+        t.write(64, &[2]);
+        let images = t.enumerate_crash_images(100).unwrap();
+        assert_eq!(images.len(), 4);
+        let has = |a: u8, b: u8| images.iter().any(|i| i[0] == a && i[64] == b);
+        assert!(has(0, 0) && has(1, 0) && has(0, 2) && has(1, 2));
+    }
+
+    #[test]
+    fn fence_orders_across_lines() {
+        // clwb(A); sfence; store B — B durable implies A durable, because A
+        // was already durable before B existed.
+        let mut t = Tracker::new(256);
+        t.write(0, &[1]); // line A
+        t.clwb(0, 1);
+        t.sfence();
+        t.write(64, &[2]); // line B
+        let images = t.enumerate_crash_images(100).unwrap();
+        for img in &images {
+            if img[64] == 2 {
+                assert_eq!(img[0], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_fence_allows_reordering() {
+        // The §4.2 pattern *without* the fence: payload on line A flushed,
+        // marker on line B flushed, single fence at the end. A crash before
+        // the fence can persist the marker without the payload.
+        let mut t = Tracker::new(256);
+        t.write(0, &[0xAA]); // payload, line A
+        t.clwb(0, 1);
+        t.write(64, &[0xBB]); // marker, line B
+        t.clwb(64, 1);
+        // Crash now, before any sfence.
+        let images = t.enumerate_crash_images(100).unwrap();
+        assert!(
+            images.iter().any(|i| i[64] == 0xBB && i[0] != 0xAA),
+            "must find a crash state with the marker but not the payload"
+        );
+    }
+
+    #[test]
+    fn sample_respects_prefix_rule() {
+        let mut t = Tracker::new(256);
+        t.write(0, &[1]);
+        t.write(4, &[2]);
+        t.write(8, &[3]);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let img = t.sample_crash_image(&mut rng);
+            // Later stores never appear without earlier same-line stores.
+            if img[8] == 3 {
+                assert_eq!((img[0], img[4]), (1, 2));
+            }
+            if img[4] == 2 {
+                assert_eq!(img[0], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_state_count() {
+        let mut t = Tracker::new(512);
+        t.write(0, &[1]); // line 0: 1 store
+        t.write(64, &[1]); // line 1: 2 stores
+        t.write(80, &[1]);
+        assert_eq!(t.crash_state_count(), 2 * 3);
+    }
+
+    #[test]
+    fn persist_all_quiesces() {
+        let mut t = Tracker::new(128);
+        t.write(0, &[5; 100]);
+        t.persist_all();
+        assert_eq!(t.persistent_image(), t.volatile_image());
+        assert_eq!(t.crash_state_count(), 1);
+    }
+
+    #[test]
+    fn from_image_round_trip() {
+        let mut t = Tracker::new(128);
+        t.write(3, &[1, 2, 3]);
+        t.persist_all();
+        let img = t.persistent_image().to_vec();
+        let t2 = Tracker::from_image(img);
+        let mut buf = [0u8; 3];
+        t2.read(3, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn write_spanning_lines_splits() {
+        let mut t = Tracker::new(256);
+        let data: Vec<u8> = (0..100).collect();
+        t.write(30, &data); // spans lines 0 and 64 and 128
+        assert_eq!(t.pending_line_count(), 3);
+        t.clwb(30, 100);
+        t.sfence();
+        assert_eq!(&t.persistent_image()[30..130], &data[..]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for generation-tagged mappings and the page allocator.
+
+use pmem::{Mapping, MappingRegistry, PageAllocator, PmemDevice, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleaved maps/unmaps: a handle works iff no unmap happened after
+    /// its creation.
+    #[test]
+    fn mapping_generations_track_unmaps(unmap_pattern in proptest::collection::vec(any::<bool>(), 1..20)) {
+        let dev = PmemDevice::new(1 << 20);
+        let reg = Arc::new(MappingRegistry::new());
+        let mut live: Vec<Mapping> = Vec::new();
+        for do_unmap in unmap_pattern {
+            if do_unmap {
+                reg.unmap();
+                for m in &live {
+                    prop_assert!(m.read_u64(0).is_err(), "stale handle must fault");
+                }
+                live.clear();
+            }
+            let m = Mapping::new(dev.clone(), reg.clone(), 0, 4096);
+            prop_assert!(m.write_u64(0, 7).is_ok());
+            for old in &live {
+                prop_assert!(old.read_u64(0).is_ok(), "same-generation peers stay live");
+            }
+            live.push(m);
+        }
+    }
+
+    /// Arbitrary alloc/free interleavings never double-allocate, and the
+    /// durable bitmap always agrees with the allocator's view.
+    #[test]
+    fn allocator_never_double_allocates(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let dev = PmemDevice::new(256 * PAGE_SIZE);
+        let alloc = PageAllocator::format(dev, 0, 4, 128).unwrap();
+        let mut held: Vec<u64> = Vec::new();
+        let mut seen = HashSet::new();
+        for take in ops {
+            if take {
+                match alloc.alloc() {
+                    Ok(p) => {
+                        prop_assert!((4..132).contains(&p));
+                        prop_assert!(seen.insert(p), "page {p} double-allocated");
+                        prop_assert!(alloc.is_allocated(p).unwrap());
+                        held.push(p);
+                    }
+                    Err(_) => prop_assert_eq!(held.len(), 128, "spurious exhaustion"),
+                }
+            } else if let Some(p) = held.pop() {
+                alloc.free(p).unwrap();
+                seen.remove(&p);
+                prop_assert!(!alloc.is_allocated(p).unwrap());
+            }
+        }
+        prop_assert_eq!(alloc.allocated_count(), held.len() as u64);
+    }
+}

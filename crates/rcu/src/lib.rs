@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Read-copy-update (RCU) and a generation-tagged slot arena.
+//!
+//! The ArckFS+ patch for §4.5 ("incorrect synchronization for directory
+//! bucket") introduces RCU so that directory readers can traverse hash
+//! buckets without locks while writers defer freeing removed entries until
+//! no reader can still observe them. This crate provides:
+//!
+//! * [`Rcu`] — epoch-based reclamation built from scratch: readers pin the
+//!   global epoch inside a [`Guard`]; retired objects are freed only after a
+//!   two-epoch grace period with no reader pinned at or before the retire
+//!   epoch.
+//! * [`arena::Arena`] — the allocation substrate for directory-index
+//!   entries. Every slot carries a generation; an access through a stale
+//!   [`arena::ArenaRef`] is detected and reported as a use-after-free
+//!   instead of being undefined behaviour, which is how this reproduction
+//!   models the SIGSEGVs of §4.4/§4.5 (see `DESIGN.md`).
+
+pub mod arena;
+pub mod epoch;
+
+pub use arena::{Arena, ArenaRef, UafError};
+pub use epoch::{Guard, Rcu};

@@ -1,0 +1,114 @@
+//! Property tests: the generation-tagged arena against a HashMap oracle,
+//! under arbitrary insert/read/update/free sequences.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rcu::{Arena, ArenaRef, Rcu};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    /// Read the k-th live ref (mod population).
+    Read(usize),
+    /// Update the k-th live ref.
+    Update(usize, u32),
+    /// Free the k-th live ref.
+    Free(usize),
+    /// Read a ref freed earlier (must fail).
+    ReadStale(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u32>().prop_map(Op::Insert),
+            any::<usize>().prop_map(Op::Read),
+            (any::<usize>(), any::<u32>()).prop_map(|(k, v)| Op::Update(k, v)),
+            any::<usize>().prop_map(Op::Free),
+            any::<usize>().prop_map(Op::ReadStale),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arena_matches_oracle(ops in ops()) {
+        let arena: Arena<u32> = Arena::new();
+        let mut live: Vec<(ArenaRef, u32)> = Vec::new();
+        let mut freed: Vec<ArenaRef> = Vec::new();
+        let mut oracle: HashMap<ArenaRef, u32> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let r = arena.insert(v);
+                    prop_assert!(!oracle.contains_key(&r), "ref reuse without gen bump");
+                    live.push((r, v));
+                    oracle.insert(r, v);
+                }
+                Op::Read(k) if !live.is_empty() => {
+                    let (r, v) = live[k % live.len()];
+                    prop_assert_eq!(arena.read(r, |x| *x).unwrap(), v);
+                    prop_assert_eq!(oracle[&r], v);
+                }
+                Op::Update(k, nv) if !live.is_empty() => {
+                    let idx = k % live.len();
+                    let (r, _) = live[idx];
+                    arena.update(r, |x| *x = nv).unwrap();
+                    live[idx].1 = nv;
+                    oracle.insert(r, nv);
+                }
+                Op::Free(k) if !live.is_empty() => {
+                    let idx = k % live.len();
+                    let (r, v) = live.swap_remove(idx);
+                    prop_assert_eq!(arena.free(r).unwrap(), v);
+                    oracle.remove(&r);
+                    freed.push(r);
+                }
+                Op::ReadStale(k) if !freed.is_empty() => {
+                    let r = freed[k % freed.len()];
+                    prop_assert!(arena.read(r, |x| *x).is_err(), "stale ref must fault");
+                    prop_assert!(arena.update(r, |_| ()).is_err());
+                    prop_assert!(arena.free(r).is_err(), "double free must fault");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(arena.live(), live.len());
+        // Everything still live reads back correctly at the end.
+        for (r, v) in live {
+            prop_assert_eq!(arena.read(r, |x| *x).unwrap(), v);
+        }
+    }
+
+    /// Deferred frees never invalidate a ref while a guard from before the
+    /// free is still held, for arbitrary interleavings of defers.
+    #[test]
+    fn deferred_frees_respect_guards(n in 1usize..20) {
+        let arena: Arc<Arena<u32>> = Arc::new(Arena::new());
+        let rcu = Rcu::new();
+        let refs: Vec<ArenaRef> = (0..n as u32).map(|i| arena.insert(i)).collect();
+        let guard = rcu.read_guard();
+        for &r in &refs {
+            arena.free_deferred(r, &rcu);
+        }
+        for _ in 0..4 {
+            rcu.try_collect();
+        }
+        // All still readable under the pre-existing guard.
+        for (i, &r) in refs.iter().enumerate() {
+            prop_assert_eq!(arena.read(r, |x| *x).unwrap(), i as u32);
+        }
+        drop(guard);
+        rcu.synchronize();
+        for &r in &refs {
+            prop_assert!(arena.read(r, |x| *x).is_err());
+        }
+        prop_assert_eq!(arena.live(), 0);
+    }
+}

@@ -1,0 +1,886 @@
+//! The in-kernel access controller.
+//!
+//! The controller is the trusted entry point of the TRIO architecture
+//! (§2.1, Figure 1): it grants LibFSes access to inodes at inode
+//! granularity (steps ①–②), unmaps them on release (⑤) and forwards the
+//! released core state to the integrity verifier (⑥–⑧). It also owns the
+//! persistent page allocator (LibFSes receive page and inode-number
+//! *extents* so that steady-state operation needs no kernel crossing), the
+//! trust groups of §5.4, and the global rename lease of §4.6.
+//!
+//! Every public method is a modelled syscall: it bumps the syscall counter
+//! and, when configured, charges a fixed kernel-crossing cost.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use pmem::{LatencyModel, Mapping, MappingRegistry, PageAllocator, PmemDevice};
+use vfs::{FsError, FsResult};
+
+use crate::format::{self, Geometry, InodeType};
+use crate::lease::{LeaseGrant, RenameLease};
+use crate::shadow::{ShadowEntry, ShadowTable};
+use crate::verifier::{self, Snapshot};
+use crate::ROOT_INO;
+
+/// Identifier of a registered LibFS (one per application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LibFsId(pub u64);
+
+/// Kernel-side configuration: which ArckFS+ fixes the trusted side applies,
+/// plus cost knobs.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// §4.1: verifier distinguishes rename from deletion via the shadow
+    /// parent pointer, and applies the relocation checks.
+    pub rename_aware_verifier: bool,
+    /// §4.6: the global cross-directory rename lease exists and directory
+    /// relocations must hold it.
+    pub require_rename_lease: bool,
+    /// Lease timeout (bounds a malicious holder).
+    pub lease_timeout: Duration,
+    /// Injected cost per kernel crossing (0 in tests; benchmarks model a
+    /// syscall at a few hundred ns).
+    pub syscall_cost: Duration,
+}
+
+impl KernelConfig {
+    /// The kernel as the original ArckFS artifact assumed it (no §4.1
+    /// parent pointer, no §4.6 lease).
+    pub fn arckfs() -> Self {
+        KernelConfig {
+            rename_aware_verifier: false,
+            require_rename_lease: false,
+            lease_timeout: Duration::from_secs(2),
+            syscall_cost: Duration::ZERO,
+        }
+    }
+
+    /// The ArckFS+ kernel (all trusted-side patches on).
+    pub fn arckfs_plus() -> Self {
+        KernelConfig {
+            rename_aware_verifier: true,
+            require_rename_lease: true,
+            lease_timeout: Duration::from_secs(2),
+            syscall_cost: Duration::ZERO,
+        }
+    }
+
+    /// Set the injected kernel-crossing cost.
+    pub fn with_syscall_cost(mut self, cost: Duration) -> Self {
+        self.syscall_cost = cost;
+        self
+    }
+}
+
+/// Counters exported by the kernel.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    /// Kernel crossings.
+    pub syscalls: AtomicU64,
+    /// Successful inode acquisitions.
+    pub acquires: AtomicU64,
+    /// Inode releases.
+    pub releases: AtomicU64,
+    /// Commits (verify while retaining ownership).
+    pub commits: AtomicU64,
+    /// Involuntary releases.
+    pub forced_releases: AtomicU64,
+    /// Verifications performed.
+    pub verifications: AtomicU64,
+    /// Verifications that failed.
+    pub verify_failures: AtomicU64,
+    /// Rollbacks applied after failed verification.
+    pub rollbacks: AtomicU64,
+    /// Verifications skipped thanks to a trust group.
+    pub trust_skips: AtomicU64,
+}
+
+impl KernelStats {
+    /// Plain-data snapshot `(syscalls, verifications, verify_failures)` plus
+    /// the rest, for the harness.
+    pub fn snapshot(&self) -> KernelStatsSnapshot {
+        KernelStatsSnapshot {
+            syscalls: self.syscalls.load(Ordering::Relaxed),
+            acquires: self.acquires.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            forced_releases: self.forced_releases.load(Ordering::Relaxed),
+            verifications: self.verifications.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            trust_skips: self.trust_skips.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`KernelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct KernelStatsSnapshot {
+    pub syscalls: u64,
+    pub acquires: u64,
+    pub releases: u64,
+    pub commits: u64,
+    pub forced_releases: u64,
+    pub verifications: u64,
+    pub verify_failures: u64,
+    pub rollbacks: u64,
+    pub trust_skips: u64,
+}
+
+/// What a LibFS receives when the kernel grants it an inode (Figure 1 ②):
+/// a generation-tagged mapping of the core state. Dropping the grant does
+/// nothing; the LibFS must `release` through the kernel.
+#[derive(Debug, Clone)]
+pub struct InodeGrant {
+    /// The granted inode.
+    pub ino: u64,
+    /// Mapping for direct userspace access to the inode's core state. The
+    /// kernel invalidates it on (voluntary or involuntary) release.
+    pub mapping: Mapping,
+}
+
+pub(crate) struct LibFsInfo {
+    pub uid: u32,
+    pub group: Option<u64>,
+    /// LibFS-wide registry backing writes to freshly allocated (not yet
+    /// committed) inodes and pages; lives until unregister.
+    pub registry: Arc<MappingRegistry>,
+}
+
+/// Kernel-internal mutable state (held under one lock; the kernel is a
+/// crossing point, not a fast path — the whole point of TRIO is that the
+/// LibFS rarely enters it).
+pub(crate) struct KState {
+    pub shadow: ShadowTable,
+    /// ino → set of owning LibFSes (more than one only within a trust
+    /// group).
+    pub owners: HashMap<u64, HashSet<u64>>,
+    /// Acquire-time snapshots keyed by (ino, libfs).
+    pub snapshots: HashMap<(u64, u64), Snapshot>,
+    /// Mapping registries for live grants, keyed by (ino, libfs).
+    pub registries: HashMap<(u64, u64), Arc<MappingRegistry>>,
+    pub libfs: HashMap<u64, LibFsInfo>,
+    /// Unallocated inode numbers.
+    pub free_inos: Vec<u64>,
+    /// Inodes released inside a trust group without verification:
+    /// ino → (group id, snapshot for the eventual boundary verification).
+    pub dirty_in_group: HashMap<u64, (u64, Snapshot)>,
+    next_group: u64,
+}
+
+/// The TRIO kernel: access controller + verifier + allocator + lease.
+pub struct Kernel {
+    device: Arc<PmemDevice>,
+    geom: Geometry,
+    config: KernelConfig,
+    allocator: PageAllocator,
+    lease: RenameLease,
+    pub(crate) state: Mutex<KState>,
+    stats: KernelStats,
+    next_libfs: AtomicU64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("geom", &self.geom)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Format a fresh file system on `device` and start the kernel: write
+    /// the superblock, initialize the allocator, and create the root
+    /// directory inode.
+    pub fn format(
+        device: Arc<PmemDevice>,
+        geom: Geometry,
+        config: KernelConfig,
+    ) -> FsResult<Arc<Kernel>> {
+        format::write_superblock(&device, &geom).map_err(fs_err)?;
+        let allocator = PageAllocator::format(
+            device.clone(),
+            geom.bitmap_offset(),
+            geom.data_start_page,
+            geom.data_pages(),
+        )
+        .map_err(fs_err)?;
+
+        // Zero the inode and shadow tables (markers must read as invalid).
+        let it_off = geom.inode_table_page * pmem::PAGE_SIZE as u64;
+        let it_len = (geom.inode_table_pages + geom.shadow_pages) as usize * pmem::PAGE_SIZE;
+        device.zero(it_off, it_len).map_err(fs_err)?;
+        device.persist_all();
+
+        // Root inode: committed directory, 4 log tails, world-writable.
+        let base = geom.inode_offset(ROOT_INO);
+        device
+            .write_u32(base + format::I_TYPE, InodeType::Directory.to_raw())
+            .map_err(fs_err)?;
+        device
+            .write_u32(base + format::I_MODE, format::mode::RW_ALL)
+            .map_err(fs_err)?;
+        device.write_u32(base + format::I_UID, 0).map_err(fs_err)?;
+        device
+            .write_u32(base + format::I_NTAILS, 4)
+            .map_err(fs_err)?;
+        device
+            .write_u64(base + format::I_NLINK, 2)
+            .map_err(fs_err)?;
+        device
+            .persist(base, format::INODE_SIZE as usize)
+            .map_err(fs_err)?;
+        device
+            .write_u64(base + format::I_MARKER, ROOT_INO)
+            .map_err(fs_err)?;
+        device.persist(base, 8).map_err(fs_err)?;
+
+        let mut shadow = ShadowTable::new(device.clone(), geom);
+        shadow
+            .upsert(ShadowEntry {
+                ino: ROOT_INO,
+                itype: InodeType::Directory,
+                mode: format::mode::RW_ALL,
+                uid: 0,
+                parent: 0,
+            })
+            .map_err(fs_err)?;
+
+        let free_inos: Vec<u64> = (2..=geom.max_inodes).rev().collect();
+        let lease = RenameLease::new(config.lease_timeout);
+        Ok(Arc::new(Kernel {
+            device,
+            geom,
+            config,
+            allocator,
+            lease,
+            state: Mutex::new(KState {
+                shadow,
+                owners: HashMap::new(),
+                snapshots: HashMap::new(),
+                registries: HashMap::new(),
+                libfs: HashMap::new(),
+                free_inos,
+                dirty_in_group: HashMap::new(),
+                next_group: 1,
+            }),
+            stats: KernelStats::default(),
+            next_libfs: AtomicU64::new(1),
+        }))
+    }
+
+    /// Remount an existing device (after a clean shutdown or a crash):
+    /// validate the superblock, recover the allocator and shadow table,
+    /// rebuild the kernel's ground truth (shadow entries and verified
+    /// children) by walking the core state from the root — the core state
+    /// *is* the ground truth (§2.2) — and rebuild the free-inode list from
+    /// the inode table's commit markers.
+    pub fn recover(device: Arc<PmemDevice>, config: KernelConfig) -> FsResult<Arc<Kernel>> {
+        let geom = format::read_superblock(&device).map_err(FsError::Corrupted)?;
+        let allocator = PageAllocator::recover(
+            device.clone(),
+            geom.bitmap_offset(),
+            geom.data_start_page,
+            geom.data_pages(),
+        )
+        .map_err(fs_err)?;
+        let mut shadow = ShadowTable::recover(device.clone(), geom).map_err(fs_err)?;
+
+        // Walk the tree from the root, registering every reachable,
+        // well-formed inode. Crash residue (partially persisted dentries,
+        // dangling targets) is skipped — recovery's equivalent of fsck's
+        // repair.
+        let mut queue = vec![crate::ROOT_INO];
+        let mut seen = std::collections::HashSet::from([crate::ROOT_INO]);
+        while let Some(dir) = queue.pop() {
+            let inode = match format::read_inode(&device, &geom, dir) {
+                Ok(i) if i.is_committed(dir) => i,
+                _ => continue,
+            };
+            if inode.inode_type() != Some(InodeType::Directory) {
+                continue;
+            }
+            if shadow.get(dir).is_none() {
+                shadow
+                    .upsert(ShadowEntry {
+                        ino: dir,
+                        itype: InodeType::Directory,
+                        mode: inode.mode,
+                        uid: inode.uid,
+                        parent: 0,
+                    })
+                    .map_err(fs_err)?;
+            }
+            let mut children = HashMap::new();
+            let mut pending: Vec<(String, u64, InodeType, u32, u32)> = Vec::new();
+            let walk = format::walk_dir_log(&device, &geom, &inode, |d| {
+                if !d.is_live() || d.name_has_nul() {
+                    return;
+                }
+                let name = match d.name_str() {
+                    Some(n) => n.to_string(),
+                    None => return,
+                };
+                if d.ino == 0 || d.ino > geom.max_inodes {
+                    return;
+                }
+                if let Ok(child) = format::read_inode(&device, &geom, d.ino) {
+                    if child.is_committed(d.ino) {
+                        if let Some(t) = child.inode_type() {
+                            pending.push((name, d.ino, t, child.mode, child.uid));
+                        }
+                    }
+                }
+            });
+            if walk.is_err() {
+                continue;
+            }
+            for (name, child, itype, mode_bits, uid) in pending {
+                if !seen.insert(child) {
+                    continue; // cycle/duplicate residue: first parent wins
+                }
+                children.insert(name, child);
+                shadow
+                    .upsert(ShadowEntry {
+                        ino: child,
+                        itype,
+                        mode: mode_bits,
+                        uid,
+                        parent: dir,
+                    })
+                    .map_err(fs_err)?;
+                if itype == InodeType::Directory {
+                    queue.push(child);
+                }
+            }
+            shadow.set_children(dir, children);
+        }
+        let mut free_inos = Vec::new();
+        for ino in (2..=geom.max_inodes).rev() {
+            let marker = device.read_u64(geom.inode_offset(ino)).map_err(fs_err)?;
+            if marker != ino {
+                free_inos.push(ino);
+            }
+        }
+        let lease = RenameLease::new(config.lease_timeout);
+        Ok(Arc::new(Kernel {
+            device,
+            geom,
+            config,
+            allocator,
+            lease,
+            state: Mutex::new(KState {
+                shadow,
+                owners: HashMap::new(),
+                snapshots: HashMap::new(),
+                registries: HashMap::new(),
+                libfs: HashMap::new(),
+                free_inos,
+                dirty_in_group: HashMap::new(),
+                next_group: 1,
+            }),
+            stats: KernelStats::default(),
+            next_libfs: AtomicU64::new(1),
+        }))
+    }
+
+    fn syscall(&self) {
+        self.stats.syscalls.fetch_add(1, Ordering::Relaxed);
+        if !self.config.syscall_cost.is_zero() {
+            LatencyModel::spin(self.config.syscall_cost);
+        }
+    }
+
+    /// The shared device.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.device
+    }
+
+    /// The on-PM geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Register a LibFS running as `uid`. Returns its id and its LibFS-wide
+    /// mapping (for writes to freshly granted, not-yet-committed resources).
+    pub fn register_libfs(&self, uid: u32) -> (LibFsId, Mapping) {
+        self.syscall();
+        let id = LibFsId(self.next_libfs.fetch_add(1, Ordering::Relaxed));
+        let registry = Arc::new(MappingRegistry::new());
+        let mapping = Mapping::new(self.device.clone(), registry.clone(), 0, self.device.len());
+        self.state.lock().libfs.insert(
+            id.0,
+            LibFsInfo {
+                uid,
+                group: None,
+                registry,
+            },
+        );
+        (id, mapping)
+    }
+
+    /// Unregister a LibFS: involuntarily release everything it still owns
+    /// and invalidate its LibFS-wide mapping.
+    pub fn unregister_libfs(&self, libfs: LibFsId) -> FsResult<()> {
+        self.syscall();
+        let owned: Vec<u64> = {
+            let st = self.state.lock();
+            st.owners
+                .iter()
+                .filter(|(_, s)| s.contains(&libfs.0))
+                .map(|(&ino, _)| ino)
+                .collect()
+        };
+        for ino in owned {
+            let _ = self.force_release(libfs, ino);
+        }
+        let mut st = self.state.lock();
+        if let Some(info) = st.libfs.remove(&libfs.0) {
+            info.registry.unmap();
+        }
+        Ok(())
+    }
+
+    fn uid_of(st: &KState, libfs: LibFsId) -> FsResult<u32> {
+        st.libfs
+            .get(&libfs.0)
+            .map(|i| i.uid)
+            .ok_or_else(|| FsError::Internal(format!("unregistered LibFS {libfs:?}")))
+    }
+
+    fn group_of(st: &KState, libfs: LibFsId) -> Option<u64> {
+        st.libfs.get(&libfs.0).and_then(|i| i.group)
+    }
+
+    /// Grant `n` unused inode numbers to the LibFS. The LibFS initializes
+    /// them directly in userspace; the kernel learns of them when a parent
+    /// directory referencing them is verified.
+    pub fn grant_inodes(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
+        self.syscall();
+        let mut st = self.state.lock();
+        if st.free_inos.len() < n {
+            return Err(FsError::NoSpace);
+        }
+        let at = st.free_inos.len() - n;
+        let inos = st.free_inos.split_off(at);
+        // The grantee owns the fresh inodes: it may commit/release them
+        // (subject to Rule (1) — they verify only once connected).
+        for &ino in &inos {
+            st.owners.entry(ino).or_default().insert(libfs.0);
+        }
+        Ok(inos)
+    }
+
+    /// As [`Kernel::grant_inodes`], but also establish a mapping for each
+    /// granted inode in the same kernel crossing — the LibFS initializes
+    /// fresh inodes through these, and release invalidates them like any
+    /// acquire-time mapping.
+    pub fn grant_inodes_mapped(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<(u64, Mapping)>> {
+        self.syscall();
+        let mut st = self.state.lock();
+        if st.free_inos.len() < n {
+            return Err(FsError::NoSpace);
+        }
+        let at = st.free_inos.len() - n;
+        let inos = st.free_inos.split_off(at);
+        let mut out = Vec::with_capacity(n);
+        for ino in inos {
+            st.owners.entry(ino).or_default().insert(libfs.0);
+            let registry = Arc::new(MappingRegistry::new());
+            st.registries.insert((ino, libfs.0), registry.clone());
+            out.push((
+                ino,
+                Mapping::new(self.device.clone(), registry, 0, self.device.len()),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Return unused inode numbers: ownership is dropped, any grant
+    /// mapping is invalidated, and the numbers re-enter circulation.
+    pub fn return_inodes(&self, libfs: LibFsId, inos: Vec<u64>) {
+        self.syscall();
+        let mut st = self.state.lock();
+        for &ino in &inos {
+            if let Some(owners) = st.owners.get_mut(&ino) {
+                owners.remove(&libfs.0);
+            }
+            if let Some(reg) = st.registries.remove(&(ino, libfs.0)) {
+                reg.unmap();
+            }
+            st.snapshots.remove(&(ino, libfs.0));
+        }
+        st.free_inos.extend(inos);
+    }
+
+    /// Grant a page extent to the LibFS.
+    pub fn grant_pages(&self, _libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
+        self.syscall();
+        self.allocator.alloc_extent(n).map_err(|_| FsError::NoSpace)
+    }
+
+    /// Return a page extent.
+    pub fn return_pages(&self, _libfs: LibFsId, pages: &[u64]) -> FsResult<()> {
+        self.syscall();
+        self.allocator.free_extent(pages).map_err(fs_err)
+    }
+
+    /// The page allocator (exposed for fsck cross-checks in tests).
+    pub fn allocator(&self) -> &PageAllocator {
+        &self.allocator
+    }
+
+    /// Map a freshly granted (not yet committed) inode for `libfs`. The
+    /// LibFS calls this right after initializing an inode it created; the
+    /// mapping is invalidated on release like any acquire-time mapping.
+    pub fn fresh_mapping(&self, libfs: LibFsId, ino: u64) -> Mapping {
+        self.syscall();
+        let mut st = self.state.lock();
+        let registry = Arc::new(MappingRegistry::new());
+        st.registries.insert((ino, libfs.0), registry.clone());
+        Mapping::new(self.device.clone(), registry, 0, self.device.len())
+    }
+
+    /// Acquire `ino` for `libfs` (Figure 1 ①–②): permission check, ownership
+    /// grant, mapping. Fails with [`FsError::NotOwner`] when another LibFS
+    /// outside the caller's trust group holds the inode.
+    pub fn acquire(&self, libfs: LibFsId, ino: u64) -> FsResult<InodeGrant> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let uid = Self::uid_of(&st, libfs)?;
+        let group = Self::group_of(&st, libfs);
+
+        let entry = st.shadow.get(ino).cloned().ok_or(FsError::NotFound)?;
+        if !format::mode::can_read(entry.mode, entry.uid, uid) {
+            return Err(FsError::PermissionDenied);
+        }
+
+        // Deferred trust-group verification: if the inode was last released
+        // unverified inside a group the caller is not part of, verify now.
+        if let Some((dirty_group, _)) = st.dirty_in_group.get(&ino) {
+            if group != Some(*dirty_group) {
+                let (_, snap) = st.dirty_in_group.remove(&ino).expect("checked above");
+                self.stats.verifications.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = verifier::verify_and_apply(
+                    &self.device,
+                    &self.geom,
+                    &self.config,
+                    &self.lease,
+                    &mut st,
+                    libfs,
+                    ino,
+                    &snap,
+                ) {
+                    self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    verifier::rollback(&self.device, &self.geom, &snap);
+                    return Err(e);
+                }
+            }
+        }
+
+        // Ownership: free, already ours, or co-owned within our group.
+        let owners: Vec<u64> = st
+            .owners
+            .get(&ino)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        if !owners.is_empty() && !owners.contains(&libfs.0) {
+            let all_in_group = group.is_some()
+                && owners
+                    .iter()
+                    .all(|o| st.libfs.get(o).and_then(|i| i.group) == group);
+            if !all_in_group {
+                return Err(FsError::NotOwner { ino });
+            }
+            self.stats.trust_skips.fetch_add(1, Ordering::Relaxed);
+        }
+        st.owners.entry(ino).or_default().insert(libfs.0);
+
+        let registry = Arc::new(MappingRegistry::new());
+        st.registries.insert((ino, libfs.0), registry.clone());
+        let snap = verifier::take_snapshot(&self.device, &self.geom, &st.shadow, ino)
+            .map_err(FsError::Corrupted)?;
+        // Charge the mapping-setup cost: installing page-table entries for
+        // the inode's data is proportional to its size (this is what makes
+        // sharing a large file expensive in Table 4).
+        let size = format::read_inode(&self.device, &self.geom, ino)
+            .map(|i| i.size)
+            .unwrap_or(0);
+        if entry.itype == InodeType::Regular && !self.config.syscall_cost.is_zero() {
+            let pages = size.div_ceil(pmem::PAGE_SIZE as u64);
+            LatencyModel::spin(Duration::from_nanos(10).saturating_mul(pages as u32));
+        }
+        st.snapshots.insert((ino, libfs.0), snap);
+
+        self.stats.acquires.fetch_add(1, Ordering::Relaxed);
+        let mapping = Mapping::new(self.device.clone(), registry, 0, self.device.len());
+        Ok(InodeGrant { ino, mapping })
+    }
+
+    /// Voluntarily release `ino` (Figure 1 ⑤–⑧): unmap, verify, and on
+    /// failure roll the inode back to its acquire-time state.
+    pub fn release(&self, libfs: LibFsId, ino: u64) -> FsResult<()> {
+        self.syscall();
+        self.release_inner(libfs, ino, false)
+    }
+
+    /// Involuntary release: the kernel revokes the grant (lease timeout,
+    /// unregister, or a misbehaving LibFS). The LibFS may crash afterwards
+    /// (§4.3 explicitly tolerates that); the kernel side stays consistent.
+    pub fn force_release(&self, libfs: LibFsId, ino: u64) -> FsResult<()> {
+        self.syscall();
+        self.stats.forced_releases.fetch_add(1, Ordering::Relaxed);
+        self.release_inner(libfs, ino, true)
+    }
+
+    fn release_inner(&self, libfs: LibFsId, ino: u64, _forced: bool) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let owners = st.owners.get(&ino).cloned().unwrap_or_default();
+        if !owners.contains(&libfs.0) {
+            return Err(FsError::NotOwner { ino });
+        }
+
+        // Unmap first: after release returns, the LibFS must not touch the
+        // core state (the §4.3 bug is the LibFS's failure to synchronize
+        // its own threads around this point).
+        if let Some(reg) = st.registries.remove(&(ino, libfs.0)) {
+            reg.unmap();
+        }
+        // Inodes granted fresh (never acquired) have no snapshot: their
+        // initial state is "nonexistent", which Snapshot::empty encodes.
+        let snap = st
+            .snapshots
+            .remove(&(ino, libfs.0))
+            .unwrap_or_else(|| Snapshot::empty(ino));
+        st.owners
+            .get_mut(&ino)
+            .expect("owner checked")
+            .remove(&libfs.0);
+
+        let group = Self::group_of(&st, libfs);
+        let others_in_group = !st.owners.get(&ino).map(|s| s.is_empty()).unwrap_or(true);
+        if let Some(g) = group {
+            if others_in_group {
+                // Intra-group release: defer verification to the group
+                // boundary (§5.4 trust groups): record the earliest
+                // snapshot.
+                self.stats.trust_skips.fetch_add(1, Ordering::Relaxed);
+                st.dirty_in_group.entry(ino).or_insert((g, snap));
+                self.stats.releases.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        if group.is_some() {
+            // Last member out: verify against the earliest group snapshot
+            // if one exists, else this snapshot.
+            let snap = match st.dirty_in_group.remove(&ino) {
+                Some((_, s)) => s,
+                None => snap,
+            };
+            return self.verify_now(&mut st, libfs, ino, snap);
+        }
+        self.verify_now(&mut st, libfs, ino, snap)?;
+        self.stats.releases.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn verify_now(
+        &self,
+        st: &mut KState,
+        libfs: LibFsId,
+        ino: u64,
+        snap: Snapshot,
+    ) -> FsResult<()> {
+        self.stats.verifications.fetch_add(1, Ordering::Relaxed);
+        match verifier::verify_and_apply(
+            &self.device,
+            &self.geom,
+            &self.config,
+            &self.lease,
+            st,
+            libfs,
+            ino,
+            &snap,
+        ) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.verify_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+                verifier::rollback(&self.device, &self.geom, &snap);
+                Err(e)
+            }
+        }
+    }
+
+    /// Commit `ino` (TRIO §4.3): verify while **retaining** ownership and
+    /// the mapping. On success the acquire-time snapshot is refreshed; on
+    /// failure the inode is rolled back (ownership retained).
+    pub fn commit(&self, libfs: LibFsId, ino: u64) -> FsResult<()> {
+        self.syscall();
+        let mut st = self.state.lock();
+        if !st
+            .owners
+            .get(&ino)
+            .map(|s| s.contains(&libfs.0))
+            .unwrap_or(false)
+        {
+            return Err(FsError::NotOwner { ino });
+        }
+        let snap = st
+            .snapshots
+            .get(&(ino, libfs.0))
+            .cloned()
+            .unwrap_or_else(|| Snapshot::empty(ino));
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.verify_now(&mut st, libfs, ino, snap)?;
+        // Refresh the baseline for the next verification.
+        let fresh = verifier::take_snapshot(&self.device, &self.geom, &st.shadow, ino)
+            .map_err(FsError::Corrupted)?;
+        st.snapshots.insert((ino, libfs.0), fresh);
+        Ok(())
+    }
+
+    /// Does `libfs` currently own `ino`?
+    pub fn owns(&self, libfs: LibFsId, ino: u64) -> bool {
+        self.state
+            .lock()
+            .owners
+            .get(&ino)
+            .map(|s| s.contains(&libfs.0))
+            .unwrap_or(false)
+    }
+
+    /// The shadow entry for `ino`, if the kernel has verified it.
+    pub fn shadow_entry(&self, ino: u64) -> Option<ShadowEntry> {
+        self.state.lock().shadow.get(ino).cloned()
+    }
+
+    /// The kernel's verified children baseline for directory `ino`.
+    pub fn verified_children(&self, ino: u64) -> HashMap<String, u64> {
+        self.state.lock().shadow.children_of(ino)
+    }
+
+    // ---- trust groups (§5.4) ----------------------------------------------
+
+    /// Create a trust group containing `members`; intra-group ownership
+    /// transfers skip verification.
+    pub fn create_trust_group(&self, members: &[LibFsId]) -> FsResult<u64> {
+        self.syscall();
+        let mut st = self.state.lock();
+        let gid = st.next_group;
+        st.next_group += 1;
+        for m in members {
+            match st.libfs.get_mut(&m.0) {
+                Some(info) => info.group = Some(gid),
+                None => return Err(FsError::Internal(format!("unregistered LibFS {m:?}"))),
+            }
+        }
+        Ok(gid)
+    }
+
+    // ---- global rename lease (§4.6) ----------------------------------------
+
+    /// Acquire the global cross-directory rename lease. Errors with
+    /// [`FsError::Busy`] while another LibFS holds an unexpired lease, and
+    /// with [`FsError::InvalidArgument`] when the kernel was configured
+    /// without the §4.6 patch.
+    pub fn rename_lease_acquire(&self, libfs: LibFsId) -> FsResult<u64> {
+        self.syscall();
+        if !self.config.require_rename_lease {
+            return Err(FsError::InvalidArgument(
+                "this kernel has no global rename lease (§4.6 patch disabled)".into(),
+            ));
+        }
+        match self.lease.try_acquire(libfs.0) {
+            LeaseGrant::Granted { token } => Ok(token),
+            LeaseGrant::Busy { .. } => Err(FsError::Busy),
+        }
+    }
+
+    /// Blocking variant of [`Kernel::rename_lease_acquire`].
+    pub fn rename_lease_acquire_blocking(&self, libfs: LibFsId) -> FsResult<u64> {
+        self.syscall();
+        if !self.config.require_rename_lease {
+            return Err(FsError::InvalidArgument(
+                "this kernel has no global rename lease (§4.6 patch disabled)".into(),
+            ));
+        }
+        Ok(self.lease.acquire_blocking(libfs.0))
+    }
+
+    /// Release the global rename lease.
+    pub fn rename_lease_release(&self, libfs: LibFsId, token: u64) -> FsResult<()> {
+        self.syscall();
+        self.lease.release(libfs.0, token);
+        Ok(())
+    }
+
+    /// Does `libfs` hold a live rename lease? (Verifier check (3) of §4.1.)
+    pub fn holds_rename_lease(&self, libfs: LibFsId) -> bool {
+        self.lease.held_by(libfs.0)
+    }
+}
+
+fn fs_err(e: impl std::fmt::Display) -> FsError {
+    FsError::Internal(e.to_string())
+}
+
+#[cfg(test)]
+mod acquire_profile_tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "developer profiling helper; run with --ignored --nocapture"]
+    fn profile_acquire_release() {
+        let dev_len = 256 << 20;
+        let device = pmem::PmemDevice::with_latency(dev_len, pmem::LatencyModel::optane());
+        let geom = Geometry::for_device(dev_len);
+        let kernel = Kernel::format(
+            device,
+            geom,
+            KernelConfig::arckfs_plus().with_syscall_cost(Duration::from_nanos(400)),
+        )
+        .unwrap();
+        let (a, _m) = kernel.register_libfs(0);
+        // Acquire+release the root many times.
+        let t = Instant::now();
+        for _ in 0..1000 {
+            kernel.acquire(a, ROOT_INO).unwrap();
+            kernel.release(a, ROOT_INO).unwrap();
+        }
+        println!("root acquire+release: {:?}/op", t.elapsed() / 1000);
+        let g = kernel.acquire(a, ROOT_INO).unwrap();
+        let t = Instant::now();
+        for _ in 0..1000 {
+            let snap = crate::verifier::take_snapshot(
+                kernel.device(),
+                kernel.geometry(),
+                &kernel.state.lock().shadow,
+                ROOT_INO,
+            )
+            .unwrap();
+            std::hint::black_box(&snap);
+        }
+        println!("take_snapshot(root): {:?}/op", t.elapsed() / 1000);
+        drop(g);
+    }
+}

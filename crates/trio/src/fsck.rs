@@ -1,0 +1,525 @@
+//! Offline consistency check (the crash-recovery oracle).
+//!
+//! `fsck` walks the core state of a device image from the root directory,
+//! exactly as a remounting kernel would, and classifies everything it finds.
+//! The crash-consistency checker (`crates/crashmc`) runs it over sampled
+//! crash images; a **fatal** issue means the image violates the crash
+//! consistency the paper's §4.2 commit-marker protocol is supposed to
+//! guarantee:
+//!
+//! * a dentry with a valid commit marker whose payload was not fully
+//!   persisted (NUL bytes inside the name) — the paper's "partially
+//!   persisted dentry";
+//! * a live dentry referencing an inode whose own commit marker is unset —
+//!   the "partially persisted inode";
+//! * duplicate names, malformed types, directory cycles, a directory
+//!   reachable through two parents.
+//!
+//! **Benign** findings are expected crash residue that recovery simply
+//! cleans up: committed inodes no dentry references (the create crashed
+//! before the dentry's marker persisted) and stale directory size fields.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use pmem::PmemDevice;
+
+use crate::format::{self, Geometry, InodeType};
+use crate::ROOT_INO;
+
+/// One finding from the walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckIssue {
+    /// A committed dentry whose name contains NUL bytes: the §4.2
+    /// partially persisted dentry. **Fatal.**
+    PartialDentry {
+        /// Directory containing the dentry.
+        dir: u64,
+        /// Device offset of the record.
+        offset: u64,
+    },
+    /// A live dentry referencing an uncommitted inode: the §4.2 partially
+    /// persisted inode. **Fatal.**
+    DanglingDentry {
+        /// Directory containing the dentry.
+        dir: u64,
+        /// The referenced inode.
+        child: u64,
+        /// The (lossy) name.
+        name: String,
+    },
+    /// Two live dentries with the same name in one directory. **Fatal.**
+    DuplicateName {
+        /// The directory.
+        dir: u64,
+        /// The duplicated name.
+        name: String,
+    },
+    /// An inode reachable through two parents, or an ancestor of itself
+    /// (§4.6 directory cycle). **Fatal.**
+    MultiplyReachable {
+        /// The inode reached twice.
+        ino: u64,
+    },
+    /// A malformed inode type tag. **Fatal.**
+    BadType {
+        /// The inode.
+        ino: u64,
+        /// The raw tag.
+        raw: u32,
+    },
+    /// Structural corruption (bad page pointer, log cycle). **Fatal.**
+    Structural {
+        /// The inode being walked.
+        ino: u64,
+        /// Description.
+        detail: String,
+    },
+    /// A committed inode not reachable from the root — crash residue from a
+    /// create whose dentry never persisted. Recovery reclaims it. Benign.
+    OrphanInode {
+        /// The orphan.
+        ino: u64,
+    },
+    /// A directory cycle among inodes disconnected from the root — the
+    /// §4.6 bug's signature. **Fatal.**
+    DirCycle {
+        /// A directory on the cycle.
+        ino: u64,
+    },
+    /// Two live dentries in one directory referencing the same inode —
+    /// crash residue of a same-directory rename (the new name committed,
+    /// the old name's tombstone did not persist). Recovery keeps the
+    /// newer record by sequence number. Benign.
+    RenameResidue {
+        /// The directory.
+        dir: u64,
+        /// The doubly-named inode.
+        ino: u64,
+    },
+    /// A directory size field that does not match the live entry count —
+    /// crash residue (the size store was after the dentry commit). Benign.
+    SizeMismatch {
+        /// The directory.
+        dir: u64,
+        /// Recorded size.
+        recorded: u64,
+        /// Counted live entries.
+        actual: u64,
+    },
+}
+
+impl FsckIssue {
+    /// Does this issue violate crash consistency (as opposed to being
+    /// recoverable crash residue)?
+    pub fn is_fatal(&self) -> bool {
+        !matches!(
+            self,
+            FsckIssue::OrphanInode { .. }
+                | FsckIssue::SizeMismatch { .. }
+                | FsckIssue::RenameResidue { .. }
+        )
+    }
+}
+
+/// Result of a device walk.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Inodes reachable from the root.
+    pub reachable: u64,
+    /// Everything the walk noticed.
+    pub issues: Vec<FsckIssue>,
+}
+
+impl FsckReport {
+    /// Only the fatal issues.
+    pub fn fatal(&self) -> Vec<&FsckIssue> {
+        self.issues.iter().filter(|i| i.is_fatal()).collect()
+    }
+
+    /// True when the image is crash-consistent (no fatal issues).
+    pub fn is_consistent(&self) -> bool {
+        self.issues.iter().all(|i| !i.is_fatal())
+    }
+}
+
+/// Walk a device image and produce a report. Fails with a message only if
+/// the superblock itself is unreadable (nothing to walk).
+pub fn fsck(device: &Arc<PmemDevice>) -> Result<FsckReport, String> {
+    let geom = format::read_superblock(device)?;
+    Ok(fsck_with_geometry(device, &geom))
+}
+
+/// Walk with a known geometry (used when the superblock is trusted).
+pub fn fsck_with_geometry(device: &Arc<PmemDevice>, geom: &Geometry) -> FsckReport {
+    let mut report = FsckReport::default();
+    let mut visited: HashSet<u64> = HashSet::new();
+
+    let root = match format::read_inode(device, geom, ROOT_INO) {
+        Ok(i) => i,
+        Err(e) => {
+            report.issues.push(FsckIssue::Structural {
+                ino: ROOT_INO,
+                detail: e.to_string(),
+            });
+            return report;
+        }
+    };
+    if !root.is_committed(ROOT_INO) {
+        report.issues.push(FsckIssue::Structural {
+            ino: ROOT_INO,
+            detail: "root inode not committed".into(),
+        });
+        return report;
+    }
+
+    walk_dir(device, geom, ROOT_INO, &mut visited, &mut report, 0);
+
+    // Orphan scan: committed inodes the walk never reached.
+    let mut orphan_dirs = Vec::new();
+    for ino in 1..=geom.max_inodes {
+        if visited.contains(&ino) || ino == ROOT_INO {
+            continue;
+        }
+        let marker = match device.read_u64(geom.inode_offset(ino)) {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        if marker == ino {
+            report.issues.push(FsckIssue::OrphanInode { ino });
+            if let Ok(inode) = format::read_inode(device, geom, ino) {
+                if inode.inode_type() == Some(InodeType::Directory) {
+                    orphan_dirs.push(ino);
+                }
+            }
+        }
+    }
+
+    // Cycle detection among orphan directories: a directory disconnected
+    // from the root that is reachable from itself is the §4.6 directory
+    // cycle (two concurrent cross-directory renames, or a rename into the
+    // directory's own descendant).
+    let mut cleared: HashSet<u64> = HashSet::new();
+    for &start in &orphan_dirs {
+        if cleared.contains(&start) {
+            continue;
+        }
+        let mut path: Vec<u64> = Vec::new();
+        let mut on_path: HashSet<u64> = HashSet::new();
+        let mut cycle = None;
+        // Iterative DFS over dir children.
+        let mut stack: Vec<(u64, Vec<u64>)> = vec![(start, dir_children(device, geom, start))];
+        path.push(start);
+        on_path.insert(start);
+        while let Some((_, children)) = stack.last_mut() {
+            match children.pop() {
+                Some(c) => {
+                    if on_path.contains(&c) {
+                        cycle = Some(c);
+                        break;
+                    }
+                    if cleared.contains(&c) {
+                        continue;
+                    }
+                    let is_dir = format::read_inode(device, geom, c)
+                        .ok()
+                        .and_then(|i| i.inode_type())
+                        == Some(InodeType::Directory);
+                    if is_dir {
+                        path.push(c);
+                        on_path.insert(c);
+                        stack.push((c, dir_children(device, geom, c)));
+                    }
+                }
+                None => {
+                    let (done, _) = stack.pop().expect("non-empty stack");
+                    cleared.insert(done);
+                    on_path.remove(&done);
+                    path.pop();
+                }
+            }
+        }
+        if let Some(ino) = cycle {
+            report.issues.push(FsckIssue::DirCycle { ino });
+        }
+    }
+
+    report.reachable = visited.len() as u64 + 1; // + root
+    report
+}
+
+/// Child inode numbers of a directory's live dentries (best effort; used by
+/// the orphan cycle scan).
+fn dir_children(device: &Arc<PmemDevice>, geom: &Geometry, dir: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if let Ok(inode) = format::read_inode(device, geom, dir) {
+        let _ = format::walk_dir_log(device, geom, &inode, |d| {
+            if d.is_live() && d.ino != 0 && d.ino <= geom.max_inodes {
+                out.push(d.ino);
+            }
+        });
+    }
+    out
+}
+
+fn walk_dir(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    dir: u64,
+    visited: &mut HashSet<u64>,
+    report: &mut FsckReport,
+    depth: u32,
+) {
+    if depth > 512 {
+        report.issues.push(FsckIssue::Structural {
+            ino: dir,
+            detail: "directory nesting too deep (possible cycle)".into(),
+        });
+        return;
+    }
+    let inode = match format::read_inode(device, geom, dir) {
+        Ok(i) => i,
+        Err(e) => {
+            report.issues.push(FsckIssue::Structural {
+                ino: dir,
+                detail: e.to_string(),
+            });
+            return;
+        }
+    };
+
+    let mut live: HashMap<String, u64> = HashMap::new();
+    // ino -> (name, seq) of the newest record seen, for same-directory
+    // rename residue resolution.
+    let mut by_ino: HashMap<u64, (String, u64)> = HashMap::new();
+    let walk = format::walk_dir_log(device, geom, &inode, |d| {
+        if !d.is_live() {
+            return;
+        }
+        if d.marker as usize > format::DENTRY_NAME_CAP || d.name_has_nul() {
+            report.issues.push(FsckIssue::PartialDentry {
+                dir,
+                offset: d.offset,
+            });
+            return;
+        }
+        let name = match d.name_str() {
+            Some(n) => n.to_string(),
+            None => {
+                report.issues.push(FsckIssue::PartialDentry {
+                    dir,
+                    offset: d.offset,
+                });
+                return;
+            }
+        };
+        if d.ino == 0 || d.ino > geom.max_inodes {
+            report.issues.push(FsckIssue::DanglingDentry {
+                dir,
+                child: d.ino,
+                name,
+            });
+            return;
+        }
+        match by_ino.get(&d.ino) {
+            Some((old_name, old_seq)) => {
+                // Same inode named twice in one directory: a same-dir
+                // rename whose tombstone did not persist. Keep the newer
+                // record (recovery does the same).
+                report
+                    .issues
+                    .push(FsckIssue::RenameResidue { dir, ino: d.ino });
+                if d.seq > *old_seq {
+                    live.remove(old_name);
+                    by_ino.insert(d.ino, (name.clone(), d.seq));
+                    if live.insert(name.clone(), d.ino).is_some() {
+                        report.issues.push(FsckIssue::DuplicateName { dir, name });
+                    }
+                }
+                return;
+            }
+            None => {
+                by_ino.insert(d.ino, (name.clone(), d.seq));
+            }
+        }
+        if live.insert(name.clone(), d.ino).is_some() {
+            report.issues.push(FsckIssue::DuplicateName { dir, name });
+        }
+    });
+    if let Err(e) = walk {
+        report.issues.push(FsckIssue::Structural {
+            ino: dir,
+            detail: e,
+        });
+        return;
+    }
+
+    if inode.size != live.len() as u64 {
+        report.issues.push(FsckIssue::SizeMismatch {
+            dir,
+            recorded: inode.size,
+            actual: live.len() as u64,
+        });
+    }
+
+    let mut children: Vec<(String, u64)> = live.iter().map(|(n, i)| (n.clone(), *i)).collect();
+    children.sort();
+    for (name, child) in children {
+        let cinode = match format::read_inode(device, geom, child) {
+            Ok(i) => i,
+            Err(e) => {
+                report.issues.push(FsckIssue::Structural {
+                    ino: child,
+                    detail: e.to_string(),
+                });
+                continue;
+            }
+        };
+        if !cinode.is_committed(child) {
+            // The §4.2 partially persisted inode.
+            report
+                .issues
+                .push(FsckIssue::DanglingDentry { dir, child, name });
+            continue;
+        }
+        let ctype = match cinode.inode_type() {
+            Some(t) => t,
+            None => {
+                report.issues.push(FsckIssue::BadType {
+                    ino: child,
+                    raw: cinode.itype,
+                });
+                continue;
+            }
+        };
+        if !visited.insert(child) {
+            // Reached twice: two parents or a cycle.
+            report
+                .issues
+                .push(FsckIssue::MultiplyReachable { ino: child });
+            continue;
+        }
+        if ctype == InodeType::Directory {
+            walk_dir(device, geom, child, visited, report, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Kernel, KernelConfig};
+
+    fn fresh_device() -> Arc<PmemDevice> {
+        let dev = PmemDevice::new(32 << 20);
+        let geom = Geometry::new(32 << 20, 256);
+        Kernel::format(dev.clone(), geom, KernelConfig::arckfs_plus()).unwrap();
+        dev
+    }
+
+    #[test]
+    fn fresh_fs_is_consistent() {
+        let dev = fresh_device();
+        let report = fsck(&dev).unwrap();
+        assert!(report.is_consistent(), "issues: {:?}", report.issues);
+        assert_eq!(report.reachable, 1);
+    }
+
+    #[test]
+    fn garbage_device_reports_structural() {
+        let dev = PmemDevice::new(1 << 20);
+        assert!(fsck(&dev).is_err(), "no superblock must be an error");
+    }
+
+    #[test]
+    fn orphan_inode_is_benign() {
+        let dev = fresh_device();
+        let geom = format::read_superblock(&dev).unwrap();
+        // Hand-commit inode 7 with no dentry referencing it.
+        let base = geom.inode_offset(7);
+        dev.write_u32(base + 8, InodeType::Regular.to_raw())
+            .unwrap();
+        dev.write_u64(base, 7).unwrap();
+        dev.persist_all();
+        let report = fsck(&dev).unwrap();
+        assert!(report.is_consistent());
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, FsckIssue::OrphanInode { ino: 7 })));
+    }
+}
+
+#[allow(clippy::items_after_test_module)]
+/// Actively repair benign crash residue on a device (mutating it):
+///
+/// * tombstone the stale record of each same-directory rename residue
+///   (the newer sequence number wins, as recovery resolves it),
+/// * rewrite stale directory size fields to the live entry count,
+/// * clear the commit marker of orphaned inodes so their numbers return
+///   to circulation at the next remount.
+///
+/// Fatal issues are *not* repaired (they indicate a §4.2-class bug, not
+/// residue); they are returned untouched in the report. Returns the
+/// post-repair report, which contains no benign findings.
+pub fn repair(device: &Arc<PmemDevice>) -> Result<FsckReport, String> {
+    let geom = format::read_superblock(device)?;
+    let before = fsck_with_geometry(device, &geom);
+
+    for issue in &before.issues {
+        match issue {
+            FsckIssue::RenameResidue { dir, ino } => {
+                // Find every live dentry for `ino` in `dir`; keep the one
+                // with the highest seq, tombstone the rest.
+                let inode = format::read_inode(device, &geom, *dir).map_err(|e| e.to_string())?;
+                let mut records: Vec<(u64, u64)> = Vec::new(); // (seq, offset)
+                format::walk_dir_log(device, &geom, &inode, |d| {
+                    if d.is_live() && d.ino == *ino {
+                        records.push((d.seq, d.offset));
+                    }
+                })?;
+                records.sort_unstable();
+                for (_, off) in records.iter().take(records.len().saturating_sub(1)) {
+                    device
+                        .write(*off + format::D_DELETED, &[1])
+                        .map_err(|e| e.to_string())?;
+                    device
+                        .persist(*off + format::D_DELETED, 1)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            FsckIssue::SizeMismatch { dir, actual, .. } => {
+                let base = geom.inode_offset(*dir);
+                device
+                    .write_u64(base + format::I_SIZE, *actual)
+                    .map_err(|e| e.to_string())?;
+                device
+                    .persist(base + format::I_SIZE, 8)
+                    .map_err(|e| e.to_string())?;
+            }
+            FsckIssue::OrphanInode { ino } => {
+                let base = geom.inode_offset(*ino);
+                device.write_u64(base, 0).map_err(|e| e.to_string())?;
+                device.persist(base, 8).map_err(|e| e.to_string())?;
+            }
+            _ => {} // fatal issues are reported, not repaired
+        }
+    }
+
+    // Repairing rename residue / sizes can cascade (a size recount after a
+    // tombstone): run once more for a clean post-state.
+    let mut after = fsck_with_geometry(device, &geom);
+    for issue in &after.issues {
+        if let FsckIssue::SizeMismatch { dir, actual, .. } = issue {
+            let base = geom.inode_offset(*dir);
+            device
+                .write_u64(base + format::I_SIZE, *actual)
+                .map_err(|e| e.to_string())?;
+            device
+                .persist(base + format::I_SIZE, 8)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    after = fsck_with_geometry(device, &geom);
+    Ok(after)
+}

@@ -1,0 +1,192 @@
+//! The global cross-directory rename lease (§4.6 patch, case 1).
+//!
+//! Concurrent cross-directory renames of *directories* can create cycles
+//! (e.g. `rename(/c, /a/b/c)` racing `rename(/a, /c/d/a)`). Linux VFS
+//! serializes these with `s_vfs_rename_mutex`; ArckFS+ introduces the
+//! equivalent as a kernel-owned global lock. Because a LibFS is untrusted,
+//! the lock is a **lease with a timeout**: a malicious or crashed holder
+//! loses it after the timeout and a waiting LibFS may steal it.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Identifier of a LibFS holding or requesting the lease. Mirrors
+/// [`crate::controller::LibFsId`] but kept as a plain `u64` so this module
+/// has no dependency on the controller.
+type HolderId = u64;
+
+#[derive(Debug)]
+struct LeaseState {
+    holder: Option<HolderId>,
+    expires: Instant,
+    /// Fencing token: bumped on every grant, so a stale holder's release
+    /// after a steal is ignored.
+    token: u64,
+}
+
+/// The global rename lease.
+#[derive(Debug)]
+pub struct RenameLease {
+    state: Mutex<LeaseState>,
+    timeout: Duration,
+}
+
+/// Outcome of a lease acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseGrant {
+    /// Lease granted with this fencing token.
+    Granted {
+        /// Token to present on release.
+        token: u64,
+    },
+    /// Another LibFS holds an unexpired lease.
+    Busy {
+        /// How long until the current lease expires.
+        remaining: Duration,
+    },
+}
+
+impl RenameLease {
+    /// A lease with the given holder timeout.
+    pub fn new(timeout: Duration) -> Self {
+        RenameLease {
+            state: Mutex::new(LeaseState {
+                holder: None,
+                expires: Instant::now(),
+                token: 0,
+            }),
+            timeout,
+        }
+    }
+
+    /// Try to acquire the lease for `holder`. An expired lease is stolen.
+    /// A live lease is never re-granted — not even to its own holder — so
+    /// that two threads of one LibFS serialize exactly as all threads do on
+    /// Linux's `s_vfs_rename_mutex`.
+    pub fn try_acquire(&self, holder: HolderId) -> LeaseGrant {
+        let mut s = self.state.lock();
+        let now = Instant::now();
+        let expired = s.holder.is_none() || now >= s.expires;
+        if expired {
+            s.holder = Some(holder);
+            s.expires = now + self.timeout;
+            s.token += 1;
+            LeaseGrant::Granted { token: s.token }
+        } else {
+            LeaseGrant::Busy {
+                remaining: s.expires.saturating_duration_since(now),
+            }
+        }
+    }
+
+    /// Acquire, spinning until granted (used by well-behaved LibFSes; the
+    /// timeout bounds the wait when a malicious holder never releases).
+    pub fn acquire_blocking(&self, holder: HolderId) -> u64 {
+        loop {
+            match self.try_acquire(holder) {
+                LeaseGrant::Granted { token } => return token,
+                LeaseGrant::Busy { remaining } => {
+                    std::thread::sleep(remaining.min(Duration::from_micros(50)));
+                }
+            }
+        }
+    }
+
+    /// Release the lease. A stale token (the lease was stolen after expiry)
+    /// is ignored; returns whether the release took effect.
+    pub fn release(&self, holder: HolderId, token: u64) -> bool {
+        let mut s = self.state.lock();
+        if s.holder == Some(holder) && s.token == token {
+            s.holder = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current holder, if the lease is live.
+    pub fn holder(&self) -> Option<HolderId> {
+        let s = self.state.lock();
+        if s.holder.is_some() && Instant::now() < s.expires {
+            s.holder
+        } else {
+            None
+        }
+    }
+
+    /// Is `holder` currently holding a live lease?
+    pub fn held_by(&self, holder: HolderId) -> bool {
+        self.holder() == Some(holder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_release() {
+        let l = RenameLease::new(Duration::from_secs(10));
+        let t = match l.try_acquire(1) {
+            LeaseGrant::Granted { token } => token,
+            g => panic!("expected grant, got {g:?}"),
+        };
+        assert!(l.held_by(1));
+        assert!(matches!(l.try_acquire(2), LeaseGrant::Busy { .. }));
+        assert!(l.release(1, t));
+        assert!(matches!(l.try_acquire(2), LeaseGrant::Granted { .. }));
+    }
+
+    #[test]
+    fn holder_cannot_reenter_live_lease() {
+        // Two threads of one LibFS present the same holder id; the second
+        // must wait, exactly like a second thread on s_vfs_rename_mutex.
+        let l = RenameLease::new(Duration::from_secs(10));
+        let t1 = match l.try_acquire(1) {
+            LeaseGrant::Granted { token } => token,
+            _ => unreachable!(),
+        };
+        assert!(matches!(l.try_acquire(1), LeaseGrant::Busy { .. }));
+        assert!(l.release(1, t1));
+        assert!(matches!(l.try_acquire(1), LeaseGrant::Granted { .. }));
+    }
+
+    #[test]
+    fn expired_lease_is_stolen() {
+        let l = RenameLease::new(Duration::from_millis(5));
+        let t1 = match l.try_acquire(1) {
+            LeaseGrant::Granted { token } => token,
+            _ => unreachable!(),
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // Holder 1's lease expired; a malicious App cannot hold it forever.
+        let _t2 = match l.try_acquire(2) {
+            LeaseGrant::Granted { token } => token,
+            g => panic!("expired lease must be stealable, got {g:?}"),
+        };
+        assert!(l.held_by(2));
+        // The stale holder's release is a no-op.
+        assert!(!l.release(1, t1));
+        assert!(l.held_by(2));
+    }
+
+    #[test]
+    fn blocking_acquire_eventually_wins() {
+        let l = std::sync::Arc::new(RenameLease::new(Duration::from_millis(10)));
+        let _ = l.try_acquire(1); // held, will expire
+        let l2 = l.clone();
+        let h = std::thread::spawn(move || l2.acquire_blocking(2));
+        let token = h.join().unwrap();
+        assert!(token > 0);
+        assert!(l.held_by(2));
+    }
+
+    #[test]
+    fn holder_reports_none_after_expiry() {
+        let l = RenameLease::new(Duration::from_millis(5));
+        let _ = l.try_acquire(1);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(l.holder(), None);
+    }
+}

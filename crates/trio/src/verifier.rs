@@ -1,0 +1,572 @@
+//! The integrity verifier (Figure 1 ⑥–⑧).
+//!
+//! When an inode's ownership leaves a LibFS (release, commit, or a
+//! trust-group boundary), the verifier inspects the inode's core state and
+//! compares it against the kernel's ground truth:
+//!
+//! **Structural checks** — the commit marker matches the inode number, the
+//! type tag is well-formed, page pointers stay inside the data region and
+//! are allocated, dentries are well-formed (no NUL inside the name — the
+//! §4.2 partial-persistence signature — no duplicates, committed targets).
+//!
+//! **Invariant I3** (the hierarchy forms a connected tree) — a child present
+//! at acquire time may disappear only if (a) it was deleted and its whole
+//! verified subtree is gone, or (b) — with the §4.1 patch — its shadow
+//! parent pointer shows it was *renamed* into a directory that has since
+//! been verified. A new inode is only connected when a verified parent
+//! references it, which yields LibFS Rule (1); the relocation checks below
+//! yield Rules (2) and (3).
+//!
+//! **Relocation checks (§4.1 patch)** — a child arriving from another
+//! directory requires: the LibFS still owns the old parent; for directories,
+//! the new parent is not a descendant of the child (no cycles, §4.6 case 2)
+//! and the global rename lease is held (§4.6 case 1).
+//!
+//! On failure the controller rolls the inode back to its acquire-time
+//! snapshot (§2.1 step ⑧, the "roll back" policy).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use pmem::{PmemDevice, PAGE_SIZE};
+use vfs::{FsError, FsResult};
+
+use crate::controller::{KState, KernelConfig, LibFsId};
+use crate::format::{self, mode, Geometry, InodeType, RawDentry, RawInode, NDIRECT, PTRS_PER_PAGE};
+use crate::lease::RenameLease;
+use crate::shadow::ShadowEntry;
+
+/// Acquire-time state of one inode, used for verification diffs and
+/// rollback.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The inode this snapshot belongs to.
+    pub ino: u64,
+    /// Raw inode record bytes.
+    pub inode_bytes: Vec<u8>,
+    /// Directory log pages (page number, contents); empty for files.
+    pub pages: Vec<(u64, Vec<u8>)>,
+    /// Verified children at acquire time (directories).
+    pub children: HashMap<String, u64>,
+}
+
+impl Snapshot {
+    /// The snapshot of an inode that did not exist yet (fresh grants):
+    /// rolling back to it wipes the inode record.
+    pub(crate) fn empty(ino: u64) -> Snapshot {
+        Snapshot {
+            ino,
+            inode_bytes: vec![0u8; format::INODE_SIZE as usize],
+            pages: Vec::new(),
+            children: std::collections::HashMap::new(),
+        }
+    }
+}
+
+/// Capture the acquire-time snapshot of `ino`.
+pub(crate) fn take_snapshot(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    shadow: &crate::shadow::ShadowTable,
+    ino: u64,
+) -> Result<Snapshot, String> {
+    let base = geom.inode_offset(ino);
+    let mut inode_bytes = vec![0u8; format::INODE_SIZE as usize];
+    device
+        .read(base, &mut inode_bytes)
+        .map_err(|e| e.to_string())?;
+
+    let inode = format::read_inode(device, geom, ino).map_err(|e| e.to_string())?;
+    let mut pages = Vec::new();
+    if inode.is_committed(ino) && inode.inode_type() == Some(InodeType::Directory) {
+        let ntails = (inode.ntails as usize).min(NDIRECT);
+        for tail in 0..ntails {
+            let mut page = inode.direct[tail];
+            let mut hops = 0u64;
+            while page != 0 && page < geom.total_pages {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                device
+                    .read(geom.page_offset(page), &mut buf)
+                    .map_err(|e| e.to_string())?;
+                let next = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+                pages.push((page, buf));
+                page = next;
+                hops += 1;
+                if hops > geom.total_pages {
+                    return Err("dir log cycle while snapshotting".into());
+                }
+            }
+        }
+    }
+    Ok(Snapshot {
+        ino,
+        inode_bytes,
+        pages,
+        children: shadow.children_of(ino),
+    })
+}
+
+/// Restore an inode record and its directory log pages to the snapshot
+/// state (§2.1 step ⑧, the roll-back corruption policy).
+pub(crate) fn rollback(device: &Arc<PmemDevice>, geom: &Geometry, snap: &Snapshot) {
+    // A rollback must not fail; errors here would indicate a bug in the
+    // kernel substrate itself, hence the expects.
+    for (page, bytes) in &snap.pages {
+        device
+            .write(*page * PAGE_SIZE as u64, bytes)
+            .expect("rollback page write");
+        device
+            .clwb(*page * PAGE_SIZE as u64, bytes.len())
+            .expect("rollback page flush");
+    }
+    let base = geom.inode_offset(snap.ino);
+    device
+        .write(base, &snap.inode_bytes)
+        .expect("rollback inode write");
+    device
+        .clwb(base, snap.inode_bytes.len())
+        .expect("rollback inode flush");
+    device.sfence();
+}
+
+/// Is `page` inside the data region and marked allocated in the durable
+/// bitmap?
+fn page_allocated(device: &Arc<PmemDevice>, geom: &Geometry, page: u64) -> bool {
+    if page < geom.data_start_page || page >= geom.total_pages {
+        return false;
+    }
+    let idx = page - geom.data_start_page;
+    match device.read_u8(geom.bitmap_offset() + idx / 8) {
+        Ok(b) => b & (1 << (idx % 8)) != 0,
+        Err(_) => false,
+    }
+}
+
+fn fail(ino: u64, reason: impl Into<String>) -> FsError {
+    FsError::VerificationFailed {
+        ino,
+        reason: reason.into(),
+    }
+}
+
+/// Structural validation of a file inode's page tree: every nonzero pointer
+/// reachable within `size` must be an allocated data page.
+fn check_file_pages(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    ino: u64,
+    inode: &RawInode,
+) -> FsResult<()> {
+    let npages = inode.size.div_ceil(PAGE_SIZE as u64);
+    let check = |p: u64| -> FsResult<()> {
+        if p != 0 && !page_allocated(device, geom, p) {
+            return Err(fail(ino, format!("file page {p} not allocated")));
+        }
+        Ok(())
+    };
+    for i in 0..npages.min(NDIRECT as u64) {
+        check(inode.direct[i as usize])?;
+    }
+    if npages > NDIRECT as u64 && inode.indirect != 0 {
+        check(inode.indirect)?;
+        let ind_base = geom.page_offset(inode.indirect);
+        let n = (npages - NDIRECT as u64).min(PTRS_PER_PAGE);
+        for i in 0..n {
+            let p = device
+                .read_u64(ind_base + 8 * i)
+                .map_err(|e| fail(ino, e.to_string()))?;
+            check(p)?;
+        }
+    }
+    let dind_start = NDIRECT as u64 + PTRS_PER_PAGE;
+    if npages > dind_start && inode.dindirect != 0 {
+        check(inode.dindirect)?;
+        let dind_base = geom.page_offset(inode.dindirect);
+        let remaining = npages - dind_start;
+        let n_l1 = remaining.div_ceil(PTRS_PER_PAGE).min(PTRS_PER_PAGE);
+        for i in 0..n_l1 {
+            let l1 = device
+                .read_u64(dind_base + 8 * i)
+                .map_err(|e| fail(ino, e.to_string()))?;
+            if l1 == 0 {
+                continue;
+            }
+            check(l1)?;
+            let l1_base = geom.page_offset(l1);
+            let in_this = (remaining - i * PTRS_PER_PAGE).min(PTRS_PER_PAGE);
+            for j in 0..in_this {
+                let p = device
+                    .read_u64(l1_base + 8 * j)
+                    .map_err(|e| fail(ino, e.to_string()))?;
+                check(p)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse and structurally validate a directory's live dentries.
+fn parse_dir(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    ino: u64,
+    inode: &RawInode,
+) -> FsResult<HashMap<String, u64>> {
+    // Log pages must be allocated data pages (checked during the walk by
+    // walk_dir_log's range test plus the bitmap test here).
+    let ntails = (inode.ntails as usize).min(NDIRECT);
+    for tail in 0..ntails {
+        let mut page = inode.direct[tail];
+        let mut hops = 0;
+        while page != 0 {
+            if !page_allocated(device, geom, page) {
+                return Err(fail(ino, format!("dir log page {page} not allocated")));
+            }
+            page = device
+                .read_u64(geom.page_offset(page))
+                .map_err(|e| fail(ino, e.to_string()))?;
+            hops += 1;
+            if hops > geom.total_pages {
+                return Err(fail(ino, "dir log cycle"));
+            }
+        }
+    }
+
+    let mut live: HashMap<String, u64> = HashMap::new();
+    let mut dup: Option<String> = None;
+    let mut bad: Option<String> = None;
+    format::walk_dir_log(device, geom, inode, |d: RawDentry| {
+        if !d.is_live() || bad.is_some() || dup.is_some() {
+            return;
+        }
+        if d.marker as usize > format::DENTRY_NAME_CAP {
+            bad = Some(format!("dentry marker {} exceeds name cap", d.marker));
+            return;
+        }
+        if d.name_has_nul() {
+            bad = Some(format!(
+                "partially persisted dentry at {:#x} (NUL inside name)",
+                d.offset
+            ));
+            return;
+        }
+        let name = match d.name_str() {
+            Some(n) => n.to_string(),
+            None => {
+                bad = Some(format!("non-UTF-8 dentry name at {:#x}", d.offset));
+                return;
+            }
+        };
+        if d.ino == 0 || d.ino > geom.max_inodes {
+            bad = Some(format!("dentry '{name}' has out-of-range ino {}", d.ino));
+            return;
+        }
+        if live.insert(name.clone(), d.ino).is_some() {
+            dup = Some(name);
+        }
+    })
+    .map_err(|e| fail(ino, e))?;
+
+    if let Some(b) = bad {
+        return Err(fail(ino, b));
+    }
+    if let Some(name) = dup {
+        return Err(fail(ino, format!("duplicate live dentry '{name}'")));
+    }
+
+    // The directory's size field counts live entries.
+    if inode.size != live.len() as u64 {
+        return Err(fail(
+            ino,
+            format!("dir size {} != live entries {}", inode.size, live.len()),
+        ));
+    }
+
+    // Every live target must be a committed inode with a well-formed type —
+    // this is what catches the §4.2 partially persisted *inode*.
+    for (name, &child) in &live {
+        let cbase = geom.inode_offset(child);
+        let mut hdr = [0u8; 12];
+        device
+            .read(cbase, &mut hdr)
+            .map_err(|e| fail(ino, e.to_string()))?;
+        let cmarker = u64::from_le_bytes(hdr[..8].try_into().expect("8"));
+        if cmarker != child {
+            return Err(fail(
+                ino,
+                format!("dentry '{name}' references uncommitted inode {child}"),
+            ));
+        }
+        let ctype = u32::from_le_bytes(hdr[8..12].try_into().expect("4"));
+        if InodeType::from_raw(ctype).is_none() {
+            return Err(fail(
+                ino,
+                format!("child {child} has malformed type {ctype}"),
+            ));
+        }
+    }
+    Ok(live)
+}
+
+/// Recursively reclaim the verified subtree of a freed inode. Fails if any
+/// verified descendant is still committed in PM — deleting a non-empty
+/// directory would disconnect the tree (invariant I3).
+fn reclaim_freed_subtree(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    st: &mut KState,
+    parent_ino: u64,
+    freed: u64,
+) -> FsResult<()> {
+    let children = st.shadow.children_of(freed);
+    for (name, child) in children {
+        let cbase = geom.inode_offset(child);
+        let cmarker = device
+            .read_u64(cbase)
+            .map_err(|e| fail(parent_ino, e.to_string()))?;
+        if cmarker == child {
+            return Err(fail(
+                parent_ino,
+                format!(
+                    "non-empty directory {freed} deleted: verified child '{name}' ({child}) still committed"
+                ),
+            ));
+        }
+        reclaim_freed_subtree(device, geom, st, parent_ino, child)?;
+    }
+    st.shadow
+        .remove(freed)
+        .map_err(|e| fail(parent_ino, e.to_string()))?;
+    Ok(())
+}
+
+/// The verification engine. On success the kernel's ground truth (shadow
+/// entries, parent pointers, children baselines) is updated; on failure an
+/// error describes the violation and the caller rolls back.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn verify_and_apply(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    config: &KernelConfig,
+    lease: &RenameLease,
+    st: &mut KState,
+    libfs: LibFsId,
+    ino: u64,
+    snap: &Snapshot,
+) -> FsResult<()> {
+    let uid = st
+        .libfs
+        .get(&libfs.0)
+        .map(|i| i.uid)
+        .ok_or_else(|| FsError::Internal(format!("unregistered LibFS {libfs:?}")))?;
+
+    let inode = format::read_inode(device, geom, ino).map_err(|e| fail(ino, e.to_string()))?;
+
+    // A freed inode: the LibFS deleted it. Legitimate only if a (verified)
+    // parent no longer references it — which that parent's own verification
+    // establishes — and its verified subtree is gone. Here we only require
+    // the subtree condition; connectivity is the parent's problem.
+    if inode.marker == 0 {
+        // Deleting an inode the LibFS couldn't write is a violation.
+        if let Some(e) = st.shadow.get(ino).cloned() {
+            if !mode::can_write(e.mode, e.uid, uid) {
+                return Err(fail(ino, "deletion without write permission"));
+            }
+            reclaim_freed_subtree(device, geom, st, ino, ino)?;
+        }
+        return Ok(());
+    }
+
+    if !inode.is_committed(ino) {
+        return Err(fail(
+            ino,
+            format!("bad commit marker {:#x} (expected {ino})", inode.marker),
+        ));
+    }
+    let itype = inode
+        .inode_type()
+        .ok_or_else(|| fail(ino, format!("malformed type tag {}", inode.itype)))?;
+
+    // Rule (1): an inode unknown to the kernel is, from the kernel's
+    // perspective, disconnected from the root (I3) — its parent must be
+    // committed or released first.
+    let shadow_entry = match st.shadow.get(ino).cloned() {
+        Some(e) => e,
+        None => {
+            return Err(fail(
+                ino,
+                "inode not connected to the root from the kernel's perspective \
+                 (commit/release its parent directory first — LibFS Rule (1))",
+            ))
+        }
+    };
+    if shadow_entry.itype != itype {
+        return Err(fail(
+            ino,
+            format!(
+                "type changed: shadow says {:?}, core state says {itype:?}",
+                shadow_entry.itype
+            ),
+        ));
+    }
+
+    // Identity fields are immutable in this model.
+    if inode.uid != shadow_entry.uid || inode.mode != shadow_entry.mode {
+        return Err(fail(ino, "uid/mode tampered with"));
+    }
+
+    match itype {
+        InodeType::Regular => {
+            // Deep-walking the block map is only needed when the file's
+            // metadata changed since acquire: overwrites of existing
+            // blocks leave the inode record byte-identical, and verifying
+            // them per transfer would defeat TRIO's amortization.
+            let base = geom.inode_offset(ino);
+            let mut cur = vec![0u8; format::INODE_SIZE as usize];
+            device
+                .read(base, &mut cur)
+                .map_err(|e| fail(ino, e.to_string()))?;
+            if cur != snap.inode_bytes {
+                if !mode::can_write(inode.mode, inode.uid, uid) {
+                    return Err(fail(ino, "file modified without write permission"));
+                }
+                check_file_pages(device, geom, ino, &inode)?;
+            }
+            Ok(())
+        }
+        InodeType::Directory => {
+            let live = parse_dir(device, geom, ino, &inode)?;
+            let old = &snap.children;
+
+            if live != *old && !mode::can_write(inode.mode, inode.uid, uid) {
+                return Err(fail(ino, "directory modified without write permission"));
+            }
+
+            let old_inos: HashSet<u64> = old.values().copied().collect();
+            let new_inos: HashSet<u64> = live.values().copied().collect();
+
+            // Children removed by name.
+            for (name, &child) in old {
+                if live.get(name) == Some(&child) {
+                    continue;
+                }
+                if new_inos.contains(&child) {
+                    // Same-directory rename: the inode is still here under
+                    // another name.
+                    continue;
+                }
+                let cmarker = device
+                    .read_u64(geom.inode_offset(child))
+                    .map_err(|e| fail(ino, e.to_string()))?;
+                if cmarker != child {
+                    // Deleted; its verified subtree must be gone too.
+                    reclaim_freed_subtree(device, geom, st, ino, child)?;
+                    continue;
+                }
+                if config.rename_aware_verifier {
+                    // §4.1 patch: consult the shadow parent pointer. If the
+                    // child was renamed away and its new parent has been
+                    // verified, the pointer no longer names us.
+                    let parent_now = st.shadow.get(child).map(|e| e.parent);
+                    if parent_now == Some(ino) || parent_now.is_none() {
+                        return Err(fail(
+                            ino,
+                            format!(
+                                "child '{name}' ({child}) missing but still allocated; \
+                                 commit/release its new parent first (LibFS Rule (2))"
+                            ),
+                        ));
+                    }
+                    // Renamed away: legitimate.
+                } else {
+                    // Original ArckFS: the verifier cannot distinguish a
+                    // rename from an illegal deletion (§4.1) and must fail.
+                    return Err(fail(
+                        ino,
+                        format!(
+                            "child '{name}' ({child}) missing but still allocated \
+                             (cannot distinguish rename from deletion)"
+                        ),
+                    ));
+                }
+            }
+
+            // Children added by name.
+            for (name, &child) in &live {
+                if old.get(name) == Some(&child) {
+                    continue;
+                }
+                if old_inos.contains(&child) {
+                    // Same-directory rename; identity unchanged.
+                    continue;
+                }
+                let child_inode = format::read_inode(device, geom, child)
+                    .map_err(|e| fail(ino, e.to_string()))?;
+                let child_type = child_inode
+                    .inode_type()
+                    .ok_or_else(|| fail(ino, format!("child {child} malformed type")))?;
+                match st.shadow.get(child).cloned() {
+                    None => {
+                        // Newly created inode: becomes connected here.
+                        st.shadow
+                            .upsert(ShadowEntry {
+                                ino: child,
+                                itype: child_type,
+                                mode: child_inode.mode,
+                                uid: child_inode.uid,
+                                parent: ino,
+                            })
+                            .map_err(|e| fail(ino, e.to_string()))?;
+                    }
+                    Some(e) if e.parent == ino => {
+                        // Already verified under this directory.
+                    }
+                    Some(e) => {
+                        // Relocation from e.parent into this directory.
+                        if config.rename_aware_verifier {
+                            let owns_old = st
+                                .owners
+                                .get(&e.parent)
+                                .map(|s| s.contains(&libfs.0))
+                                .unwrap_or(false);
+                            if !owns_old {
+                                return Err(fail(
+                                    ino,
+                                    format!(
+                                        "relocated child '{name}' ({child}): LibFS does not \
+                                         currently own the old parent {} (§4.1 check 1)",
+                                        e.parent
+                                    ),
+                                ));
+                            }
+                            if e.itype == InodeType::Directory {
+                                if st.shadow.is_descendant_of(ino, child) {
+                                    return Err(fail(
+                                        ino,
+                                        format!(
+                                            "relocating directory {child} under its own \
+                                             descendant {ino} would create a cycle (§4.1 check 2)"
+                                        ),
+                                    ));
+                                }
+                                if config.require_rename_lease && !lease.held_by(libfs.0) {
+                                    return Err(fail(
+                                        ino,
+                                        "directory relocation without the global rename \
+                                         lease (§4.1 check 3)",
+                                    ));
+                                }
+                            }
+                        }
+                        st.shadow
+                            .set_parent(child, ino)
+                            .map_err(|e2| fail(ino, e2.to_string()))?;
+                    }
+                }
+            }
+
+            st.shadow.set_children(ino, live);
+            Ok(())
+        }
+    }
+}

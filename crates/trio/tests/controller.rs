@@ -1,0 +1,279 @@
+//! Direct tests of the kernel substrate: grants, ownership, mappings,
+//! verification outcomes and rollback — without a LibFS on top, by writing
+//! core state by hand through the granted mappings.
+
+use std::sync::Arc;
+
+use pmem::PmemDevice;
+use trio::format::{
+    self, mode, Geometry, InodeType, DENTRY_SIZE, DIRPAGE_FIRST_DENTRY, D_INO, D_MARKER, D_NAME,
+    D_SEQ, I_DIRECT, I_MARKER, I_MODE, I_NTAILS, I_SIZE, I_TYPE, I_UID,
+};
+use trio::{Kernel, KernelConfig, LibFsId, ROOT_INO};
+use vfs::FsError;
+
+const DEV: usize = 32 << 20;
+
+fn kernel(config: KernelConfig) -> Arc<Kernel> {
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    Kernel::format(device, geom, config).expect("format")
+}
+
+/// Hand-write a committed inode record through a mapping.
+fn write_inode(m: &pmem::Mapping, geom: &Geometry, ino: u64, itype: InodeType) {
+    let base = geom.inode_offset(ino);
+    m.write_u32(base + I_TYPE, itype.to_raw()).unwrap();
+    m.write_u32(base + I_MODE, mode::RW_ALL).unwrap();
+    m.write_u32(base + I_UID, 0).unwrap();
+    if itype == InodeType::Directory {
+        m.write_u32(base + I_NTAILS, 1).unwrap();
+    }
+    m.write_u64(base + I_SIZE, 0).unwrap();
+    m.clwb(base, 256).unwrap();
+    m.sfence();
+    m.write_u64(base + I_MARKER, ino).unwrap();
+    m.clwb(base, 8).unwrap();
+    m.sfence();
+}
+
+/// Hand-append a dentry to a directory whose tail 0 heads at `page`.
+fn write_dentry(m: &pmem::Mapping, page: u64, slot: u64, name: &str, child: u64) {
+    let off = page * pmem::PAGE_SIZE as u64 + DIRPAGE_FIRST_DENTRY + slot * DENTRY_SIZE;
+    m.write_u64(off + D_INO, child).unwrap();
+    m.write_u64(off + D_SEQ, slot + 1).unwrap();
+    m.write(off + D_NAME, name.as_bytes()).unwrap();
+    m.clwb(off, 128).unwrap();
+    m.sfence();
+    m.write_u16(off + D_MARKER, name.len() as u16).unwrap();
+    m.clwb(off, 64).unwrap();
+    m.sfence();
+}
+
+/// Set up: LibFS acquires the root, creates one child file "f" by hand.
+/// Returns (kernel, libfs id, root mapping, child ino, tail page).
+fn setup_one_child() -> (Arc<Kernel>, LibFsId, pmem::Mapping, u64, u64) {
+    let k = kernel(KernelConfig::arckfs_plus());
+    let geom = *k.geometry();
+    let (id, _base) = k.register_libfs(0);
+    let grant = k.acquire(id, ROOT_INO).unwrap();
+    let m = grant.mapping;
+
+    let child = k.grant_inodes(id, 1).unwrap()[0];
+    let page = k.grant_pages(id, 1).unwrap()[0];
+    // Zero the page so unwritten slots read as holes.
+    m.write(page * pmem::PAGE_SIZE as u64, &vec![0u8; pmem::PAGE_SIZE])
+        .unwrap();
+    m.clwb(page * pmem::PAGE_SIZE as u64, pmem::PAGE_SIZE)
+        .unwrap();
+    m.sfence();
+
+    write_inode(&m, &geom, child, InodeType::Regular);
+    // Link the page as root's tail 0 head and add the dentry.
+    let root_base = geom.inode_offset(ROOT_INO);
+    m.write_u64(root_base + I_DIRECT, page).unwrap();
+    m.clwb(root_base + I_DIRECT, 8).unwrap();
+    m.sfence();
+    write_dentry(&m, page, 0, "f", child);
+    m.write_u64(root_base + I_SIZE, 1).unwrap();
+    m.clwb(root_base + I_SIZE, 8).unwrap();
+    m.sfence();
+    (k, id, m, child, page)
+}
+
+#[test]
+fn release_verifies_handwritten_state() {
+    let (k, id, _m, child, _page) = setup_one_child();
+    k.release(id, ROOT_INO).unwrap();
+    assert_eq!(k.stats().snapshot().verify_failures, 0);
+    // The child is registered with the right parent.
+    let entry = k.shadow_entry(child).expect("child registered");
+    assert_eq!(entry.parent, ROOT_INO);
+    assert_eq!(entry.itype, InodeType::Regular);
+    assert_eq!(k.verified_children(ROOT_INO).get("f"), Some(&child));
+}
+
+#[test]
+fn release_unmaps_the_grant() {
+    let (k, id, m, _child, _page) = setup_one_child();
+    k.release(id, ROOT_INO).unwrap();
+    assert!(m.read_u64(0).is_err(), "mapping must be invalidated");
+    assert!(!k.owns(id, ROOT_INO));
+}
+
+#[test]
+fn commit_keeps_ownership_and_mapping() {
+    let (k, id, m, child, _page) = setup_one_child();
+    k.commit(id, ROOT_INO).unwrap();
+    assert!(k.owns(id, ROOT_INO));
+    assert!(m.read_u64(0).is_ok(), "commit must not unmap");
+    assert!(k.shadow_entry(child).is_some());
+}
+
+#[test]
+fn corrupt_dentry_name_fails_and_rolls_back() {
+    let (k, id, m, _child, page) = setup_one_child();
+    k.commit(id, ROOT_INO).unwrap();
+    // Corrupt the committed dentry: marker says 60 bytes, name has 1.
+    let off = page * pmem::PAGE_SIZE as u64 + DIRPAGE_FIRST_DENTRY;
+    m.write_u16(off + D_MARKER, 60).unwrap();
+    m.sfence();
+    let err = k.release(id, ROOT_INO).unwrap_err();
+    assert!(matches!(err, FsError::VerificationFailed { .. }), "{err:?}");
+    // Rollback restored the record.
+    let d = format::read_dentry(k.device(), off).unwrap();
+    assert_eq!(d.marker, 1);
+    assert_eq!(d.name_str(), Some("f"));
+}
+
+#[test]
+fn dentry_to_uncommitted_inode_rejected() {
+    let (k, id, m, _child, page) = setup_one_child();
+    // Add a second dentry pointing at an inode that was never committed.
+    write_dentry(&m, page, 1, "ghost", 777);
+    let root_base = k.geometry().inode_offset(ROOT_INO);
+    m.write_u64(root_base + I_SIZE, 2).unwrap();
+    m.sfence();
+    let err = k.release(id, ROOT_INO).unwrap_err();
+    match err {
+        FsError::VerificationFailed { reason, .. } => {
+            assert!(reason.contains("uncommitted"), "{reason}");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_names_rejected() {
+    let (k, id, m, child, page) = setup_one_child();
+    write_dentry(&m, page, 1, "f", child);
+    let root_base = k.geometry().inode_offset(ROOT_INO);
+    m.write_u64(root_base + I_SIZE, 2).unwrap();
+    m.sfence();
+    let err = k.release(id, ROOT_INO).unwrap_err();
+    assert!(
+        matches!(err, FsError::VerificationFailed { ref reason, .. } if reason.contains("duplicate")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn size_mismatch_rejected() {
+    let (k, id, m, _child, _page) = setup_one_child();
+    let root_base = k.geometry().inode_offset(ROOT_INO);
+    m.write_u64(root_base + I_SIZE, 5).unwrap();
+    m.sfence();
+    let err = k.release(id, ROOT_INO).unwrap_err();
+    assert!(
+        matches!(err, FsError::VerificationFailed { ref reason, .. } if reason.contains("size")),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn acquire_requires_read_permission() {
+    let k = kernel(KernelConfig::arckfs_plus());
+    let (owner, _m) = k.register_libfs(0);
+    let grant = k.acquire(owner, ROOT_INO).unwrap();
+    let geom = *k.geometry();
+
+    // Hand-create a directory only uid 0 can read.
+    let child = k.grant_inodes(owner, 1).unwrap()[0];
+    let page = k.grant_pages(owner, 1).unwrap()[0];
+    let m = grant.mapping;
+    m.write(page * pmem::PAGE_SIZE as u64, &vec![0u8; pmem::PAGE_SIZE])
+        .unwrap();
+    let base = geom.inode_offset(child);
+    m.write_u32(base + I_TYPE, InodeType::Directory.to_raw())
+        .unwrap();
+    m.write_u32(base + I_MODE, mode::OWNER_R | mode::OWNER_W)
+        .unwrap();
+    m.write_u32(base + I_UID, 0).unwrap();
+    m.write_u32(base + I_NTAILS, 1).unwrap();
+    m.write_u64(base + I_MARKER, child).unwrap();
+    let root_base = geom.inode_offset(ROOT_INO);
+    m.write_u64(root_base + I_DIRECT, page).unwrap();
+    write_dentry(&m, page, 0, "private", child);
+    m.write_u64(root_base + I_SIZE, 1).unwrap();
+    m.sfence();
+    k.release(owner, ROOT_INO).unwrap();
+    k.release(owner, child).unwrap();
+
+    let (stranger, _m2) = k.register_libfs(42);
+    assert_eq!(
+        k.acquire(stranger, child).unwrap_err(),
+        FsError::PermissionDenied
+    );
+    // The owner itself may re-acquire.
+    assert!(k.acquire(owner, child).is_ok());
+}
+
+#[test]
+fn acquire_unknown_inode_is_not_found() {
+    let k = kernel(KernelConfig::arckfs_plus());
+    let (id, _m) = k.register_libfs(0);
+    assert_eq!(k.acquire(id, 999).unwrap_err(), FsError::NotFound);
+}
+
+#[test]
+fn double_release_is_not_owner() {
+    let k = kernel(KernelConfig::arckfs_plus());
+    let (id, _m) = k.register_libfs(0);
+    k.acquire(id, ROOT_INO).unwrap();
+    k.release(id, ROOT_INO).unwrap();
+    assert!(matches!(
+        k.release(id, ROOT_INO).unwrap_err(),
+        FsError::NotOwner { .. }
+    ));
+}
+
+#[test]
+fn grants_are_disjoint_across_libfses() {
+    let k = kernel(KernelConfig::arckfs_plus());
+    let (a, _ma) = k.register_libfs(0);
+    let (b, _mb) = k.register_libfs(0);
+    let ia = k.grant_inodes(a, 100).unwrap();
+    let ib = k.grant_inodes(b, 100).unwrap();
+    let pa = k.grant_pages(a, 100).unwrap();
+    let pb = k.grant_pages(b, 100).unwrap();
+    assert!(ia.iter().all(|i| !ib.contains(i)), "inode grants overlap");
+    assert!(pa.iter().all(|p| !pb.contains(p)), "page grants overlap");
+}
+
+#[test]
+fn freed_inode_release_reclaims_shadow() {
+    let (k, id, m, child, page) = setup_one_child();
+    k.commit(id, ROOT_INO).unwrap();
+    assert!(k.shadow_entry(child).is_some());
+    // Tombstone the dentry and free the inode, as an unlink does.
+    let off = page * pmem::PAGE_SIZE as u64 + DIRPAGE_FIRST_DENTRY;
+    m.write(off + format::D_DELETED, &[1]).unwrap();
+    m.write_u64(k.geometry().inode_offset(child), 0).unwrap();
+    let root_base = k.geometry().inode_offset(ROOT_INO);
+    m.write_u64(root_base + I_SIZE, 0).unwrap();
+    m.sfence();
+    k.release(id, ROOT_INO).unwrap();
+    assert!(k.shadow_entry(child).is_none(), "shadow entry reclaimed");
+    assert!(k.verified_children(ROOT_INO).is_empty());
+}
+
+#[test]
+fn arckfs_kernel_rejects_lease_calls() {
+    let k = kernel(KernelConfig::arckfs());
+    let (id, _m) = k.register_libfs(0);
+    assert!(matches!(
+        k.rename_lease_acquire(id).unwrap_err(),
+        FsError::InvalidArgument(_)
+    ));
+}
+
+#[test]
+fn lease_is_exclusive_between_libfses() {
+    let k = kernel(KernelConfig::arckfs_plus());
+    let (a, _ma) = k.register_libfs(0);
+    let (b, _mb) = k.register_libfs(0);
+    let t = k.rename_lease_acquire(a).unwrap();
+    assert_eq!(k.rename_lease_acquire(b).unwrap_err(), FsError::Busy);
+    k.rename_lease_release(a, t).unwrap();
+    assert!(k.rename_lease_acquire(b).is_ok());
+}

@@ -1,0 +1,254 @@
+//! fsck over hand-corrupted device images: every fatal classification has
+//! a positive test, and benign residue is never escalated.
+
+use std::sync::Arc;
+
+use pmem::{PmemDevice, PAGE_SIZE};
+use trio::format::{
+    Geometry, InodeType, DENTRY_SIZE, DIRPAGE_FIRST_DENTRY, D_DELETED, D_INO, D_MARKER, D_NAME,
+    D_SEQ, I_DIRECT, I_MARKER, I_MODE, I_NTAILS, I_SIZE, I_TYPE,
+};
+use trio::fsck::{fsck, FsckIssue};
+use trio::{Kernel, KernelConfig, ROOT_INO};
+
+const DEV: usize = 16 << 20;
+
+struct Image {
+    dev: Arc<PmemDevice>,
+    geom: Geometry,
+    next_page: u64,
+}
+
+impl Image {
+    fn new() -> Image {
+        let dev = PmemDevice::new(DEV);
+        let geom = Geometry::for_device(DEV);
+        Kernel::format(dev.clone(), geom, KernelConfig::arckfs_plus()).unwrap();
+        let next_page = geom.data_start_page + 100; // clear of allocator grants
+        Image {
+            dev,
+            geom,
+            next_page,
+        }
+    }
+
+    fn page(&mut self) -> u64 {
+        // Mark allocated in the bitmap so structural checks pass.
+        let p = self.next_page;
+        self.next_page += 1;
+        let idx = p - self.geom.data_start_page;
+        let off = self.geom.bitmap_offset() + idx / 8;
+        let b = self.dev.read_u8(off).unwrap();
+        self.dev.write_u8(off, b | (1 << (idx % 8))).unwrap();
+        p
+    }
+
+    fn inode(&self, ino: u64, itype: InodeType, tail_page: u64) {
+        let base = self.geom.inode_offset(ino);
+        self.dev.write_u32(base + I_TYPE, itype.to_raw()).unwrap();
+        self.dev.write_u32(base + I_MODE, 0o666).unwrap();
+        if itype == InodeType::Directory {
+            self.dev.write_u32(base + I_NTAILS, 1).unwrap();
+            self.dev.write_u64(base + I_DIRECT, tail_page).unwrap();
+        }
+        self.dev.write_u64(base + I_MARKER, ino).unwrap();
+    }
+
+    fn dentry(&self, page: u64, slot: u64, name: &str, ino: u64, seq: u64, deleted: bool) {
+        let off = page * PAGE_SIZE as u64 + DIRPAGE_FIRST_DENTRY + slot * DENTRY_SIZE;
+        self.dev.write_u64(off + D_INO, ino).unwrap();
+        self.dev.write_u64(off + D_SEQ, seq).unwrap();
+        self.dev.write(off + D_NAME, name.as_bytes()).unwrap();
+        self.dev.write(off + D_DELETED, &[deleted as u8]).unwrap();
+        self.dev
+            .write_u16(off + D_MARKER, name.len() as u16)
+            .unwrap();
+    }
+
+    fn set_root_tail(&self, page: u64, live: u64) {
+        let base = self.geom.inode_offset(ROOT_INO);
+        self.dev.write_u64(base + I_DIRECT, page).unwrap();
+        self.dev.write_u64(base + I_SIZE, live).unwrap();
+    }
+
+    fn report(&self) -> trio::fsck::FsckReport {
+        self.dev.persist_all();
+        fsck(&self.dev).unwrap()
+    }
+}
+
+#[test]
+fn same_dir_rename_residue_is_benign() {
+    let mut img = Image::new();
+    let p = img.page();
+    img.inode(7, InodeType::Regular, 0);
+    // Old name (seq 1) and new name (seq 2), tombstone lost in the crash.
+    img.dentry(p, 0, "old-name", 7, 1, false);
+    img.dentry(p, 1, "new-name", 7, 2, false);
+    img.set_root_tail(p, 1);
+    let r = img.report();
+    assert!(r.is_consistent(), "{:?}", r.issues);
+    assert!(r
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::RenameResidue { ino: 7, .. })));
+}
+
+#[test]
+fn cross_dir_double_reference_is_fatal() {
+    let mut img = Image::new();
+    let (p_root, p_a) = (img.page(), img.page());
+    img.inode(5, InodeType::Directory, p_a); // /a
+    img.inode(7, InodeType::Regular, 0); // the doubly-linked file
+    img.dentry(p_root, 0, "a", 5, 1, false);
+    img.dentry(p_root, 1, "f", 7, 2, false);
+    img.set_root_tail(p_root, 2);
+    let a_base = img.geom.inode_offset(5);
+    img.dev.write_u64(a_base + I_SIZE, 1).unwrap();
+    img.dentry(p_a, 0, "also-f", 7, 1, false);
+    let r = img.report();
+    assert!(!r.is_consistent());
+    assert!(r
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::MultiplyReachable { ino: 7 })));
+}
+
+#[test]
+fn duplicate_names_are_fatal() {
+    let mut img = Image::new();
+    let p = img.page();
+    img.inode(7, InodeType::Regular, 0);
+    img.inode(8, InodeType::Regular, 0);
+    img.dentry(p, 0, "same", 7, 1, false);
+    img.dentry(p, 1, "same", 8, 2, false);
+    img.set_root_tail(p, 2);
+    let r = img.report();
+    assert!(!r.is_consistent());
+    assert!(r
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::DuplicateName { .. })));
+}
+
+#[test]
+fn bad_type_tag_is_fatal() {
+    let mut img = Image::new();
+    let p = img.page();
+    let base = img.geom.inode_offset(9);
+    img.dev.write_u32(base + I_TYPE, 99).unwrap();
+    img.dev.write_u64(base + I_MARKER, 9).unwrap();
+    img.dentry(p, 0, "weird", 9, 1, false);
+    img.set_root_tail(p, 1);
+    let r = img.report();
+    assert!(!r.is_consistent());
+    assert!(r
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::BadType { ino: 9, raw: 99 })));
+}
+
+#[test]
+fn tombstoned_records_are_invisible() {
+    let mut img = Image::new();
+    let p = img.page();
+    img.inode(7, InodeType::Regular, 0);
+    img.dentry(p, 0, "gone", 7, 1, true);
+    img.set_root_tail(p, 0);
+    // Dentry tombstoned but inode still committed: just an orphan.
+    let r = img.report();
+    assert!(r.is_consistent(), "{:?}", r.issues);
+    assert!(r
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::OrphanInode { ino: 7 })));
+}
+
+#[test]
+fn stale_size_field_is_benign() {
+    let mut img = Image::new();
+    let p = img.page();
+    img.inode(7, InodeType::Regular, 0);
+    img.dentry(p, 0, "f", 7, 1, false);
+    img.set_root_tail(p, 3); // wrong count
+    let r = img.report();
+    assert!(r.is_consistent(), "{:?}", r.issues);
+    assert!(r.issues.iter().any(|i| matches!(
+        i,
+        FsckIssue::SizeMismatch {
+            recorded: 3,
+            actual: 1,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn dir_log_page_cycle_is_fatal() {
+    let mut img = Image::new();
+    let p = img.page();
+    // The page links to itself.
+    img.dev.write_u64(p * PAGE_SIZE as u64, p).unwrap();
+    img.set_root_tail(p, 0);
+    let r = img.report();
+    assert!(!r.is_consistent());
+    assert!(r
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::Structural { .. })));
+}
+
+#[test]
+fn repair_cleans_every_benign_class() {
+    use trio::fsck::repair;
+    let mut img = Image::new();
+    let p = img.page();
+    // Rename residue for inode 7, a stale size, and an orphan inode 9.
+    img.inode(7, InodeType::Regular, 0);
+    img.dentry(p, 0, "old", 7, 1, false);
+    img.dentry(p, 1, "new", 7, 2, false);
+    img.set_root_tail(p, 5); // wrong size too
+    img.inode(9, InodeType::Regular, 0); // orphan
+    img.dev.persist_all();
+
+    let before = fsck(&img.dev).unwrap();
+    assert!(before.is_consistent());
+    assert!(before.issues.len() >= 3, "{:?}", before.issues);
+
+    let after = repair(&img.dev).unwrap();
+    assert!(
+        after.issues.is_empty(),
+        "repair must clean residue: {:?}",
+        after.issues
+    );
+
+    // The winner of the rename residue survived; the loser is gone.
+    let root = trio::format::read_inode(&img.dev, &img.geom, ROOT_INO).unwrap();
+    let mut names = Vec::new();
+    trio::format::walk_dir_log(&img.dev, &img.geom, &root, |d| {
+        if d.is_live() {
+            names.push(d.name_str().unwrap().to_string());
+        }
+    })
+    .unwrap();
+    assert_eq!(names, vec!["new"]);
+    assert_eq!(root.size, 1, "size rewritten");
+    // The orphan's number is free again.
+    assert_eq!(img.dev.read_u64(img.geom.inode_offset(9)).unwrap(), 0);
+}
+
+#[test]
+fn repair_leaves_fatal_issues_alone() {
+    use trio::fsck::repair;
+    let mut img = Image::new();
+    let p = img.page();
+    img.dentry(p, 0, "ghost", 777, 1, false); // dangling: fatal
+    img.set_root_tail(p, 1);
+    img.dev.persist_all();
+    let after = repair(&img.dev).unwrap();
+    assert!(!after.is_consistent());
+    assert!(after
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::DanglingDentry { .. })));
+}

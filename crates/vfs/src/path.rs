@@ -1,0 +1,136 @@
+//! Path parsing and validation.
+//!
+//! Paths in this workspace are absolute, `/`-separated, and contain no `.` or
+//! `..` components (the original ArckFS LibFS resolves paths the same way:
+//! component-by-component from the root inode). Names are limited to
+//! [`MAX_NAME_LEN`] bytes, matching the fixed-size dentry layout in
+//! persistent memory.
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum length in bytes of a single path component, matching the on-PM
+/// dentry layout (`DENTRY_NAME_CAP` in the `arckfs` crate).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Validate a single path component.
+///
+/// A valid name is non-empty, at most [`MAX_NAME_LEN`] bytes, contains no
+/// `/` or NUL, and is not `.` or `..`.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() {
+        return Err(FsError::InvalidPath("empty name".into()));
+    }
+    if name.len() > MAX_NAME_LEN {
+        return Err(FsError::NameTooLong);
+    }
+    if name == "." || name == ".." {
+        return Err(FsError::InvalidPath(format!("reserved name: {name}")));
+    }
+    if name.bytes().any(|b| b == b'/' || b == 0) {
+        return Err(FsError::InvalidPath(format!(
+            "illegal byte in name: {name}"
+        )));
+    }
+    Ok(())
+}
+
+/// Split an absolute path into validated components.
+///
+/// `"/"` yields an empty component list (the root itself). Repeated slashes
+/// and a trailing slash are tolerated, as in POSIX.
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath(format!("not absolute: {path}")));
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue;
+        }
+        validate_name(comp)?;
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Split a path into `(parent_components, final_name)`.
+///
+/// Fails for the root path, which has no parent.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = components(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(FsError::InvalidPath("root has no parent".into())),
+    }
+}
+
+/// Join a parent path and a child name into an absolute path string.
+pub fn join(parent: &str, name: &str) -> String {
+    if parent == "/" {
+        format!("/{name}")
+    } else {
+        format!("{}/{name}", parent.trim_end_matches('/'))
+    }
+}
+
+/// True if `path` is exactly the root.
+pub fn is_root(path: &str) -> bool {
+    path.chars().all(|c| c == '/') && !path.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_basic() {
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("//a//b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn components_rejects_relative() {
+        assert!(matches!(components("a/b"), Err(FsError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn components_rejects_dotdot() {
+        assert!(components("/a/../b").is_err());
+        assert!(components("/a/./b").is_err());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("hello.txt").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(matches!(
+            validate_name(&"x".repeat(MAX_NAME_LEN + 1)),
+            Err(FsError::NameTooLong)
+        ));
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name("a\0b").is_err());
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn join_works() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+        assert_eq!(join("/a/", "b"), "/a/b");
+    }
+
+    #[test]
+    fn is_root_works() {
+        assert!(is_root("/"));
+        assert!(is_root("//"));
+        assert!(!is_root("/a"));
+    }
+}

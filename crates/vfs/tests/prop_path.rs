@@ -1,0 +1,51 @@
+//! Property tests for path parsing.
+
+use proptest::prelude::*;
+use vfs::path::{components, join, split_parent, validate_name, MAX_NAME_LEN};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9._-]{1,20}".prop_filter("reserved", |s| s != "." && s != "..")
+}
+
+proptest! {
+    /// components ∘ join is the identity on valid names.
+    #[test]
+    fn join_then_split_round_trips(names in proptest::collection::vec(name_strategy(), 1..6)) {
+        let mut path = String::from("/");
+        for n in &names {
+            path = join(&path, n);
+        }
+        let comps = components(&path).unwrap();
+        prop_assert_eq!(comps, names.iter().map(String::as_str).collect::<Vec<_>>());
+        let (parent, last) = split_parent(&path).unwrap();
+        prop_assert_eq!(last, names.last().unwrap().as_str());
+        prop_assert_eq!(parent.len(), names.len() - 1);
+    }
+
+    /// Valid names always validate; slash/NUL injection always fails.
+    #[test]
+    fn validation_rules(name in name_strategy(), pos in 0usize..20) {
+        prop_assert!(validate_name(&name).is_ok());
+        let mut bad = name.clone();
+        bad.insert(pos.min(bad.len()), '/');
+        prop_assert!(validate_name(&bad).is_err());
+        let mut nul = name.clone();
+        nul.insert(pos.min(nul.len()), '\0');
+        prop_assert!(validate_name(&nul).is_err());
+    }
+
+    /// Length cap is exact.
+    #[test]
+    fn length_cap(extra in 0usize..10) {
+        let at_cap = "x".repeat(MAX_NAME_LEN);
+        prop_assert!(validate_name(&at_cap).is_ok());
+        let over = "x".repeat(MAX_NAME_LEN + 1 + extra);
+        prop_assert!(validate_name(&over).is_err());
+    }
+
+    /// components never panics on arbitrary strings.
+    #[test]
+    fn components_total(s in ".*") {
+        let _ = components(&s);
+    }
+}

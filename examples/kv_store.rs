@@ -1,0 +1,38 @@
+//! The LSM key-value store (the workspace's LevelDB stand-in) running on
+//! ArckFS+ — the §5.3 LevelDB experiment's substrate as an application.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use arckfs::Config;
+use kvstore::db_bench::{run, DbWorkload};
+use kvstore::Db;
+
+fn main() {
+    let (_kernel, fs) = arckfs::new_fs(256 << 20, Config::arckfs_plus()).expect("format");
+
+    // Direct API use.
+    let db = Db::open(fs.clone(), "/appdb").expect("open db");
+    db.put(b"user:1", b"ada").expect("put");
+    db.put(b"user:2", b"grace").expect("put");
+    db.delete(b"user:1").expect("delete");
+    db.flush().expect("flush to sstables");
+    println!("user:1 = {:?}", db.get(b"user:1").expect("get"));
+    println!(
+        "user:2 = {:?}",
+        db.get(b"user:2")
+            .expect("get")
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
+    );
+
+    // db_bench-style numbers on this file system.
+    println!("\ndb_bench on arckfs+ (10k ops each):");
+    for w in DbWorkload::all() {
+        let r = run(fs.clone(), &format!("/bench-{}", w.name()), w, 10_000).expect("bench");
+        println!(
+            "  {:<12} {:>8.2} µs/op  ({:>9.0} ops/s)",
+            r.workload,
+            r.micros_per_op(),
+            r.ops_per_sec()
+        );
+    }
+}

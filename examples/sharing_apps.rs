@@ -1,0 +1,90 @@
+//! Two applications sharing files through the TRIO kernel, with and
+//! without a trust group — Table 4's experiment as a narrated program.
+//!
+//! Run with: `cargo run --release --example sharing_apps`
+
+use std::time::Instant;
+
+use arckfs::{Config, LibFs};
+use pmem::PmemDevice;
+use trio::{Geometry, Kernel, KernelConfig};
+use vfs::{read_file, write_file, FileSystem};
+
+fn main() {
+    let device = PmemDevice::new(128 << 20);
+    let geom = Geometry::for_device(128 << 20);
+    let kernel = Kernel::format(device, geom, KernelConfig::arckfs_plus()).expect("format");
+
+    let alice = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 100).expect("mount alice");
+    let bob = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 200).expect("mount bob");
+
+    // --- exclusive ownership: explicit handoffs, verified every time ----
+    write_file(alice.as_ref(), "/draft.md", b"# Draft v1\n").expect("alice writes");
+    println!("alice wrote /draft.md (she owns it exclusively)");
+    match bob.stat("/draft.md") {
+        Err(e) => println!("bob cannot touch it yet: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    let t = Instant::now();
+    alice.release_path("/draft.md").expect("release file");
+    alice.release_path("/").expect("release root");
+    println!(
+        "alice handed it off in {:?} (unmap + integrity verification)",
+        t.elapsed()
+    );
+    let content = read_file(bob.as_ref(), "/draft.md").expect("bob reads");
+    println!("bob reads: {:?}", String::from_utf8_lossy(&content));
+    let before = kernel.stats().snapshot();
+    bob.release_path("/draft.md").expect("bob hands back");
+    bob.release_path("/").expect("root back");
+    let after = kernel.stats().snapshot();
+    println!(
+        "every transfer verified: {} verifications so far ({} failures)",
+        after.verifications, after.verify_failures
+    );
+    let _ = before;
+
+    // --- trust group: co-ownership, no verification ----------------------
+    let carol = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 300).expect("mount carol");
+    let dave = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 400).expect("mount dave");
+    kernel
+        .create_trust_group(&[carol.id(), dave.id()])
+        .expect("trust group");
+    println!("\ncarol and dave form a trust group");
+
+    write_file(carol.as_ref(), "/shared-notes.md", b"carol: hi\n").expect("carol writes");
+    carol.commit_path("/").expect("register");
+    let before = kernel.stats().snapshot();
+    // Dave joins in *while carol still holds everything* — co-ownership.
+    let fd = dave
+        .open("/shared-notes.md", vfs::OpenFlags::RDWR)
+        .expect("dave opens concurrently");
+    dave.append(fd, b"dave: hello\n").expect("dave appends");
+    dave.close(fd).expect("close");
+    let after = kernel.stats().snapshot();
+    println!(
+        "dave appended with zero verifications ({} -> {}), {} trust-skips",
+        before.verifications, after.verifications, after.trust_skips
+    );
+    let daves_view = read_file(dave.as_ref(), "/shared-notes.md").expect("dave re-reads");
+    println!(
+        "dave sees both lines:\n{}",
+        String::from_utf8_lossy(&daves_view)
+    );
+    // Note: carol's *cached* metadata may lag dave's append — trust-group
+    // members share core state without verification, and coordinating
+    // their private DRAM caches is their own business (that is the
+    // trade-off a trust group opts into).
+
+    // The group boundary still verifies: when the last member leaves, the
+    // kernel checks before outsiders may acquire.
+    carol.unmount().expect("carol leaves");
+    dave.unmount()
+        .expect("dave leaves (group boundary: verification runs)");
+    let eve = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 500).expect("mount eve");
+    let eves_view = read_file(eve.as_ref(), "/shared-notes.md").expect("eve reads");
+    assert!(eves_view.ends_with(b"dave: hello\n"));
+    println!("eve (an outsider, post-verification) sees the full file");
+    println!("final kernel stats: {:?}", kernel.stats().snapshot());
+}

@@ -1,0 +1,30 @@
+//! Reproduction of *"Analyzing and Enhancing ArckFS: An Anecdotal Example
+//! of Benefits of Artifact Evaluation"* (SOSP 2025).
+//!
+//! This umbrella crate re-exports the workspace pieces so the integration
+//! tests (`tests/`) and example binaries (`examples/`) have one import
+//! root. See `README.md` for the tour and `DESIGN.md` for the system
+//! inventory and experiment index.
+//!
+//! * [`arckfs`] — the LibFS (ArckFS and ArckFS+, per-bug toggleable).
+//! * [`trio`] — the kernel substrate: controller, verifier, shadow table,
+//!   rename lease, trust groups, fsck.
+//! * [`pmem`] — the persistent-memory emulator (flush/fence semantics,
+//!   crash-state sampling).
+//! * [`rcu`] — epoch-based RCU and the generation-tagged arena.
+//! * [`kernelfs`] — baseline kernel-file-system models.
+//! * [`crashmc`] — the crash-consistency checker.
+//! * [`fxmark`], [`filebench`], [`kvstore`], [`model`] — workloads and the
+//!   scalability model behind the benchmark harness.
+
+pub use arckfs;
+pub use crashmc;
+pub use filebench;
+pub use fxmark;
+pub use kernelfs;
+pub use kvstore;
+pub use model;
+pub use pmem;
+pub use rcu;
+pub use trio;
+pub use vfs;

@@ -1,0 +1,182 @@
+//! Adversarial suite: a malicious LibFS can write anything it likes
+//! through its mappings — TRIO's security claim is that *verification at
+//! ownership transfer* catches every metadata-integrity violation and
+//! rolls it back. Each test performs one class of tampering raw-through-
+//! the-mapping and asserts the verifier's verdict.
+
+use std::sync::Arc;
+
+use arckfs::{Config, LibFs};
+use pmem::PmemDevice;
+use trio::format::{self, mode};
+use trio::{Geometry, Kernel, KernelConfig};
+use vfs::{write_file, FileSystem, FsError};
+
+const DEV: usize = 48 << 20;
+
+/// A kernel with a victim-created tree: /pub (world-writable) containing
+/// one file, and /ro (read-only to others) containing one file.
+fn setup() -> (Arc<Kernel>, Arc<LibFs>) {
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    let kernel = Kernel::format(device, geom, KernelConfig::arckfs_plus()).expect("format");
+    let victim = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 2).expect("mount victim");
+    victim.mkdir("/pub").expect("mkdir");
+    write_file(victim.as_ref(), "/pub/file", b"public").expect("write");
+    victim
+        .create_with_mode("/ro", true, mode::RW_OWNER_RO_OTHER)
+        .expect("ro dir");
+    victim
+        .create_with_mode("/ro/secret", false, mode::RW_OWNER_RO_OTHER)
+        .expect("ro file");
+    victim.unmount().expect("unmount");
+    let attacker = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 1).expect("mount attacker");
+    (kernel, attacker)
+}
+
+fn expect_verification_failure(r: Result<(), FsError>, what: &str) {
+    match r {
+        Err(FsError::VerificationFailed { .. }) => {}
+        other => panic!("{what}: expected verification failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipping_an_inode_type_is_rejected() {
+    let (kernel, attacker) = setup();
+    let ino = attacker.stat("/pub/file").unwrap().ino;
+    let base = kernel.geometry().inode_offset(ino);
+    // Acquire the file (mapping it), then flip file -> directory.
+    let _ = attacker.open("/pub/file", vfs::OpenFlags::RDONLY).unwrap();
+    kernel
+        .device()
+        .write_u32(base + format::I_TYPE, trio::InodeType::Directory.to_raw())
+        .unwrap();
+    expect_verification_failure(attacker.release_path("/pub/file"), "type flip");
+    // Rolled back: the type is a file again.
+    let raw = format::read_inode(kernel.device(), kernel.geometry(), ino).unwrap();
+    assert_eq!(raw.inode_type(), Some(trio::InodeType::Regular));
+}
+
+#[test]
+fn tampering_with_uid_or_mode_is_rejected() {
+    let (kernel, attacker) = setup();
+    let ino = attacker.stat("/ro/secret").unwrap().ino;
+    let base = kernel.geometry().inode_offset(ino);
+    let _ = attacker.open("/ro/secret", vfs::OpenFlags::RDONLY).unwrap();
+    // Chown-by-poke: make the attacker the owner.
+    kernel.device().write_u32(base + format::I_UID, 1).unwrap();
+    expect_verification_failure(attacker.release_path("/ro/secret"), "uid tamper");
+    let raw = format::read_inode(kernel.device(), kernel.geometry(), ino).unwrap();
+    assert_eq!(raw.uid, 2, "ownership restored");
+
+    let _ = attacker.open("/ro/secret", vfs::OpenFlags::RDONLY).unwrap();
+    kernel
+        .device()
+        .write_u32(base + format::I_MODE, mode::RW_ALL)
+        .unwrap();
+    expect_verification_failure(attacker.release_path("/ro/secret"), "mode tamper");
+}
+
+#[test]
+fn pointing_a_dentry_at_a_foreign_inode_is_rejected() {
+    let (kernel, attacker) = setup();
+    // The attacker rewires /pub's dentry for "file" at the read-only
+    // secret, attempting to adopt it into a writable directory.
+    let pub_ino = attacker.stat("/pub").unwrap().ino;
+    let secret_ino = attacker.stat("/ro/secret").unwrap().ino;
+    let dir_inode = format::read_inode(kernel.device(), kernel.geometry(), pub_ino).unwrap();
+    let mut off = None;
+    format::walk_dir_log(kernel.device(), kernel.geometry(), &dir_inode, |d| {
+        if d.is_live() {
+            off = Some(d.offset);
+        }
+    })
+    .unwrap();
+    kernel
+        .device()
+        .write_u64(off.expect("dentry") + format::D_INO, secret_ino)
+        .unwrap();
+    // Release /pub: the new child arrives from /ro (a relocation) but the
+    // attacker does not own /ro — §4.1 check (1) fires.
+    expect_verification_failure(attacker.release_path("/pub"), "foreign adoption");
+}
+
+#[test]
+fn dentry_to_unallocated_page_region_is_rejected() {
+    let (kernel, attacker) = setup();
+    let pub_ino = attacker.stat("/pub").unwrap().ino;
+    // Point the directory's tail head at an unallocated page.
+    let base = kernel.geometry().inode_offset(pub_ino);
+    let bogus = kernel.geometry().data_start_page + 5000;
+    kernel
+        .device()
+        .write_u64(base + format::I_DIRECT, bogus)
+        .unwrap();
+    expect_verification_failure(attacker.release_path("/pub"), "bogus log page");
+}
+
+#[test]
+fn inflating_a_directory_size_is_rejected() {
+    let (kernel, attacker) = setup();
+    let pub_ino = attacker.stat("/pub").unwrap().ino;
+    let base = kernel.geometry().inode_offset(pub_ino);
+    kernel
+        .device()
+        .write_u64(base + format::I_SIZE, 99)
+        .unwrap();
+    expect_verification_failure(attacker.release_path("/pub"), "size inflation");
+}
+
+#[test]
+fn smuggling_an_uncommitted_child_is_rejected() {
+    let (kernel, attacker) = setup();
+    // Forge a dentry referencing an inode that was never committed.
+    let pub_ino = attacker.stat("/pub").unwrap().ino;
+    let dir_inode = format::read_inode(kernel.device(), kernel.geometry(), pub_ino).unwrap();
+    let page = dir_inode.direct[0];
+    let slot1 = page * pmem::PAGE_SIZE as u64 + format::DIRPAGE_FIRST_DENTRY + format::DENTRY_SIZE;
+    let dev = kernel.device();
+    dev.write_u64(slot1 + format::D_INO, 4242).unwrap();
+    dev.write(slot1 + format::D_NAME, b"ghost").unwrap();
+    dev.write_u16(slot1 + format::D_MARKER, 5).unwrap();
+    dev.write_u64(kernel.geometry().inode_offset(pub_ino) + format::I_SIZE, 2)
+        .unwrap();
+    expect_verification_failure(attacker.release_path("/pub"), "ghost child");
+}
+
+#[test]
+fn stealing_the_lease_mid_relocation_fails_check_3() {
+    // §4.1 check (3): the relocation's per-operation verification requires
+    // the LibFS to *hold* the global rename lease. If the lease expires
+    // (malicious holder timeout) before the commit, verification fails.
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    let mut kcfg = KernelConfig::arckfs_plus();
+    kcfg.lease_timeout = std::time::Duration::from_millis(40);
+    let kernel = Kernel::format(device, geom, kcfg).expect("format");
+    let fs = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 0).expect("mount");
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/b").unwrap();
+    fs.mkdir("/a/mover").unwrap();
+    fs.commit_path("/").unwrap();
+    fs.commit_path("/a").unwrap();
+
+    // Park the rename after it has taken the lease; let the lease expire
+    // and another LibFS steal it before the commit runs.
+    let gate = arckfs::inject::arm("rename.crossdir.prepared");
+    let fs2 = fs.clone();
+    let h = std::thread::spawn(move || fs2.rename("/a/mover", "/b/mover"));
+    assert!(gate.wait_reached(std::time::Duration::from_secs(10)));
+    std::thread::sleep(std::time::Duration::from_millis(60)); // lease expires
+    let thief = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 9).expect("mount thief");
+    let _stolen = kernel.rename_lease_acquire(thief.id()).expect("steal");
+    gate.release();
+    let result = h.join().unwrap();
+    match result {
+        Err(FsError::VerificationFailed { reason, .. }) => {
+            assert!(reason.contains("lease"), "{reason}");
+        }
+        other => panic!("expected check-(3) failure, got {other:?}"),
+    }
+}

@@ -1,0 +1,206 @@
+//! POSIX-surface conformance, run identically against every file system in
+//! the evaluation (ArckFS, ArckFS+, the verify-per-op profile, and all
+//! seven kernel baselines). The benchmark comparisons are only meaningful
+//! if all systems implement the same semantics.
+
+use std::sync::Arc;
+
+use arckfs::Config;
+use kernelfs::{KernelFs, Profile};
+use vfs::{mkdir_all, read_file, write_file, FileSystem, FsError, OpenFlags};
+
+const DEV: usize = 48 << 20;
+
+fn all_file_systems() -> Vec<Arc<dyn FileSystem>> {
+    let mut out: Vec<Arc<dyn FileSystem>> = vec![
+        arckfs::new_fs(DEV, Config::arckfs()).unwrap().1,
+        arckfs::new_fs(DEV, Config::arckfs_plus()).unwrap().1,
+        arckfs::new_fs(DEV, Config::verify_per_op()).unwrap().1,
+    ];
+    for p in Profile::all() {
+        out.push(KernelFs::new(DEV, p));
+    }
+    out
+}
+
+fn for_each(test: impl Fn(&dyn FileSystem)) {
+    for fs in all_file_systems() {
+        test(fs.as_ref());
+    }
+}
+
+#[test]
+fn write_read_round_trip_everywhere() {
+    for_each(|fs| {
+        write_file(fs, "/hello", b"posix says hi").unwrap();
+        assert_eq!(
+            read_file(fs, "/hello").unwrap(),
+            b"posix says hi",
+            "fs {}",
+            fs.fs_name()
+        );
+    });
+}
+
+#[test]
+fn enoent_eexist_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        assert_eq!(
+            fs.stat("/missing").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+        assert_eq!(
+            fs.open("/missing", OpenFlags::RDONLY).unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+        fs.create("/dup").unwrap();
+        assert_eq!(
+            fs.create("/dup").unwrap_err(),
+            FsError::AlreadyExists,
+            "{name}"
+        );
+        fs.mkdir("/dupd").unwrap();
+        assert_eq!(
+            fs.mkdir("/dupd").unwrap_err(),
+            FsError::AlreadyExists,
+            "{name}"
+        );
+    });
+}
+
+#[test]
+fn directory_semantics_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        mkdir_all(fs, "/a/b/c").unwrap();
+        write_file(fs, "/a/b/c/leaf", b"x").unwrap();
+        assert_eq!(fs.rmdir("/a/b").unwrap_err(), FsError::NotEmpty, "{name}");
+        assert_eq!(
+            fs.unlink("/a/b").unwrap_err(),
+            FsError::IsADirectory,
+            "{name}"
+        );
+        assert_eq!(
+            fs.rmdir("/a/b/c/leaf").unwrap_err(),
+            FsError::NotADirectory,
+            "{name}"
+        );
+        fs.unlink("/a/b/c/leaf").unwrap();
+        fs.rmdir("/a/b/c").unwrap();
+        fs.rmdir("/a/b").unwrap();
+        fs.rmdir("/a").unwrap();
+    });
+}
+
+#[test]
+fn readdir_and_stat_agree_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        fs.mkdir("/list").unwrap();
+        for i in 0..10 {
+            write_file(fs, &format!("/list/f{i}"), &vec![1u8; i * 7]).unwrap();
+        }
+        let entries = fs.readdir("/list").unwrap();
+        assert_eq!(entries.len(), 10, "{name}");
+        assert_eq!(fs.stat("/list").unwrap().size, 10, "{name}");
+        for e in &entries {
+            let st = fs.stat(&format!("/list/{}", e.name)).unwrap();
+            assert_eq!(st.file_type, vfs::FileType::Regular, "{name}");
+        }
+    });
+}
+
+#[test]
+fn rename_semantics_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        fs.mkdir("/src").unwrap();
+        fs.mkdir("/dst").unwrap();
+        write_file(fs, "/src/f", b"payload").unwrap();
+        // Same-dir, then cross-dir.
+        fs.rename("/src/f", "/src/g").unwrap();
+        fs.rename("/src/g", "/dst/h").unwrap();
+        assert_eq!(read_file(fs, "/dst/h").unwrap(), b"payload", "{name}");
+        assert_eq!(fs.stat("/src/f").unwrap_err(), FsError::NotFound, "{name}");
+        assert_eq!(
+            fs.rename("/nope", "/dst/x").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+    });
+}
+
+#[test]
+fn pread_pwrite_sparse_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        let fd = fs.open("/sparse", OpenFlags::CREATE).unwrap();
+        fs.write_at(fd, b"tail", 9000).unwrap();
+        assert_eq!(fs.stat("/sparse").unwrap().size, 9004, "{name}");
+        let mut mid = [0xFFu8; 16];
+        assert_eq!(fs.read_at(fd, &mut mid, 4000).unwrap(), 16, "{name}");
+        assert_eq!(mid, [0u8; 16], "{name}: holes read as zeroes");
+        let mut beyond = [0u8; 4];
+        assert_eq!(fs.read_at(fd, &mut beyond, 20_000).unwrap(), 0, "{name}");
+        fs.close(fd).unwrap();
+    });
+}
+
+#[test]
+fn truncate_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        write_file(fs, "/t", &vec![9u8; 20_000]).unwrap();
+        let fd = fs.open("/t", OpenFlags::RDWR).unwrap();
+        fs.truncate(fd, 5000).unwrap();
+        assert_eq!(fs.stat("/t").unwrap().size, 5000, "{name}");
+        // Shrink exposes no stale bytes after re-extension.
+        fs.truncate(fd, 12_000).unwrap();
+        let mut buf = [0xAAu8; 64];
+        fs.read_at(fd, &mut buf, 8000).unwrap();
+        assert_eq!(buf, [0u8; 64], "{name}: re-extended region reads zero");
+        fs.close(fd).unwrap();
+    });
+}
+
+#[test]
+fn append_and_fsync_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        let fd = fs.open("/log", OpenFlags::CREATE).unwrap();
+        assert_eq!(fs.append(fd, b"one").unwrap(), 0, "{name}");
+        assert_eq!(fs.append(fd, b"two").unwrap(), 3, "{name}");
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(read_file(fs, "/log").unwrap(), b"onetwo", "{name}");
+    });
+}
+
+#[test]
+fn descriptor_hygiene_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        let fd = fs.create("/fdtest").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.close(fd).unwrap_err(), FsError::BadDescriptor, "{name}");
+        let mut b = [0u8; 1];
+        assert_eq!(
+            fs.read_at(fd, &mut b, 0).unwrap_err(),
+            FsError::BadDescriptor,
+            "{name}"
+        );
+    });
+}
+
+#[test]
+fn invalid_paths_rejected_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        assert!(fs.create("relative/path").is_err(), "{name}");
+        assert!(fs.mkdir("/has/../dots").is_err(), "{name}");
+        assert!(fs.stat("/.").is_err(), "{name}");
+    });
+}

@@ -1,0 +1,262 @@
+//! The multi-inode rules of §3 — the §3.1 directory-relocation attack and
+//! the Figure 2 circular-dependency scenario that Rule (3) breaks.
+
+use std::sync::Arc;
+
+use arckfs::{Config, LibFs};
+use pmem::PmemDevice;
+use trio::format::{self, mode};
+use trio::{Geometry, Kernel, KernelConfig};
+use vfs::{FileSystem, FsError};
+
+const DEV: usize = 48 << 20;
+
+fn kernel_plus() -> Arc<Kernel> {
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    Kernel::format(device, geom, KernelConfig::arckfs_plus()).expect("format")
+}
+
+/// §3.1's initial state: /dir1/dir3/file1 and /dir2, where the attacker
+/// (uid 1) has full access everywhere except write on dir3 and file1.
+/// Built by a victim LibFS (uid 2) which then unmounts, handing everything
+/// to the kernel.
+fn setup_attack_state(kernel: &Arc<Kernel>) {
+    let victim = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 2).expect("mount victim");
+    victim.mkdir("/dir1").unwrap();
+    victim.mkdir("/dir2").unwrap();
+    victim
+        .create_with_mode("/dir1/dir3", true, mode::RW_OWNER_RO_OTHER)
+        .unwrap();
+    victim
+        .create_with_mode("/dir1/dir3/file1", false, mode::RW_OWNER_RO_OTHER)
+        .unwrap();
+    victim.unmount().unwrap();
+}
+
+#[test]
+fn attack_31_corrupting_dir2_is_rolled_back() {
+    // The §3.1 scenario with the legitimate steps done properly: App1
+    // relocates dir3 into dir2 (allowed — it writes only dir1 and dir2),
+    // then corrupts dir2 by making dir3 vanish without deleting it.
+    let kernel = kernel_plus();
+    setup_attack_state(&kernel);
+
+    let app1 = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 1).expect("mount app1");
+    // ①–② acquire dir1, dir2 and relocate dir3 (per-op verified in plus).
+    app1.rename("/dir1/dir3", "/dir2/dir3").unwrap();
+    // ④ release dir1: passes, dir3's parent pointer names dir2 now.
+    app1.release_path("/dir1").unwrap();
+
+    // ⑥ App1 "corrupts" dir2: raw-tombstones dir3's dentry in dir2's log
+    // and clears dir3's inode marker — the malicious direct-PM writes a
+    // LibFS is physically able to issue.
+    let device = kernel.device();
+    let geom = *kernel.geometry();
+    let dir2 = app1.stat("/dir2").unwrap().ino;
+    let dir3 = app1.stat("/dir2/dir3").unwrap().ino;
+    let dir2_inode = format::read_inode(device, &geom, dir2).unwrap();
+    let mut victim_off = None;
+    format::walk_dir_log(device, &geom, &dir2_inode, |d| {
+        if d.is_live() && d.ino == dir3 {
+            victim_off = Some(d.offset);
+        }
+    })
+    .unwrap();
+    let off = victim_off.expect("dir3's dentry is in dir2");
+    device.write_u8(off + format::D_DELETED, 1).unwrap();
+    device.write_u64(geom.inode_offset(dir3), 0).unwrap(); // free dir3
+    device.persist_all();
+
+    // Release dir2: the verifier sees a non-empty directory (file1 is a
+    // verified child of dir3) deleted — I3 violated — and rolls back.
+    let err = app1.release_path("/dir2").unwrap_err();
+    assert!(
+        matches!(err, FsError::VerificationFailed { .. }),
+        "corruption must fail verification, got {err:?}"
+    );
+    let snap = kernel.stats().snapshot();
+    assert!(snap.rollbacks >= 1);
+
+    // dir3's own inode was also corrupted (marker cleared). Releasing it
+    // triggers its own verification: a freed inode App1 had no write
+    // permission on — rejected and rolled back, restoring the marker.
+    let e2 = app1.release_path("/dir2/dir3").unwrap_err();
+    assert!(
+        matches!(e2, FsError::VerificationFailed { ref reason, .. } if reason.contains("permission")),
+        "freeing dir3 without write permission must fail: {e2:?}"
+    );
+    // Everything has been rolled back to a consistent state; the remaining
+    // releases (dir2 was re-acquired while resolving dir3, plus the root)
+    // now verify cleanly.
+    app1.unmount().unwrap();
+
+    // After the rollbacks, dir3 and file1 are intact under dir2 for
+    // everyone.
+    let app2 = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 2).expect("mount app2");
+    if let Err(e) = app2.stat("/dir2/dir3/file1") {
+        panic!("app2 cannot see the restored file: {e}");
+    }
+}
+
+#[test]
+fn attack_31_buggy_arckfs_rejects_the_legitimate_rename_first() {
+    // The same scenario on the original ArckFS: the verifier cannot
+    // distinguish the legitimate relocation from a deletion, so it rejects
+    // App1 at step ④ already and rolls dir1 back — exactly the paper's
+    // "verification fails at Step ④ even though App1 tries to corrupt at
+    // Step ⑥".
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    let kernel = Kernel::format(device, geom, KernelConfig::arckfs()).expect("format");
+    setup_attack_state(&kernel);
+
+    let app1 = LibFs::mount(kernel.clone(), Config::arckfs(), 1).expect("mount app1");
+    app1.rename("/dir1/dir3", "/dir2/dir3").unwrap();
+    let err = app1.release_path("/dir1").unwrap_err();
+    assert!(matches!(err, FsError::VerificationFailed { .. }));
+    // Rollback restored dir3 under dir1 in the core state.
+    let dir1 = app1.stat("/dir1").unwrap().ino;
+    assert!(kernel.verified_children(dir1).contains_key("dir3"));
+}
+
+#[test]
+fn rule_1_committing_a_disconnected_inode_fails() {
+    // Rule (1): a newly created inode may be committed/released only after
+    // its parent — before that, the kernel sees it as disconnected (I3).
+    let (kernel, fs) = arckfs::new_fs(DEV, Config::arckfs_plus()).unwrap();
+    let fd = fs.create("/fresh").unwrap();
+    fs.close(fd).unwrap();
+    let ino = fs.stat("/fresh").unwrap().ino;
+    let err = kernel.commit(fs.id(), ino).unwrap_err();
+    match err {
+        FsError::VerificationFailed { reason, .. } => {
+            assert!(
+                reason.contains("Rule (1)"),
+                "expected the disconnection message, got: {reason}"
+            );
+        }
+        other => panic!("expected verification failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn rule_2_old_parent_release_requires_new_parent_commit() {
+    // Cross-directory *file* rename on ArckFS+: the LibFS records the
+    // Rule (2) dependency and commits the new parent automatically before
+    // the old parent is released.
+    let (kernel, fs) = arckfs::new_fs(DEV, Config::arckfs_plus()).unwrap();
+    fs.mkdir("/old").unwrap();
+    fs.mkdir("/new").unwrap();
+    fs.create("/old/f").map(|fd| fs.close(fd)).unwrap().unwrap();
+    fs.commit_path("/").unwrap();
+    fs.commit_path("/old").unwrap();
+
+    fs.rename("/old/f", "/new/f").unwrap();
+    // Releasing the old parent first would fail Rule (2) — the LibFS
+    // resolves the dependency by committing /new first, so this passes.
+    fs.release_path("/old").unwrap();
+    assert_eq!(kernel.stats().snapshot().verify_failures, 0);
+    assert!(fs.stat("/new/f").is_ok());
+}
+
+#[test]
+fn figure_2_deadlock_in_buggy_arckfs() {
+    // Figure 2: dir1 is newly created under dir0; dir2 (non-empty) is
+    // renamed under dir1. Without Rule (3), neither dir0 nor dir1 can be
+    // verified: dir1 is disconnected (Rule 1) until dir0 verifies, and
+    // dir0's verification sees dir2 missing-but-allocated (Rule 2) until
+    // dir1 verifies.
+    let (_kernel, fs) = arckfs::new_fs(DEV, Config::arckfs()).unwrap();
+    fs.mkdir("/dir0").unwrap();
+    fs.mkdir("/dir0/dir2").unwrap();
+    fs.create("/dir0/dir2/file")
+        .map(|fd| fs.close(fd))
+        .unwrap()
+        .unwrap();
+    fs.commit_path("/").unwrap();
+    fs.commit_path("/dir0").unwrap(); // registers dir2
+    fs.mkdir("/dir0/dir1").unwrap(); // dir1 stays unknown to the kernel
+
+    fs.rename("/dir0/dir2", "/dir0/dir1/dir2").unwrap();
+
+    // Releasing dir1 first: Rule (1) violation (disconnected).
+    let e1 = fs.release_path("/dir0/dir1").unwrap_err();
+    assert!(matches!(e1, FsError::VerificationFailed { .. }), "{e1:?}");
+    // Releasing dir0 first: Rule (2) violation (dir2 missing, allocated).
+    let e2 = fs.release_path("/dir0").unwrap_err();
+    assert!(matches!(e2, FsError::VerificationFailed { .. }), "{e2:?}");
+}
+
+#[test]
+fn figure_2_rule_3_breaks_the_cycle_in_arckfs_plus() {
+    // Same scenario on ArckFS+: the LibFS commits the new parent before
+    // the rename (Rule 3: connecting the freshly created dir1 first), and
+    // again after it (Rule 2), so everything verifies.
+    let (kernel, fs) = arckfs::new_fs(DEV, Config::arckfs_plus()).unwrap();
+    fs.mkdir("/dir0").unwrap();
+    fs.mkdir("/dir0/dir2").unwrap();
+    fs.create("/dir0/dir2/file")
+        .map(|fd| fs.close(fd))
+        .unwrap()
+        .unwrap();
+    fs.commit_path("/").unwrap();
+    fs.commit_path("/dir0").unwrap();
+    fs.mkdir("/dir0/dir1").unwrap();
+
+    fs.rename("/dir0/dir2", "/dir0/dir1/dir2").unwrap();
+
+    fs.release_path("/dir0/dir1").unwrap();
+    fs.release_path("/dir0").unwrap();
+    assert_eq!(kernel.stats().snapshot().verify_failures, 0);
+
+    // The tree is intact after a fresh mount.
+    fs.unmount().unwrap();
+    let fs2 = LibFs::mount(kernel, Config::arckfs_plus(), 0).unwrap();
+    assert!(fs2.stat("/dir0/dir1/dir2/file").is_ok());
+}
+
+#[test]
+fn permissions_block_unauthorized_writes_at_verification() {
+    // An app without write permission modifies a directory directly; the
+    // verifier rejects the modification at release.
+    let kernel = kernel_plus();
+    let victim = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 2).unwrap();
+    victim
+        .create_with_mode("/guarded", true, mode::RW_OWNER_RO_OTHER)
+        .unwrap();
+    victim
+        .create_with_mode("/guarded/precious", false, mode::RW_OWNER_RO_OTHER)
+        .unwrap();
+    victim.unmount().unwrap();
+
+    // The attacker can acquire (read) the dir, and nothing stops a
+    // malicious LibFS from writing through its mapping — but verification
+    // catches the change.
+    let attacker = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 1).unwrap();
+    assert!(attacker.stat("/guarded/precious").is_ok(), "read access OK");
+    // Write through the LibFS API (which doesn't check perms — the kernel
+    // does, at verification time).
+    attacker
+        .create("/guarded/evil")
+        .map(|fd| attacker.close(fd))
+        .unwrap()
+        .unwrap();
+    let err = attacker.release_path("/guarded").unwrap_err();
+    assert!(
+        matches!(err, FsError::VerificationFailed { ref reason, .. } if reason.contains("permission")),
+        "expected permission failure, got {err:?}"
+    );
+    // Hand everything back: the stat above acquired the protected file,
+    // and resolving it re-acquires /guarded, so release leaf-first. The
+    // rolled-back directory now verifies cleanly.
+    attacker.release_path("/guarded/precious").unwrap();
+    attacker.release_path("/guarded").unwrap();
+    attacker.release_path("/").unwrap();
+    // Rolled back: a fresh mount sees no /guarded/evil.
+    let reader = LibFs::mount(kernel, Config::arckfs_plus(), 2).unwrap();
+    assert_eq!(reader.stat("/guarded/evil").unwrap_err(), FsError::NotFound);
+    if let Err(e) = reader.stat("/guarded/precious") {
+        panic!("reader cannot see the protected file: {e}");
+    }
+}

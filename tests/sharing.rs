@@ -1,0 +1,175 @@
+//! Cross-application sharing: ownership transfer, verification at
+//! handoffs, involuntary release, and trust groups (§5.4).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use arckfs::{Config, LibFs};
+use pmem::PmemDevice;
+use trio::{Geometry, Kernel, KernelConfig};
+use vfs::{read_file, write_file, FileSystem, FsError};
+
+const DEV: usize = 48 << 20;
+
+fn kernel() -> Arc<Kernel> {
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    Kernel::format(device, geom, KernelConfig::arckfs_plus()).expect("format")
+}
+
+#[test]
+fn ownership_transfer_via_release() {
+    let k = kernel();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+
+    write_file(a.as_ref(), "/note.txt", b"from a").unwrap();
+    // B cannot touch it while A holds everything.
+    assert!(matches!(
+        b.stat("/note.txt").unwrap_err(),
+        FsError::NotOwner { .. }
+    ));
+
+    a.unmount().unwrap();
+    assert_eq!(read_file(b.as_ref(), "/note.txt").unwrap(), b"from a");
+    // B extends the file; a third app sees the combined content after B
+    // hands it off.
+    let fd = b.open("/note.txt", vfs::OpenFlags::RDWR).unwrap();
+    b.write_at(fd, b" and b", 6).unwrap();
+    b.close(fd).unwrap();
+    b.unmount().unwrap();
+
+    let c = LibFs::mount(k, Config::arckfs_plus(), 0).unwrap();
+    assert_eq!(read_file(c.as_ref(), "/note.txt").unwrap(), b"from a and b");
+}
+
+#[test]
+fn every_handoff_verifies_outside_trust_groups() {
+    let k = kernel();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    a.mkdir("/shared").unwrap();
+    a.create("/shared/f")
+        .map(|fd| a.close(fd))
+        .unwrap()
+        .unwrap();
+    let before = k.stats().snapshot();
+    a.release_path("/shared").unwrap();
+    a.release_path("/").unwrap();
+    let after = k.stats().snapshot();
+    assert!(
+        after.verifications >= before.verifications + 2,
+        "both releases must verify: {before:?} -> {after:?}"
+    );
+}
+
+#[test]
+fn trust_group_skips_verification() {
+    let k = kernel();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    k.create_trust_group(&[a.id(), b.id()]).unwrap();
+
+    write_file(a.as_ref(), "/g.txt", b"group data").unwrap();
+    // Register the file with the kernel so B's acquire has a shadow entry.
+    a.commit_path("/").unwrap();
+
+    // B co-acquires while A still holds everything — allowed within the
+    // group, no verification.
+    let before = k.stats().snapshot();
+    assert_eq!(read_file(b.as_ref(), "/g.txt").unwrap(), b"group data");
+    let after = k.stats().snapshot();
+    assert_eq!(
+        after.verifications, before.verifications,
+        "intra-group sharing must not verify"
+    );
+    assert!(after.trust_skips > before.trust_skips);
+}
+
+#[test]
+fn trust_group_boundary_verifies_lazily() {
+    let k = kernel();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    k.create_trust_group(&[a.id(), b.id()]).unwrap();
+
+    write_file(a.as_ref(), "/boundary.txt", b"x").unwrap();
+    a.commit_path("/").unwrap();
+    // B joins in, then leaves: an intra-group release defers the check
+    // because A (same group) still holds the inode.
+    assert!(b.stat("/boundary.txt").is_ok());
+    let before = k.stats().snapshot();
+    b.release_path("/boundary.txt").unwrap();
+    b.release_path("/").unwrap();
+    let mid = k.stats().snapshot();
+    assert_eq!(
+        mid.verifications, before.verifications,
+        "intra-group release must defer verification"
+    );
+    // The last group member leaving is the group boundary: verify now.
+    a.unmount().unwrap();
+    let after = k.stats().snapshot();
+    assert!(
+        after.verifications > mid.verifications,
+        "the group boundary must verify"
+    );
+
+    // An outsider sees the verified state.
+    let outsider = LibFs::mount(k.clone(), Config::arckfs_plus(), 3).unwrap();
+    assert!(outsider.stat("/boundary.txt").is_ok());
+}
+
+#[test]
+fn involuntary_release_revokes_the_mapping() {
+    let k = kernel();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    write_file(a.as_ref(), "/seize.txt", b"mine").unwrap();
+    a.commit_path("/").unwrap();
+    let ino = a.stat("/seize.txt").unwrap().ino;
+
+    // The kernel forcefully takes the inode back (e.g. lease timeout).
+    k.force_release(a.id(), ino).unwrap();
+    assert!(!k.owns(a.id(), ino));
+    assert_eq!(k.stats().snapshot().forced_releases, 1);
+
+    // Another app can now take it.
+    let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    a.release_path("/").unwrap();
+    assert_eq!(read_file(b.as_ref(), "/seize.txt").unwrap(), b"mine");
+}
+
+#[test]
+fn rename_lease_times_out_against_a_stuck_holder() {
+    let device = PmemDevice::new(DEV);
+    let geom = Geometry::for_device(DEV);
+    let mut cfg = KernelConfig::arckfs_plus();
+    cfg.lease_timeout = Duration::from_millis(30);
+    let k = Kernel::format(device, geom, cfg).unwrap();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+
+    // A grabs the global rename lease and "crashes" (never releases).
+    let _token = k.rename_lease_acquire(a.id()).unwrap();
+    assert!(k.holds_rename_lease(a.id()));
+    // B is stuck only until the lease expires.
+    let t = k.rename_lease_acquire_blocking(b.id()).unwrap();
+    assert!(k.holds_rename_lease(b.id()));
+    k.rename_lease_release(b.id(), t).unwrap();
+}
+
+#[test]
+fn unregister_forces_everything_back() {
+    let k = kernel();
+    let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
+    a.mkdir("/d").unwrap();
+    write_file(a.as_ref(), "/d/f", b"payload").unwrap();
+    // Register so the forced releases verify rather than reject.
+    a.commit_path("/").unwrap();
+    a.commit_path("/d").unwrap();
+
+    // Unregister without the polite unmount (app died).
+    k.unregister_libfs(a.id()).unwrap();
+    assert!(k.stats().snapshot().forced_releases > 0);
+
+    let b = LibFs::mount(k, Config::arckfs_plus(), 0).unwrap();
+    assert_eq!(read_file(b.as_ref(), "/d/f").unwrap(), b"payload");
+}
