@@ -1,0 +1,12 @@
+#!/bin/sh
+# CI gate: release build, full test suite, lint-clean with warnings denied.
+#
+# Works fully offline: all external dependencies are path-resolved to the
+# stand-ins under vendor/ (the build environment cannot reach crates.io),
+# so no pre-warmed registry is required. Run from the repository root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -27,7 +27,7 @@ use trio::format::{
 use vfs::{FaultKind, FsError, FsResult};
 
 use crate::inject;
-use crate::inode::{DentryMeta, DirState, MemInode};
+use crate::inode::{DentryMeta, DirState, InodeState, MemInode};
 use crate::libfs::LibFs;
 
 /// A successful index lookup: the target inode and the core-state dentry
@@ -294,6 +294,19 @@ impl LibFs {
             let idx = (h as usize) % arr.len();
             self.count_lock();
             let mut b = arr[idx].lock();
+            // §4.3: a voluntary release may have landed between path
+            // resolution and this critical section. The release quiesce
+            // takes the bucket table exclusively, so checking here — under
+            // the table read guard — is race-free: if the inode is still
+            // acquired it cannot be unmapped until this section ends.
+            if self.config.fix_release_sync && dir.state() != InodeState::Acquired {
+                return Err(FsError::Released { ino: dir.ino });
+            }
+            // Re-clone the mapping after the state check: a release +
+            // re-acquire in the resolution window swaps the mapping, so
+            // the pre-section handle could be stale even though the inode
+            // is (again) acquired.
+            let mapping = dir.mapping_handle();
             dup_check(&b)?;
             let off = self.reserve_dentry_slot(dir, &mapping)?;
             init_child(self)?;
@@ -361,6 +374,27 @@ impl LibFs {
     /// not written yet (§4.4's observed segfault, surfaced here as
     /// [`FaultKind::DanglingCoreRef`]).
     pub(crate) fn dir_remove(&self, dir: &MemInode, name: &str) -> FsResult<DentryMeta> {
+        self.dir_remove_validated(dir, name, |_| Ok(()))
+    }
+
+    /// [`LibFs::dir_remove`] with a caller-supplied validation step.
+    ///
+    /// In the patched (§4.4) mode, `validate` runs *inside* the bucket
+    /// critical section, after the entry is found and before anything is
+    /// mutated — so checks against the target inode's core state (type,
+    /// emptiness, commit marker) are atomic with the removal. Checking
+    /// outside the section is racy: a concurrent remove of the same name
+    /// can complete — clearing the target's core state and recycling its
+    /// inode — between this thread's lookup and its checks, misreporting a
+    /// benign lost race as a core-state fault. In the unpatched mode the
+    /// closure is not used; buggy callers keep their checks outside the
+    /// lock, which is the bug.
+    pub(crate) fn dir_remove_validated(
+        &self,
+        dir: &MemInode,
+        name: &str,
+        validate: impl FnOnce(&DentryMeta) -> FsResult<()>,
+    ) -> FsResult<DentryMeta> {
         let ds = dir.dir_state().ok_or(FsError::NotADirectory)?;
         let mapping = dir.mapping_handle();
         let h = DirState::name_hash(name);
@@ -385,7 +419,15 @@ impl LibFs {
             let slot = (h as usize) % arr.len();
             self.count_lock();
             let mut b = arr[slot].lock();
+            // §4.3 state check + fresh mapping, as in `dir_insert`.
+            if self.config.fix_release_sync && dir.state() != InodeState::Acquired {
+                return Err(FsError::Released { ino: dir.ino });
+            }
+            let mapping = dir.mapping_handle();
             let (idx, meta) = find(&b)?.ok_or(FsError::NotFound)?;
+            // Caller checks, atomic with the removal (see above). Nothing
+            // has been mutated yet, so an error here is a clean abort.
+            validate(&meta)?;
             // Core first, still inside the critical section (§4.4 patch).
             self.tombstone_dentry_core(&mapping, meta.log_off)?;
             ds.free_slots.lock().push(meta.log_off);
@@ -479,12 +521,130 @@ impl LibFs {
         old_name: &str,
         new_name: &str,
     ) -> FsResult<()> {
-        let meta = self.dir_lookup(dir, old_name)?.ok_or(FsError::NotFound)?;
-        if self.dir_lookup(dir, new_name)?.is_some() {
-            return Err(FsError::AlreadyExists);
+        if self.config.fix_state_sync {
+            // PATCHED: both names' bucket critical sections are entered
+            // together (ordered by bucket index), making the insert of the
+            // new name and the removal of the old one one atomic step. The
+            // unpatched compose below loses a race against a concurrent
+            // `unlink`/`rename` of the old name: its insert survives while
+            // its remove misses, leaving an auxiliary entry for an inode
+            // the other thread then frees — the §4.4 dangling-core-
+            // reference crash, one level up.
+            if new_name.len() > DENTRY_NAME_CAP {
+                return Err(FsError::NameTooLong);
+            }
+            let ds = dir.dir_state().ok_or(FsError::NotADirectory)?;
+            let seq = dir.next_seq();
+            let h_old = DirState::name_hash(old_name);
+            let h_new = DirState::name_hash(new_name);
+            let arr = ds.buckets.read();
+            let i_old = (h_old as usize) % arr.len();
+            let i_new = (h_new as usize) % arr.len();
+            if i_old == i_new {
+                self.count_lock();
+                let mut b = arr[i_old].lock();
+                self.rename_in_buckets(dir, ds, &mut b, None, (old_name, h_old), (new_name, h_new), seq)
+            } else {
+                let (lo, hi) = (i_old.min(i_new), i_old.max(i_new));
+                self.count_lock();
+                let mut g_lo = arr[lo].lock();
+                self.count_lock();
+                let mut g_hi = arr[hi].lock();
+                let (b_old, b_new) = if i_old < i_new {
+                    (&mut *g_lo, &mut *g_hi)
+                } else {
+                    (&mut *g_hi, &mut *g_lo)
+                };
+                self.rename_in_buckets(dir, ds, b_old, Some(b_new), (old_name, h_old), (new_name, h_new), seq)
+            }
+        } else {
+            // BUGGY compose: two independent critical sections; the window
+            // between them is the orphan-entry race described above.
+            let meta = self.dir_lookup(dir, old_name)?.ok_or(FsError::NotFound)?;
+            if self.dir_lookup(dir, new_name)?.is_some() {
+                return Err(FsError::AlreadyExists);
+            }
+            self.dir_insert(dir, new_name, meta.ino, |_| Ok(()))?;
+            self.dir_remove(dir, old_name)?;
+            Ok(())
         }
-        self.dir_insert(dir, new_name, meta.ino, |_| Ok(()))?;
-        self.dir_remove(dir, old_name)?;
+    }
+
+    /// The body of the atomic same-directory rename, with both bucket
+    /// locks (or the one shared lock, `b_new = None`) already held.
+    #[allow(clippy::too_many_arguments)]
+    fn rename_in_buckets(
+        &self,
+        dir: &MemInode,
+        ds: &DirState,
+        b_old: &mut Vec<(u64, rcu::ArenaRef)>,
+        b_new: Option<&mut Vec<(u64, rcu::ArenaRef)>>,
+        (old_name, h_old): (&str, u64),
+        (new_name, h_new): (&str, u64),
+        seq: u64,
+    ) -> FsResult<()> {
+        // §4.3 state check + fresh mapping, as in `dir_insert`.
+        if self.config.fix_release_sync && dir.state() != InodeState::Acquired {
+            return Err(FsError::Released { ino: dir.ino });
+        }
+        let mapping = dir.mapping_handle();
+        let mut found = None;
+        for (i, (hash, r)) in b_old.iter().enumerate() {
+            if *hash != h_old {
+                continue;
+            }
+            let m = ds
+                .arena
+                .read(*r, |m| (m.name == old_name).then(|| m.clone()))
+                .map_err(uaf_fault)?;
+            if let Some(m) = m {
+                found = Some((i, m));
+                break;
+            }
+        }
+        let (idx_old, meta) = found.ok_or(FsError::NotFound)?;
+        {
+            let bn: &Vec<(u64, rcu::ArenaRef)> = match b_new.as_deref() {
+                Some(b) => b,
+                None => b_old,
+            };
+            for (hash, r) in bn.iter() {
+                if *hash != h_new {
+                    continue;
+                }
+                if ds.arena.read(*r, |m| m.name == new_name).map_err(uaf_fault)? {
+                    return Err(FsError::AlreadyExists);
+                }
+            }
+        }
+        // Core state: commit the new dentry with the full §4.2 protocol,
+        // then tombstone the old one. A crash between the two leaves both
+        // names pointing at the inode — the same partially-applied rename
+        // a crash inside the unpatched compose admits; recovery keeps
+        // both, fsck reports neither as structural damage.
+        let off = self.reserve_dentry_slot(dir, &mapping)?;
+        self.write_dentry_core(&mapping, off, new_name, meta.ino, seq)?;
+        self.tombstone_dentry_core(&mapping, meta.log_off)?;
+        ds.free_slots.lock().push(meta.log_off);
+        // Auxiliary state: append the new entry, then drop the old one.
+        // Appending cannot shift `idx_old`, so the index stays valid even
+        // when both names share a bucket.
+        let r_new = ds.arena.insert(DentryMeta {
+            name: new_name.to_string(),
+            ino: meta.ino,
+            log_off: off,
+        });
+        match b_new {
+            Some(b) => b.push((h_new, r_new)),
+            None => b_old.push((h_new, r_new)),
+        }
+        let (_, r_old) = b_old.remove(idx_old);
+        if self.config.fix_dir_bucket_rcu {
+            ds.arena.free_deferred(r_old, &self.rcu);
+        } else {
+            let _ = ds.arena.free(r_old);
+        }
+        // Live-entry count is unchanged (+1 −1), so no size update.
         Ok(())
     }
 }

@@ -14,10 +14,23 @@ use trio::format::{I_DINDIRECT, I_DIRECT, I_INDIRECT, I_SIZE, NDIRECT, PTRS_PER_
 use vfs::{FsError, FsResult};
 
 use crate::dir::map_fault;
-use crate::inode::MemInode;
+use crate::inode::{InodeState, MemInode};
 use crate::libfs::LibFs;
 
 impl LibFs {
+    /// §4.3 state check, run once the file lock is held: the patched
+    /// release takes the same lock in write mode before unmapping, so an
+    /// `Acquired` observed here cannot turn stale until the lock drops.
+    /// A `Released` observation turns into the internal retry sentinel
+    /// (the caller re-acquires and replays) instead of the bus error the
+    /// original artifact dies with.
+    fn file_release_check(&self, file: &MemInode) -> FsResult<()> {
+        if self.config.fix_release_sync && file.state() != InodeState::Acquired {
+            return Err(FsError::Released { ino: file.ino });
+        }
+        Ok(())
+    }
+
     /// Resolve the data page backing block `idx` of the file. With
     /// `alloc`, missing pages (and missing indirect pages) are allocated
     /// and linked; otherwise 0 is returned for holes.
@@ -113,6 +126,7 @@ impl LibFs {
     ) -> FsResult<usize> {
         self.count_lock();
         let _r = file.rw.read();
+        self.file_release_check(file)?;
         let mapping = file.mapping_handle();
         let size = self.file_size(file, &mapping)?;
         if offset >= size {
@@ -151,6 +165,7 @@ impl LibFs {
     ) -> FsResult<usize> {
         self.count_lock();
         let _w = file.rw.write();
+        self.file_release_check(file)?;
         let mapping = file.mapping_handle();
         inject::point_file_write();
 
@@ -266,6 +281,7 @@ impl LibFs {
     pub(crate) fn file_truncate(&self, file: &MemInode, size: u64) -> FsResult<()> {
         self.count_lock();
         let _w = file.rw.write();
+        self.file_release_check(file)?;
         let mapping = file.mapping_handle();
         let old = self.file_size(file, &mapping)?;
         if size < old {

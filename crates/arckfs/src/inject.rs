@@ -11,7 +11,22 @@
 //! Points are global (the LibFS code cannot thread a handle through every
 //! call path), so tests must use unique point names — the convention is
 //! `"<module>.<operation>.<site>"` with a test-specific suffix where tests
-//! could collide.
+//! could collide. [`arm`] panics on a name that is already armed, so a
+//! collision fails loudly instead of silently releasing the other test's
+//! victims.
+//!
+//! # Gate lifecycle (RAII)
+//!
+//! [`arm`] returns a [`Gate`] guard; **all** disarming runs in its `Drop`:
+//! the armed count drops, parked victims are woken, and the registry entry
+//! is reclaimed. Because `Drop` also runs during unwinding, a test that
+//! panics while its gate is armed — even with victim threads parked on the
+//! point — cannot leave `ARMED` elevated or strand the victims: they are
+//! released mid-unwind and the next `point()` call is a no-op again. The
+//! drain-wait is bounded ([`DRAIN_TIMEOUT`]) so a victim wedged on some
+//! *other* resource can delay teardown only briefly, not hang the whole
+//! suite; the registry entry is kept in that case so stragglers still
+//! unpark cleanly.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -81,18 +96,50 @@ pub struct Gate {
     name: String,
 }
 
+/// How long a dropped [`Gate`] waits for parked victims to drain before
+/// giving up (the entry is retained so stragglers still unpark).
+pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Arm the named point: subsequent [`point`] calls with this name park
 /// until released.
+///
+/// # Panics
+///
+/// If `name` is already armed — two live gates on one name would let the
+/// first drop silently release the second's victims (and leave `ARMED`
+/// elevated until the zombie gate finally drops), so the collision is
+/// rejected up front.
 pub fn arm(name: &str) -> Gate {
     let reg = registry();
     let mut gates = reg.gates.lock();
     let g = gates.entry(name.to_string()).or_default();
+    assert!(
+        !g.armed,
+        "schedule point '{name}' is already armed — point names must be \
+         unique per test (see module docs)"
+    );
     g.armed = true;
     g.reached = 0;
     ARMED.fetch_add(1, Ordering::SeqCst);
     Gate {
         name: name.to_string(),
     }
+}
+
+/// Whether the named point is currently armed (test introspection).
+pub fn is_armed(name: &str) -> bool {
+    registry()
+        .gates
+        .lock()
+        .get(name)
+        .map(|g| g.armed)
+        .unwrap_or(false)
+}
+
+/// Number of currently armed gates, i.e. the fast-path counter [`point`]
+/// checks (test introspection).
+pub fn armed_count() -> usize {
+    ARMED.load(Ordering::SeqCst)
 }
 
 impl Gate {
@@ -139,10 +186,22 @@ impl Drop for Gate {
             g.armed = false;
         }
         reg.cv.notify_all();
-        // Wait for parked threads to drain so the test observes a clean
-        // state after release.
+        // Wait (bounded) for parked threads to drain so the test observes
+        // a clean state after release. The bound matters during a panic
+        // unwind: a victim additionally wedged on some other resource must
+        // not turn one failing test into a hung suite.
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
         while gates.get(&self.name).map(|g| g.parked > 0).unwrap_or(false) {
-            reg.cv.wait(&mut gates);
+            let now = Instant::now();
+            if now >= deadline {
+                eprintln!(
+                    "inject: gate '{}' dropped but victims are still parked \
+                     after {DRAIN_TIMEOUT:?}; leaving entry for stragglers",
+                    self.name
+                );
+                return;
+            }
+            reg.cv.wait_for(&mut gates, deadline - now);
         }
         gates.remove(&self.name);
     }
@@ -208,5 +267,50 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// Regression: a test that panics while its gate is armed *and a
+    /// victim is parked on the point* must not leak the armed state — the
+    /// RAII guard's unwind releases the victim, restores the fast path
+    /// and reclaims the entry.
+    #[test]
+    fn panicking_test_cannot_leak_an_armed_gate() {
+        const NAME: &str = "inject.test.panic_unwind";
+        let (tx, rx) = std::sync::mpsc::channel();
+        let panicker = std::thread::spawn(move || {
+            let gate = arm(NAME);
+            tx.send(()).unwrap();
+            assert!(gate.wait_reached(Duration::from_secs(5)), "victim parked");
+            panic!("simulated test failure with a parked victim");
+        });
+        rx.recv().unwrap();
+        let victim = std::thread::spawn(|| point(NAME));
+
+        // The simulated test fails...
+        assert!(panicker.join().is_err());
+        // ...but its victim was released during the unwind,
+        victim.join().expect("victim must be released, not stranded");
+        // the point is disarmed,
+        assert!(!is_armed(NAME));
+        // and calling it again is a fast no-op.
+        let t = Instant::now();
+        point(NAME);
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    /// Regression: arming one name twice is a loud error, not a silent
+    /// cross-release of the first gate's victims.
+    #[test]
+    fn double_arm_same_name_panics() {
+        const NAME: &str = "inject.test.double_arm";
+        let g1 = arm(NAME);
+        let before = armed_count();
+        let second = std::panic::catch_unwind(|| arm(NAME));
+        assert!(second.is_err(), "second arm of one name must panic");
+        // The failed arm changed nothing: still armed once, counter intact.
+        assert!(is_armed(NAME));
+        assert_eq!(armed_count(), before);
+        g1.release();
+        assert!(!is_armed(NAME));
     }
 }

@@ -30,7 +30,7 @@ pub struct DentryMeta {
 }
 
 /// Append state of one directory-log tail.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Tail {
     /// First page of this tail's chain (0 = none yet).
     pub head_page: u64,

@@ -32,6 +32,22 @@ struct FdEntry {
     flags: OpenFlags,
 }
 
+/// Result of a read-only pass over a directory's persistent dentry log
+/// ([`LibFs::scan_dir_log`]): everything needed to (re)build the auxiliary
+/// index without touching any existing in-memory state.
+struct DirScan {
+    /// Winning entry per live name: `(name, child ino, log offset)`.
+    live: Vec<(String, u64, u64)>,
+    /// Offsets of losing duplicates that still need a repair tombstone.
+    stale: Vec<u64>,
+    /// Offsets of tombstoned slots available for reuse.
+    reusable: Vec<u64>,
+    /// Per-tail append positions rebuilt from the page chains.
+    tails: Vec<crate::inode::Tail>,
+    /// Highest dentry sequence number observed in the log.
+    max_seq: u64,
+}
+
 /// A per-application ArckFS LibFS instance.
 pub struct LibFs {
     pub(crate) kernel: Arc<Kernel>,
@@ -44,6 +60,11 @@ pub struct LibFs {
     pub(crate) rcu: Arc<Rcu>,
     pub(crate) uid: u32,
     inodes: RwLock<HashMap<u64, Arc<MemInode>>>,
+    /// Serializes §4.3 re-acquisition ([`LibFs::revive_inode`]) so two
+    /// threads racing to revive the same released inode cannot double-issue
+    /// the kernel acquire or interleave their auxiliary-state rebuilds.
+    /// Always taken with no other inode locks held.
+    revive_lock: Mutex<()>,
     /// Pool of granted inode numbers with their (possibly already stale
     /// after a release) mappings.
     ino_pool: Mutex<Vec<(u64, Option<Mapping>)>>,
@@ -85,6 +106,7 @@ impl LibFs {
             rcu: Rcu::new(),
             uid,
             inodes: RwLock::new(HashMap::new()),
+            revive_lock: Mutex::new(()),
             ino_pool: Mutex::new(Vec::new()),
             page_pool: Mutex::new(Vec::new()),
             fds: RwLock::new(HashMap::new()),
@@ -169,17 +191,130 @@ impl LibFs {
     /// Fetch the in-memory inode for `ino`, acquiring it from the kernel
     /// (and rebuilding the auxiliary state from the core state) if this
     /// LibFS does not currently hold it.
+    ///
+    /// A released inode that is still cached is revived **in place**
+    /// ([`LibFs::revive_inode`]) rather than rebuilt as a fresh
+    /// [`MemInode`]. Rebuilding would put a second instance — with its own
+    /// bucket, tail and metadata locks — into circulation while other
+    /// threads still hold the old `Arc`, silently splitting the mutual
+    /// exclusion every directory operation relies on (and letting a
+    /// concurrent release quiesce the wrong instance's locks before
+    /// unmapping the one everyone else is using).
     pub(crate) fn get_inode(&self, ino: u64, parent_hint: u64) -> FsResult<Arc<MemInode>> {
-        if let Some(mi) = self.inodes.read().get(&ino) {
+        if let Some(mi) = self.inodes.read().get(&ino).cloned() {
             if mi.state() == InodeState::Acquired {
-                return Ok(mi.clone());
+                return Ok(mi);
             }
+            return self.revive_inode(&mi);
         }
-        // (Re-)acquire through the kernel, then rebuild auxiliary state.
+        // First sight of this inode: acquire and build under the map's
+        // write lock so two concurrent misses cannot install two rival
+        // instances (the same split-lock hazard as above).
+        let mut map = self.inodes.write();
+        if let Some(mi) = map.get(&ino).cloned() {
+            drop(map);
+            if mi.state() == InodeState::Acquired {
+                return Ok(mi);
+            }
+            return self.revive_inode(&mi);
+        }
         let grant = self.kernel.acquire(self.id, ino)?;
         let mi = self.build_mem_inode(ino, parent_hint, grant.mapping)?;
-        self.inodes.write().insert(ino, mi.clone());
+        map.insert(ino, mi.clone());
         Ok(mi)
+    }
+
+    /// Re-acquire a released inode (§4.3's "the next write transparently
+    /// re-acquires") without replacing its [`MemInode`].
+    ///
+    /// The revival takes the same locks, in the same order, as the patched
+    /// release quiesce (file lock → bucket table → tails → metadata) and
+    /// holds them across the kernel acquire *and* the auxiliary-state
+    /// rebuild. That closes the window where a concurrent release could
+    /// invalidate the freshly granted mapping between the grant and the
+    /// moment the inode flips back to [`InodeState::Acquired`].
+    pub(crate) fn revive_inode(&self, mi: &Arc<MemInode>) -> FsResult<Arc<MemInode>> {
+        let _serial = self.revive_lock.lock();
+        if mi.state() == InodeState::Acquired {
+            return Ok(mi.clone()); // another thread got here first
+        }
+        let _w = mi.rw.write();
+        let mut table = mi.dir_state().map(|ds| {
+            self.count_lock();
+            ds.buckets.write()
+        });
+        let mut tails = Vec::new();
+        if let Some(ds) = mi.dir_state() {
+            for t in &ds.tails {
+                self.count_lock();
+                tails.push(t.lock());
+            }
+        }
+        let _m = mi.meta.lock();
+
+        let grant = self.kernel.acquire(self.id, mi.ino)?;
+        let raw = format::read_inode(self.kernel.device(), &self.geom, mi.ino)
+            .map_err(|e| FsError::Internal(e.to_string()))?;
+        if !raw.is_committed(mi.ino) {
+            return Err(if raw.marker == 0 {
+                // Freed by whoever held it in the interim: the name this
+                // path resolved through no longer leads anywhere.
+                FsError::NotFound
+            } else {
+                FsError::Corrupted(format!(
+                    "re-acquired inode {} has bad commit marker {:#x}",
+                    mi.ino, raw.marker
+                ))
+            });
+        }
+
+        let mut max_seq = 0;
+        if let Some(ds) = mi.dir_state() {
+            // Rebuild the index from the core state (Figure 1 step ③ —
+            // another LibFS may have changed the directory while it was
+            // released), splicing into the *existing* DirState under the
+            // exclusive guards taken above.
+            let scan = self.scan_dir_log(&raw)?;
+            max_seq = scan.max_seq;
+            for off in &scan.stale {
+                self.tombstone_dentry_core(&grant.mapping, *off)?;
+            }
+            let table = table.as_mut().expect("directory has a bucket table");
+            for bucket in table.iter_mut() {
+                for (_, r) in bucket.get_mut().drain(..) {
+                    if self.config.fix_dir_bucket_rcu {
+                        ds.arena.free_deferred(r, &self.rcu);
+                    } else {
+                        let _ = ds.arena.free(r);
+                    }
+                }
+            }
+            let nbuckets = table.len();
+            let mut live = 0u64;
+            for (name, child, off) in scan.live {
+                let h = DirState::name_hash(&name);
+                let r = ds.arena.insert(crate::inode::DentryMeta {
+                    name,
+                    ino: child,
+                    log_off: off,
+                });
+                table[(h as usize) % nbuckets].get_mut().push((h, r));
+                live += 1;
+            }
+            ds.live.store(live, Ordering::SeqCst);
+            *ds.free_slots.lock() = scan.reusable;
+            for (guard, rebuilt) in tails.iter_mut().zip(scan.tails) {
+                **guard = rebuilt;
+            }
+        }
+        mi.cached_size.store(raw.size, Ordering::SeqCst);
+        mi.cached_nlink.store(raw.nlink, Ordering::SeqCst);
+        mi.seq.store(raw.seq.max(max_seq).max(mi.seq.load(Ordering::SeqCst)), Ordering::SeqCst);
+        // Publish last: once the state flips, waiters bail out of their
+        // Released retries and enter critical sections against the new
+        // mapping installed here.
+        mi.mark_acquired(grant.mapping);
+        Ok(mi.clone())
     }
 
     /// Build the auxiliary state of `ino` from its core state ("③ the
@@ -194,10 +329,16 @@ impl LibFs {
         let raw = format::read_inode(device, &self.geom, ino)
             .map_err(|e| FsError::Internal(e.to_string()))?;
         if !raw.is_committed(ino) {
-            return Err(FsError::Corrupted(format!(
-                "acquired inode {ino} has bad commit marker {:#x}",
-                raw.marker
-            )));
+            return Err(if raw.marker == 0 {
+                // Freed between resolution and acquisition — the lost race
+                // is benign and reports as a missing name, not corruption.
+                FsError::NotFound
+            } else {
+                FsError::Corrupted(format!(
+                    "acquired inode {ino} has bad commit marker {:#x}",
+                    raw.marker
+                ))
+            });
         }
         let itype = raw
             .inode_type()
@@ -224,16 +365,56 @@ impl LibFs {
     /// images) are resolved by sequence number, repairing the loser with a
     /// tombstone.
     fn rebuild_dir_state(&self, raw: &format::RawInode) -> FsResult<DirState> {
-        let device = self.kernel.device();
         let ds = DirState::new(self.config.dir_buckets, raw.ntails.max(1) as usize);
+        let scan = self.scan_dir_log(raw)?;
 
+        let mapping = &self.base_mapping;
+        for off in &scan.stale {
+            self.tombstone_dentry_core(mapping, *off)?;
+        }
+        ds.free_slots.lock().extend(scan.reusable);
+        for (name, child, off) in scan.live {
+            let h = DirState::name_hash(&name);
+            let r = ds.arena.insert(crate::inode::DentryMeta {
+                name,
+                ino: child,
+                log_off: off,
+            });
+            let arr = ds.buckets.read();
+            let idx = (h as usize) % arr.len();
+            arr[idx].lock().push((h, r));
+            ds.live.fetch_add(1, Ordering::Relaxed);
+        }
+        for (tail, rebuilt) in ds.tails.iter().zip(scan.tails) {
+            *tail.lock() = rebuilt;
+        }
+        Ok(ds)
+    }
+
+    /// Read-only pass over a directory's core state: the live entries
+    /// (duplicates resolved by sequence number), the tombstoned slots
+    /// available for reuse, the losers that still need a repair tombstone,
+    /// the per-tail append positions, and the highest dentry sequence seen.
+    /// Touches only the device — never the auxiliary state — so it can run
+    /// both when building a fresh [`DirState`] and while splicing into an
+    /// existing one under its exclusive guards.
+    fn scan_dir_log(&self, raw: &format::RawInode) -> FsResult<DirScan> {
+        let device = self.kernel.device();
         let mut best: HashMap<String, (u64, u64, u64)> = HashMap::new(); // name -> (seq, ino, off)
-        let mut stale: Vec<u64> = Vec::new();
-        let mut reusable: Vec<u64> = Vec::new();
+        let mut scan = DirScan {
+            live: Vec::new(),
+            stale: Vec::new(),
+            reusable: Vec::new(),
+            tails: vec![crate::inode::Tail::default(); raw.ntails.max(1) as usize],
+            max_seq: 0,
+        };
         format::walk_dir_log(device, &self.geom, raw, |d| {
+            if d.marker != 0 {
+                scan.max_seq = scan.max_seq.max(d.seq);
+            }
             if !d.is_live() {
                 if d.marker != 0 {
-                    reusable.push(d.offset);
+                    scan.reusable.push(d.offset);
                 }
                 return;
             }
@@ -243,47 +424,32 @@ impl LibFs {
             };
             match best.get(&name) {
                 Some(&(seq, _, off)) if d.seq > seq => {
-                    stale.push(off);
+                    scan.stale.push(off);
                     best.insert(name, (d.seq, d.ino, d.offset));
                 }
-                Some(_) => stale.push(d.offset),
+                Some(_) => scan.stale.push(d.offset),
                 None => {
                     best.insert(name, (d.seq, d.ino, d.offset));
                 }
             }
         })
         .map_err(FsError::Corrupted)?;
+        scan.live = best
+            .into_iter()
+            .map(|(name, (_, child, off))| (name, child, off))
+            .collect();
 
-        let mapping = &self.base_mapping;
-        for off in stale {
-            self.tombstone_dentry_core(mapping, off)?;
-        }
-        ds.free_slots.lock().extend(reusable);
-        for (name, (_, child, off)) in best {
-            let r = ds.arena.insert(crate::inode::DentryMeta {
-                name: name.clone(),
-                ino: child,
-                log_off: off,
-            });
-            let h = DirState::name_hash(&name);
-            let arr = ds.buckets.read();
-            let idx = (h as usize) % arr.len();
-            arr[idx].lock().push((h, r));
-            ds.live.fetch_add(1, Ordering::Relaxed);
-        }
-
-        // Rebuild tail append positions: last page of each chain and the
-        // slot index one past the last committed record.
-        for (t, tail) in ds.tails.iter().enumerate() {
-            let mut guard = tail.lock();
+        // Tail append positions: last page of each chain and the slot
+        // index one past the last committed record.
+        for (t, tail) in scan.tails.iter_mut().enumerate() {
             let mut page = raw.direct[t];
-            guard.head_page = page;
+            tail.head_page = page;
             while page != 0 {
                 let next = device
                     .read_u64(page * pmem::PAGE_SIZE as u64)
                     .map_err(|e| FsError::Internal(e.to_string()))?;
                 if next == 0 {
-                    guard.cur_page = page;
+                    tail.cur_page = page;
                     // One page read, then scan markers from the buffer.
                     let mut buf = [0u8; pmem::PAGE_SIZE];
                     device
@@ -297,12 +463,12 @@ impl LibFs {
                             last_used = slot + 1;
                         }
                     }
-                    guard.next_slot = last_used;
+                    tail.next_slot = last_used;
                 }
                 page = next;
             }
         }
-        Ok(ds)
+        Ok(scan)
     }
 
     // ---- path resolution -----------------------------------------------------
@@ -705,7 +871,22 @@ impl LibFs {
             // The actual relocation in core + auxiliary state: commit the
             // new dentry, then tombstone the old.
             self.dir_insert(&to_parent, to_name, meta.ino, |_| Ok(()))?;
-            self.dir_remove(&from_parent, from_name)?;
+            // Once the insert has landed the operation is past the point of
+            // no return: replaying the whole rename would find the new name
+            // already present. So a §4.3 release of the old parent is
+            // handled here, by reviving it and retrying just the removal.
+            let mut fp = from_parent.clone();
+            loop {
+                match self.dir_remove(&fp, from_name) {
+                    Err(FsError::Released { .. }) if self.config.fix_release_sync => {
+                        fp = self.revive_inode(&fp)?;
+                    }
+                    other => {
+                        other?;
+                        break;
+                    }
+                }
+            }
             child.parent.store(to_parent.ino, Ordering::SeqCst);
 
             if self.config.fix_rename {
@@ -821,44 +1002,107 @@ impl LibFs {
     fn remove_impl(&self, path: &str, want_dir: bool) -> FsResult<()> {
         let (parent_comps, name) = vpath::split_parent(path)?;
         let parent = self.resolve_dir(&parent_comps)?;
-        let meta = self.dir_lookup(&parent, name)?.ok_or(FsError::NotFound)?;
 
-        // Load the child inode directly from the mapped core state, as the
-        // C artifact does by pointer. If a racing create has inserted the
-        // auxiliary entry but not yet written the core state (§4.4, buggy
-        // mode), this is the dereference that crashes there — here it
-        // surfaces as a detected dangling core reference.
-        let pm = parent.mapping_handle();
-        let ibase = self.geom.inode_offset(meta.ino);
-        let marker = pm.read_u64(ibase + I_MARKER).map_err(map_fault)?;
-        if marker != meta.ino {
-            return Err(FsError::Fault(vfs::FaultKind::DanglingCoreRef {
-                offset: ibase,
-                detail: format!(
-                    "auxiliary index names '{name}' (inode {}) but its core state is                      uninitialized (racing create updated only the auxiliary state)",
-                    meta.ino
-                ),
-            }));
-        }
-        let itype = InodeType::from_raw(pm.read_u32(ibase + I_TYPE).map_err(map_fault)?)
-            .ok_or_else(|| FsError::Corrupted(format!("inode {} has malformed type", meta.ino)))?;
-        match (itype, want_dir) {
-            (InodeType::Directory, false) => return Err(FsError::IsADirectory),
-            (InodeType::Regular, true) => return Err(FsError::NotADirectory),
-            _ => {}
-        }
-        if want_dir {
-            let live = pm.read_u64(ibase + I_SIZE).map_err(map_fault)?;
-            if live != 0 {
-                return Err(FsError::NotEmpty);
+        // §4.3: hold the parent's file lock in read mode across the removal
+        // and the post-removal teardown. The release quiesce takes it in
+        // write mode first, so the mapping the child's core state is torn
+        // down through cannot go stale mid-free. Taken before the bucket
+        // locks — the same order as the release path itself.
+        let _no_release = self.config.fix_release_sync.then(|| parent.rw.read());
+
+        let (child_ino, itype) = if self.config.fix_state_sync {
+            // PATCHED (§4.4): the checks against the child's core state
+            // (commit marker, type, emptiness) run inside the removal's
+            // bucket critical section, atomic with the dentry removal. A
+            // concurrent remove of the same name is then a clean lost race
+            // (`NotFound`) instead of a misreported core-state fault: with
+            // the checks outside the section, the rival can clear the
+            // child's commit marker between this thread's lookup and its
+            // marker read.
+            let mut checked = None;
+            let meta = self.dir_remove_validated(&parent, name, |m| {
+                let pm = parent.mapping_handle();
+                let ibase = self.geom.inode_offset(m.ino);
+                let marker = pm.read_u64(ibase + I_MARKER).map_err(map_fault)?;
+                if marker != m.ino {
+                    return Err(FsError::Fault(vfs::FaultKind::DanglingCoreRef {
+                        offset: ibase,
+                        detail: format!(
+                            "auxiliary index names '{name}' (inode {}) but its core state is \
+                             uninitialized (racing create updated only the auxiliary state)",
+                            m.ino
+                        ),
+                    }));
+                }
+                let itype = InodeType::from_raw(pm.read_u32(ibase + I_TYPE).map_err(map_fault)?)
+                    .ok_or_else(|| {
+                        FsError::Corrupted(format!("inode {} has malformed type", m.ino))
+                    })?;
+                match (itype, want_dir) {
+                    (InodeType::Directory, false) => return Err(FsError::IsADirectory),
+                    (InodeType::Regular, true) => return Err(FsError::NotADirectory),
+                    _ => {}
+                }
+                if want_dir {
+                    let live = pm.read_u64(ibase + I_SIZE).map_err(map_fault)?;
+                    if live != 0 {
+                        return Err(FsError::NotEmpty);
+                    }
+                }
+                checked = Some(itype);
+                Ok(())
+            })?;
+            (
+                meta.ino,
+                checked.expect("validate ran before a successful removal"),
+            )
+        } else {
+            let meta = self.dir_lookup(&parent, name)?.ok_or(FsError::NotFound)?;
+
+            // Load the child inode directly from the mapped core state, as
+            // the C artifact does by pointer. If a racing create has
+            // inserted the auxiliary entry but not yet written the core
+            // state (§4.4, buggy mode), this is the dereference that
+            // crashes there — here it surfaces as a detected dangling core
+            // reference.
+            let pm = parent.mapping_handle();
+            let ibase = self.geom.inode_offset(meta.ino);
+            let marker = pm.read_u64(ibase + I_MARKER).map_err(map_fault)?;
+            if marker != meta.ino {
+                return Err(FsError::Fault(vfs::FaultKind::DanglingCoreRef {
+                    offset: ibase,
+                    detail: format!(
+                        "auxiliary index names '{name}' (inode {}) but its core state is \
+                         uninitialized (racing create updated only the auxiliary state)",
+                        meta.ino
+                    ),
+                }));
             }
-        }
+            let itype = InodeType::from_raw(pm.read_u32(ibase + I_TYPE).map_err(map_fault)?)
+                .ok_or_else(|| {
+                    FsError::Corrupted(format!("inode {} has malformed type", meta.ino))
+                })?;
+            match (itype, want_dir) {
+                (InodeType::Directory, false) => return Err(FsError::IsADirectory),
+                (InodeType::Regular, true) => return Err(FsError::NotADirectory),
+                _ => {}
+            }
+            if want_dir {
+                let live = pm.read_u64(ibase + I_SIZE).map_err(map_fault)?;
+                if live != 0 {
+                    return Err(FsError::NotEmpty);
+                }
+            }
 
-        // Remove the dentry first, then free the inode and its pages.
-        self.dir_remove(&parent, name)?;
+            // Remove the dentry first, then free the inode and its pages.
+            self.dir_remove(&parent, name)?;
+            (meta.ino, itype)
+        };
 
+        let pm = parent.mapping_handle();
+        let ibase = self.geom.inode_offset(child_ino);
         let mut pages = if itype == InodeType::Regular {
-            self.file_collect_pages(meta.ino, &pm)?
+            self.file_collect_pages(child_ino, &pm)?
         } else {
             // Directory log pages, from the on-PM tail heads.
             let mut pages = Vec::new();
@@ -884,24 +1128,50 @@ impl LibFs {
 
         // If the kernel granted us this inode through acquire, hand it
         // back (the verifier accepts freed inodes).
-        let had_shadow = self.kernel.shadow_entry(meta.ino).is_some();
-        if self.kernel.owns(self.id, meta.ino) && had_shadow {
-            self.kernel.release(self.id, meta.ino)?;
+        let had_shadow = self.kernel.shadow_entry(child_ino).is_some();
+        if self.kernel.owns(self.id, child_ino) && had_shadow {
+            self.kernel.release(self.id, child_ino)?;
         }
-        let removed = self.inodes.write().remove(&meta.ino);
+        let removed = self.inodes.write().remove(&child_ino);
         pages.sort_unstable();
         pages.dedup();
         self.recycle_pages(pages);
         // Keep the mapping with the recycled number when the kernel did
         // not revoke it (fresh inodes); a revoked one is remapped lazily.
         let mapping = removed.map(|mi| mi.mapping_handle());
-        self.recycle_ino(meta.ino, mapping);
+        self.recycle_ino(child_ino, mapping);
 
         if self.config.verify_every_op {
             self.ensure_connected(&parent)?;
             self.kernel.commit(self.id, parent.ino)?;
         }
         Ok(())
+    }
+
+    /// Run `op`, transparently replaying it whenever it reports that an
+    /// inode it had resolved was voluntarily released mid-operation
+    /// ([`FsError::Released`], §4.3 patch). Between attempts the released
+    /// inode is revived in place, so every retry makes progress; the
+    /// sentinel never escapes to [`FileSystem`] callers. Each attempt
+    /// re-resolves its paths from scratch, so only operations that mutate
+    /// nothing before their critical sections may go through here.
+    fn run_retrying<T>(&self, mut op: impl FnMut() -> FsResult<T>) -> FsResult<T> {
+        loop {
+            match op() {
+                Err(FsError::Released { ino }) if self.config.fix_release_sync => {
+                    if let Some(mi) = self.inodes.read().get(&ino).cloned() {
+                        match self.revive_inode(&mi) {
+                            // NotFound: freed while released — the replay's
+                            // own resolution will report the missing name.
+                            Ok(_) | Err(FsError::NotFound) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Read the faults counter style stats (exposed through the trait).
@@ -925,7 +1195,8 @@ impl FileSystem for LibFs {
     }
 
     fn create(&self, path: &str) -> FsResult<Fd> {
-        let ino = self.create_impl(path, InodeType::Regular)?;
+        let _span = obs::span(obs::OpKind::Create, self.kernel.device().stats());
+        let ino = self.run_retrying(|| self.create_impl(path, InodeType::Regular))?;
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.fds.write().insert(
             fd.0,
@@ -938,7 +1209,8 @@ impl FileSystem for LibFs {
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
-        let ino = match self.resolve(path) {
+        let _span = obs::span(obs::OpKind::Open, self.kernel.device().stats());
+        let ino = self.run_retrying(|| match self.resolve(path) {
             Ok(mi) => {
                 if mi.itype != InodeType::Regular {
                     return Err(FsError::IsADirectory);
@@ -949,17 +1221,18 @@ impl FileSystem for LibFs {
                     }
                     self.file_truncate(&mi, 0)?;
                 }
-                mi.ino
+                Ok(mi.ino)
             }
-            Err(FsError::NotFound) if flags.create => self.create_impl(path, InodeType::Regular)?,
-            Err(e) => return Err(e),
-        };
+            Err(FsError::NotFound) if flags.create => self.create_impl(path, InodeType::Regular),
+            Err(e) => Err(e),
+        })?;
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.fds.write().insert(fd.0, FdEntry { ino, flags });
         Ok(fd)
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Close, self.kernel.device().stats());
         self.fds
             .write()
             .remove(&fd.0)
@@ -968,63 +1241,81 @@ impl FileSystem for LibFs {
     }
 
     fn read_at(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize> {
-        let (mi, entry) = self.file_inode(fd)?;
-        if !entry.flags.read {
-            return Err(FsError::BadAccessMode);
-        }
-        self.file_read_at(&mi, buf, offset)
+        let _span = obs::span(obs::OpKind::Read, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.read {
+                return Err(FsError::BadAccessMode);
+            }
+            self.file_read_at(&mi, buf, offset)
+        })
     }
 
     fn write_at(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize> {
-        let (mi, entry) = self.file_inode(fd)?;
-        if !entry.flags.write {
-            return Err(FsError::BadAccessMode);
-        }
-        self.file_write_at(&mi, buf, offset)
+        let _span = obs::span(obs::OpKind::Write, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.write {
+                return Err(FsError::BadAccessMode);
+            }
+            self.file_write_at(&mi, buf, offset)
+        })
     }
 
     fn append(&self, fd: Fd, buf: &[u8]) -> FsResult<u64> {
-        let (mi, entry) = self.file_inode(fd)?;
-        if !entry.flags.write {
-            return Err(FsError::BadAccessMode);
-        }
-        // The file write lock serializes concurrent appends; the offset is
-        // read under it inside file_write_at via the size field. Here we
-        // take the simple approach: lock, compute, write.
-        let mapping = mi.mapping_handle();
-        let offset = self.file_size(&mi, &mapping)?;
-        self.file_write_at(&mi, buf, offset)?;
-        Ok(offset)
+        let _span = obs::span(obs::OpKind::Append, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.write {
+                return Err(FsError::BadAccessMode);
+            }
+            // The file write lock serializes concurrent appends; the offset
+            // is read under it inside file_write_at via the size field. Here
+            // we take the simple approach: lock, compute, write.
+            let mapping = mi.mapping_handle();
+            let offset = self.file_size(&mi, &mapping)?;
+            self.file_write_at(&mi, buf, offset)?;
+            Ok(offset)
+        })
     }
 
     fn fsync(&self, _fd: Fd) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Fsync, self.kernel.device().stats());
         // §2.2: every operation persists synchronously; fsync returns
         // immediately.
         Ok(())
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
-        let (mi, entry) = self.file_inode(fd)?;
-        if !entry.flags.write {
-            return Err(FsError::BadAccessMode);
-        }
-        self.file_truncate(&mi, size)
+        let _span = obs::span(obs::OpKind::Truncate, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.write {
+                return Err(FsError::BadAccessMode);
+            }
+            self.file_truncate(&mi, size)
+        })
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
-        self.remove_impl(path, false)
+        let _span = obs::span(obs::OpKind::Unlink, self.kernel.device().stats());
+        self.run_retrying(|| self.remove_impl(path, false))
     }
 
     fn mkdir(&self, path: &str) -> FsResult<()> {
-        self.create_impl(path, InodeType::Directory).map(|_| ())
+        let _span = obs::span(obs::OpKind::Mkdir, self.kernel.device().stats());
+        self.run_retrying(|| self.create_impl(path, InodeType::Directory))
+            .map(|_| ())
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
-        self.remove_impl(path, true)
+        let _span = obs::span(obs::OpKind::Rmdir, self.kernel.device().stats());
+        self.run_retrying(|| self.remove_impl(path, true))
     }
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
-        let r = self.rename_impl(from, to);
+        let _span = obs::span(obs::OpKind::Rename, self.kernel.device().stats());
+        let r = self.run_retrying(|| self.rename_impl(from, to));
         if r.is_ok() && self.config.verify_every_op {
             if let Ok((parent_comps, _)) = vpath::split_parent(to) {
                 if let Ok(parent) = self.resolve_dir(&parent_comps) {
@@ -1037,6 +1328,7 @@ impl FileSystem for LibFs {
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let _span = obs::span(obs::OpKind::Readdir, self.kernel.device().stats());
         let mi = self.resolve(path)?;
         if mi.itype != InodeType::Directory {
             return Err(FsError::NotADirectory);
@@ -1070,6 +1362,7 @@ impl FileSystem for LibFs {
     }
 
     fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let _span = obs::span(obs::OpKind::Stat, self.kernel.device().stats());
         let mi = self.resolve(path)?;
         self.meta_of(&mi)
     }

@@ -122,6 +122,18 @@ fn measure(fs: &Arc<dyn FileSystem>, op: &str) -> (f64, f64) {
     (ops_per_sec(ops, secs), secs * 1e6 / ops.max(1) as f64)
 }
 
+/// The obs attribution row each measured cell lands in.
+fn obs_kind(op: &str) -> obs::OpKind {
+    match op {
+        "open" => obs::OpKind::Open,
+        "create" => obs::OpKind::Create,
+        "delete" => obs::OpKind::Unlink,
+        "read" => obs::OpKind::Read,
+        "write" => obs::OpKind::Write,
+        _ => obs::OpKind::Other,
+    }
+}
+
 fn main() {
     let ops = ["open", "create", "delete", "read", "write"];
     println!("# Figure 3: single-thread throughput (ops/s), 4K blocks for read/write");
@@ -130,22 +142,37 @@ fn main() {
         "fs", "open", "create", "delete", "read", "write"
     );
 
+    obs::enable();
     let mut arck: Vec<f64> = Vec::new();
     let mut plus: Vec<f64> = Vec::new();
     for kind in FsKind::paper_set() {
         let mut row = Vec::new();
+        let mut fs_report = obs::Report::default();
         for op in &ops {
             // A fresh FS per cell keeps directories small and runs
             // independent.
             let fs = make_fs(kind, DEV, true);
+            obs::reset();
             let (tput, us) = measure(&fs, op);
+            let cell = obs::report();
             row.push(tput);
+            let attr = cell.kind(obs_kind(op));
             record_json(
                 "fig3",
                 serde_json::json!({
                     "fs": kind.label(), "op": op, "ops_per_sec": tput, "us_per_op": us,
+                    "sfences_per_op": attr.map(|r| r.sfences_per_op()).unwrap_or(0.0),
+                    "clwb_per_op": attr.map(|r| r.clwb_per_op()).unwrap_or(0.0),
+                    "lat_p50_ns": attr.map(|r| r.latency.percentile(50.0)).unwrap_or(0),
+                    "lat_p99_ns": attr.map(|r| r.latency.percentile(99.0)).unwrap_or(0),
                 }),
             );
+            fs_report.merge(&cell);
+        }
+        // Full per-OpKind histograms + attribution for this file system's
+        // row, across all five cells.
+        if let Ok(path) = fs_report.write_json(&format!("fig3_{}", kind.label())) {
+            eprintln!("# obs report: {path}");
         }
         println!(
             "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",

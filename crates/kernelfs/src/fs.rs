@@ -313,6 +313,7 @@ impl FileSystem for KernelFs {
     }
 
     fn create(&self, path: &str) -> FsResult<Fd> {
+        let _span = obs::span(obs::OpKind::Create, self.device.stats());
         self.enter(false);
         let ino = self.create_node(path, false)?;
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
@@ -327,6 +328,7 @@ impl FileSystem for KernelFs {
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let _span = obs::span(obs::OpKind::Open, self.device.stats());
         self.enter(false);
         let ino = match self.resolve_path(path) {
             Ok(node) => {
@@ -357,6 +359,7 @@ impl FileSystem for KernelFs {
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Close, self.device.stats());
         self.fds
             .write()
             .remove(&fd.0)
@@ -365,6 +368,7 @@ impl FileSystem for KernelFs {
     }
 
     fn read_at(&self, fd: Fd, buf: &mut [u8], offset: u64) -> FsResult<usize> {
+        let _span = obs::span(obs::OpKind::Read, self.device.stats());
         self.enter(true);
         let (node, entry) = self.file_fd(fd)?;
         if !entry.flags.read {
@@ -402,6 +406,7 @@ impl FileSystem for KernelFs {
     }
 
     fn write_at(&self, fd: Fd, buf: &[u8], offset: u64) -> FsResult<usize> {
+        let _span = obs::span(obs::OpKind::Write, self.device.stats());
         self.enter(true);
         let (node, entry) = self.file_fd(fd)?;
         if !entry.flags.write {
@@ -450,6 +455,7 @@ impl FileSystem for KernelFs {
     }
 
     fn append(&self, fd: Fd, buf: &[u8]) -> FsResult<u64> {
+        let _span = obs::span(obs::OpKind::Append, self.device.stats());
         let (node, _) = self.file_fd(fd)?;
         let offset = match &*node.body.read() {
             Body::File { size, .. } => *size,
@@ -460,6 +466,7 @@ impl FileSystem for KernelFs {
     }
 
     fn fsync(&self, _fd: Fd) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Fsync, self.device.stats());
         self.enter(false);
         // Metadata and data were persisted synchronously above; an fsync
         // still enters the kernel for these designs.
@@ -468,6 +475,7 @@ impl FileSystem for KernelFs {
     }
 
     fn truncate(&self, fd: Fd, new_size: u64) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Truncate, self.device.stats());
         self.enter(false);
         let (node, entry) = self.file_fd(fd)?;
         if !entry.flags.write {
@@ -508,21 +516,25 @@ impl FileSystem for KernelFs {
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Unlink, self.device.stats());
         self.enter(false);
         self.remove_node(path, false)
     }
 
     fn mkdir(&self, path: &str) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Mkdir, self.device.stats());
         self.enter(false);
         self.create_node(path, true).map(|_| ())
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Rmdir, self.device.stats());
         self.enter(false);
         self.remove_node(path, true)
     }
 
     fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Rename, self.device.stats());
         self.enter(false);
         let (fp_comps, fname) = vpath::split_parent(from)?;
         let (tp_comps, tname) = vpath::split_parent(to)?;
@@ -598,6 +610,7 @@ impl FileSystem for KernelFs {
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let _span = obs::span(obs::OpKind::Readdir, self.device.stats());
         self.enter(false);
         let node = self.resolve_path(path)?;
         self.count_lock();
@@ -626,6 +639,7 @@ impl FileSystem for KernelFs {
     }
 
     fn stat(&self, path: &str) -> FsResult<Metadata> {
+        let _span = obs::span(obs::OpKind::Stat, self.device.stats());
         self.enter(false);
         let node = self.resolve_path(path)?;
         let body = node.body.read();

@@ -142,6 +142,39 @@ impl OpProfile {
         }
     }
 
+    /// Like [`OpProfile::estimate`], but anchored on a **measured**
+    /// serialized fraction instead of the structural constants alone.
+    ///
+    /// `pm_serial_fraction` is the share of the operation's wall-clock
+    /// spent in inherently ordered persistence work (cache-line flushes
+    /// and store fences). The benchmark harness derives it organically
+    /// from the obs attribution tables: per-op `clwb`/`sfence` counts
+    /// (from the span deltas) priced by the device's `LatencyModel`,
+    /// divided by the span latency histogram's mean. Persistence done
+    /// under a shared lock serializes other threads, so it raises σ —
+    /// scaled down by the partition count for partitioned locks, and not
+    /// at all for private objects or lock-free reads.
+    pub fn estimate_measured(
+        t1_us: f64,
+        sharing: SharingLevel,
+        locks: LockStructure,
+        stats: OpStats,
+        pm_serial_fraction: f64,
+    ) -> OpProfile {
+        let mut p = OpProfile::estimate(t1_us, sharing, locks, stats);
+        let pm = pm_serial_fraction.clamp(0.0, 1.0);
+        let covered = match (sharing, locks) {
+            (SharingLevel::Private, _) => 0.0,
+            (_, LockStructure::SingleLock { .. }) => pm,
+            (_, LockStructure::Partitioned { partitions, .. }) => {
+                pm / partitions.max(1) as f64
+            }
+            (_, LockStructure::LockFree) => 0.0,
+        };
+        p.sigma = p.sigma.max(SIGMA_FLOOR + covered);
+        p
+    }
+
     /// Modelled throughput at `threads`, in operations per second.
     pub fn throughput(&self, threads: usize) -> f64 {
         let n = threads as f64;
@@ -189,6 +222,35 @@ mod tests {
             kappa: 0.001,
         };
         assert!((p.throughput(1) - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn measured_serial_fraction_raises_sigma() {
+        let locks = LockStructure::SingleLock {
+            covered_fraction: 0.1,
+        };
+        let base = OpProfile::estimate(1.0, SharingLevel::SharedDir, locks, stats());
+        let meas =
+            OpProfile::estimate_measured(1.0, SharingLevel::SharedDir, locks, stats(), 0.6);
+        assert!(
+            meas.sigma > base.sigma,
+            "a dominant measured PM-serial fraction must dominate the guess"
+        );
+        // Partitioned locks dilute the measured fraction.
+        let part = LockStructure::Partitioned {
+            partitions: 64,
+            covered_fraction: 0.6,
+        };
+        let pm = OpProfile::estimate_measured(1.0, SharingLevel::SharedDir, part, stats(), 0.64);
+        assert!(pm.sigma < 0.02, "sigma={} should be diluted by 64", pm.sigma);
+        // Private objects ignore it entirely.
+        let priv_ = OpProfile::estimate_measured(1.0, SharingLevel::Private, locks, stats(), 0.9);
+        let priv_base = OpProfile::estimate(1.0, SharingLevel::Private, locks, stats());
+        assert_eq!(priv_.sigma, priv_base.sigma);
+        // And it never exceeds a full serialization.
+        let capped =
+            OpProfile::estimate_measured(1.0, SharingLevel::SharedDir, locks, stats(), 7.0);
+        assert!(capped.sigma <= 1.0 + SIGMA_FLOOR);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Log-bucketed latency histograms, HDR-style.
+//!
+//! Values (nanoseconds) are bucketed by octave with four linear
+//! sub-buckets per octave, bounding the relative quantization error of a
+//! reconstructed percentile to ~12.5% — plenty for latency distributions
+//! that span six orders of magnitude. Two representations:
+//!
+//! * [`AtomicHistogram`] — the hot-path sink, fixed arrays of relaxed
+//!   atomics, no allocation, safely shared across recording threads;
+//! * [`Histogram`] — a plain-data snapshot that supports exact-count
+//!   [`merge`](Histogram::merge) (bucket-wise addition, so merging is
+//!   associative and commutative by construction) and percentile queries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave.
+const SUBS: usize = 4;
+/// Octaves covered (u64 value range).
+const OCTAVES: usize = 64;
+/// Total bucket count.
+pub(crate) const BUCKETS: usize = OCTAVES * SUBS;
+
+/// Bucket index for a value: octave = position of the highest set bit,
+/// sub-bucket = the next two bits below it.
+fn bucket_index(v: u64) -> usize {
+    let v = v.max(1);
+    let octave = 63 - v.leading_zeros() as usize;
+    let sub = if octave >= 2 {
+        ((v >> (octave - 2)) & 0b11) as usize
+    } else {
+        // Octaves 0 and 1 have fewer than four distinct values; spread the
+        // ones that exist across the low sub-buckets.
+        (v & 0b11) as usize % SUBS
+    };
+    octave * SUBS + sub
+}
+
+/// Representative value for a bucket (midpoint of its sub-range).
+fn bucket_value(idx: usize) -> u64 {
+    let octave = idx / SUBS;
+    let sub = (idx % SUBS) as u64;
+    if octave < 2 {
+        return (1u64 << octave) + sub;
+    }
+    let base = 1u64 << octave;
+    let width = 1u64 << (octave - 2);
+    base + sub * width + width / 2
+}
+
+/// Shared, lock-free histogram sink (relaxed atomics throughout).
+pub(crate) struct AtomicHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            counts: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    pub(crate) fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            h.counts[i] = c.load(Ordering::Relaxed);
+        }
+        h.total = self.total.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
+/// A mergeable, queryable latency histogram (nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Bucket-wise addition, so
+    /// `a.merge(b).merge(c)` equals `a.merge(b.merge(c))` exactly.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean (the sum is tracked exactly, not from
+    /// buckets).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (`p` in 0..=100), exact at the recorded
+    /// extremes and within one sub-bucket (~12.5% relative) elsewhere.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        if rank == 1 {
+            return self.min;
+        }
+        if rank >= self.total {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound_ns, count)` pairs, ascending —
+    /// the JSON export shape.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_value(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_index(0), bucket_index(1));
+    }
+
+    #[test]
+    fn percentile_quantization_bounded() {
+        let mut h = Histogram::new();
+        for v in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+            for _ in 0..100 {
+                h.record(v);
+            }
+        }
+        // p50 of this distribution is the middle value, 10_000.
+        let p50 = h.percentile(50.0) as f64;
+        assert!(
+            (p50 - 10_000.0).abs() / 10_000.0 < 0.15,
+            "p50 = {p50}, want ~10000"
+        );
+        assert_eq!(h.percentile(0.0), 100);
+        assert_eq!(h.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: u64| {
+            let mut h = Histogram::new();
+            let mut x = seed;
+            for _ in 0..n {
+                // xorshift so the three histograms hit different buckets
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x >> 20);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1, 500), mk(99, 300), mk(12345, 700));
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right, "merge must be associative");
+
+        // b + a == a + b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        assert_eq!(left.count(), 1500);
+    }
+
+    #[test]
+    fn atomic_snapshot_round_trip() {
+        let a = AtomicHistogram::default();
+        for v in [5u64, 50, 500, 5000] {
+            a.record(v);
+        }
+        let h = a.snapshot();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 5000);
+        assert!((h.mean() - 1388.75).abs() < 1e-9);
+        a.reset();
+        assert_eq!(a.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert!(h.buckets().is_empty());
+    }
+}

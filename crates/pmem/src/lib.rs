@@ -38,7 +38,7 @@ pub use alloc::PageAllocator;
 pub use device::{Mode, PmemDevice, PmemError, PmemResult};
 pub use latency::LatencyModel;
 pub use mapping::{MapError, Mapping, MappingRegistry};
-pub use stats::PmemStats;
+pub use stats::{PmemStats, StatsSnapshot};
 
 /// Cache-line size in bytes, matching x86.
 pub const CACHE_LINE: usize = 64;

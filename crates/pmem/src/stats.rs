@@ -101,7 +101,11 @@ impl PmemStats {
 
 impl StatsSnapshot {
     /// Difference of two snapshots (`self - earlier`), saturating at zero.
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+    ///
+    /// Saturation matters in practice: `reset()` can race a concurrent
+    /// benchmark thread, leaving `earlier` ahead of `self` on some counter;
+    /// a wrapping subtraction would then report ~2^64 fences per op.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             stores: self.stores.saturating_sub(earlier.stores),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
@@ -111,6 +115,11 @@ impl StatsSnapshot {
             ntstores: self.ntstores.saturating_sub(earlier.ntstores),
             sfences: self.sfences.saturating_sub(earlier.sfences),
         }
+    }
+
+    /// Alias for [`StatsSnapshot::delta`] kept for existing call sites.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.delta(earlier)
     }
 }
 
@@ -151,5 +160,20 @@ mod tests {
         assert_eq!(d.stores, 1);
         assert_eq!(d.sfences, 1);
         assert_eq!(d.bytes_written, 8);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let s = PmemStats::default();
+        s.count_store(8);
+        s.count_sfence();
+        let before = s.snapshot();
+        s.reset(); // e.g. a concurrent reset between two benchmark snapshots
+        s.count_sfence();
+        let after = s.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.stores, 0, "must saturate, not wrap to 2^64-1");
+        assert_eq!(d.sfences, 0);
+        assert_eq!(d.bytes_written, 0);
     }
 }

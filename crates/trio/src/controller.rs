@@ -638,6 +638,7 @@ impl Kernel {
     /// Voluntarily release `ino` (Figure 1 ⑤–⑧): unmap, verify, and on
     /// failure roll the inode back to its acquire-time state.
     pub fn release(&self, libfs: LibFsId, ino: u64) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Release, self.device.stats());
         self.syscall();
         self.release_inner(libfs, ino, false)
     }
@@ -734,6 +735,7 @@ impl Kernel {
     /// the mapping. On success the acquire-time snapshot is refreshed; on
     /// failure the inode is rolled back (ownership retained).
     pub fn commit(&self, libfs: LibFsId, ino: u64) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Commit, self.device.stats());
         self.syscall();
         let mut st = self.state.lock();
         if !st

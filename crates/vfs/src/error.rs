@@ -108,6 +108,16 @@ pub enum FsError {
         /// The inode in question.
         ino: u64,
     },
+    /// The inode was voluntarily released (§4.3) after the operation
+    /// resolved it but before (or while) the operation entered the inode's
+    /// critical section. With the §4.3 patch this is an *internal retry
+    /// signal*: the LibFS re-acquires the inode and replays the operation,
+    /// so callers never observe it. It is public only because the fix
+    /// lives below the shared [`crate::FileSystem`] boundary.
+    Released {
+        /// The inode that was released mid-operation.
+        ino: u64,
+    },
     /// A detected memory fault standing in for the C artifact's crash.
     Fault(FaultKind),
     /// On-PM structure failed a structural sanity check during mount or
@@ -142,6 +152,9 @@ impl fmt::Display for FsError {
                 write!(f, "integrity verification failed for inode {ino}: {reason}")
             }
             FsError::NotOwner { ino } => write!(f, "inode {ino} owned by another LibFS"),
+            FsError::Released { ino } => {
+                write!(f, "inode {ino} was released mid-operation (re-acquire and retry)")
+            }
             FsError::Fault(k) => write!(f, "memory fault: {k}"),
             FsError::Corrupted(m) => write!(f, "corrupted on-PM state: {m}"),
             FsError::NameTooLong => write!(f, "name too long"),

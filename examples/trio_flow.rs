@@ -61,6 +61,7 @@ fn main() {
         .expect("App1 protected dir");
     app1.commit_path("/").expect("register");
     app1.release_path(protected).expect("hand dir over");
+    app1.release_path("/").expect("hand root over too");
 
     app2.create(&format!("{protected}/sneaky"))
         .map(|fd| app2.close(fd))

@@ -16,6 +16,8 @@
 //! * [`crashmc`] — the crash-consistency checker.
 //! * [`fxmark`], [`filebench`], [`kvstore`], [`model`] — workloads and the
 //!   scalability model behind the benchmark harness.
+//! * [`obs`] — operation-level tracing: per-op spans attributing
+//!   `PmemStats` deltas and latency histograms, exported as JSON.
 
 pub use arckfs;
 pub use crashmc;
@@ -24,6 +26,7 @@ pub use fxmark;
 pub use kernelfs;
 pub use kvstore;
 pub use model;
+pub use obs;
 pub use pmem;
 pub use rcu;
 pub use trio;

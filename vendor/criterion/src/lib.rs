@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset `benches/micro.rs` uses — `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_custom}`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!` — with a simple
+//! calibrate-then-measure wall-clock runner that prints mean ns/iter per
+//! benchmark. No statistics beyond the mean, no HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a single parameter's `Display` form.
+    pub fn from_parameter<P: fmt::Display>(p: P) -> BenchmarkId {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// Build an id from a function name and parameter.
+    pub fn new<P: fmt::Display>(function: &str, p: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{p}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for measurement.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let report = run_one(self, &mut f);
+        println!("{name:<40} {report}");
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let report = run_one(self.criterion, &mut f);
+        println!("{:<40} {report}", format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Finish the group (no-op beyond dropping).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// (iterations, elapsed) recorded by the closure.
+    result: Option<(u64, Duration)>,
+}
+
+enum BenchMode {
+    /// Measure `iters` calls of a routine.
+    Auto { iters: u64 },
+}
+
+impl Bencher {
+    /// Time `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let BenchMode::Auto { iters } = self.mode;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Like `iter`, but the routine performs its own timing of `iters`
+    /// iterations and returns the measured duration.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let BenchMode::Auto { iters } = self.mode;
+        let elapsed = routine(iters);
+        self.result = Some((iters, elapsed));
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+struct Report {
+    mean_ns: f64,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mean_ns >= 1_000_000.0 {
+            write!(f, "time: {:>10.3} ms/iter", self.mean_ns / 1e6)
+        } else if self.mean_ns >= 1_000.0 {
+            write!(f, "time: {:>10.3} µs/iter", self.mean_ns / 1e3)
+        } else {
+            write!(f, "time: {:>10.1} ns/iter", self.mean_ns)
+        }
+    }
+}
+
+fn run_with<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> (u64, Duration) {
+    let mut b = Bencher {
+        mode: BenchMode::Auto { iters },
+        result: None,
+    };
+    f(&mut b);
+    b.result.unwrap_or((iters.max(1), Duration::ZERO))
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, f: &mut F) -> Report {
+    // Calibration: find an iteration count that fills roughly one sample's
+    // share of the measurement budget.
+    let mut iters = 1u64;
+    let elapsed;
+    let warm_deadline = Instant::now() + c.warm_up_time;
+    loop {
+        let (n, d) = run_with(f, iters);
+        if Instant::now() >= warm_deadline || d >= c.warm_up_time {
+            iters = n;
+            elapsed = d;
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let per_iter = (elapsed.as_nanos() as f64 / iters as f64).max(0.5);
+    let budget_per_sample = c.measurement_time.as_nanos() as f64 / c.sample_size as f64;
+    let sample_iters = ((budget_per_sample / per_iter) as u64).clamp(1, 100_000_000);
+
+    let mut total_ns = 0f64;
+    let mut total_iters = 0u64;
+    for _ in 0..c.sample_size {
+        let (n, d) = run_with(f, sample_iters);
+        total_ns += d.as_nanos() as f64;
+        total_iters += n;
+    }
+    Report {
+        mean_ns: total_ns / total_iters.max(1) as f64,
+    }
+}
+
+/// Declare a group-runner function from configuration and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` from one or more group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_positive_time() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("inc"), |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_custom_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut calls = 0u32;
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                calls += 1;
+                Duration::from_nanos(iters * 10)
+            })
+        });
+        assert!(calls >= 2);
+    }
+}

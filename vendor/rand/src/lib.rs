@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the subset this workspace uses: `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` / `gen_bool` / `gen`, and the `SmallRng` / `StdRng`
+//! generator types. Both generators are xorshift64* seeded through
+//! splitmix64 — statistically fine for workload generation and property
+//! tests, deterministic for a given seed, and obviously **not**
+//! cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Construct from OS-ish entropy (here: address + time jitter).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let local = 0u8;
+        Self::seed_from_u64(t ^ ((&local as *const u8 as u64) << 16))
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    fn seeded(seed: u64) -> Self {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            state = 0x853c49e6748fea9b;
+        }
+        Xorshift64Star { state }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+/// Types a [`Rng`] can sample uniformly from a range.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `draw` as the entropy source.
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (draw() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (draw() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> f64 {
+        let unit = (draw() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from a (half-open or inclusive) range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A random value of a supported primitive type.
+    fn r#gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(&mut |_| self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Primitive types constructible from raw generator output (backs
+/// [`Rng::gen`]).
+pub trait FromRng {
+    /// Build a value from the entropy source.
+    fn from_rng(draw: &mut dyn FnMut(()) -> u64) -> Self;
+}
+
+macro_rules! impl_from_rng {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng(draw: &mut dyn FnMut(()) -> u64) -> Self {
+                draw(()) as $t
+            }
+        }
+    )*};
+}
+
+impl_from_rng!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng(draw: &mut dyn FnMut(()) -> u64) -> Self {
+        draw(()) & 1 == 1
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xorshift64Star};
+
+    /// Small, fast, non-cryptographic generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xorshift64Star);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xorshift64Star::seeded(seed))
+        }
+    }
+
+    /// The "standard" generator (same engine as [`SmallRng`] in this
+    /// stand-in, domain-separated by a constant).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xorshift64Star);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xorshift64Star::seeded(seed ^ 0x5bd1e9955bd1e995))
+        }
+    }
+
+    /// Non-random generators for deterministic tests.
+    pub mod mock {
+        use crate::RngCore;
+
+        /// Yields `initial`, `initial + increment`, ... — fully predictable.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// A generator stepping from `initial` by `increment`.
+            pub fn new(initial: u64, increment: u64) -> StepRng {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                v
+            }
+        }
+    }
+}
+
+/// A [`rngs::SmallRng`] seeded from entropy.
+pub fn thread_rng() -> rngs::SmallRng {
+    rngs::SmallRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0u8..=255);
+            let _ = w;
+            let x = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((1800..3200).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..u64::MAX) == b.gen_range(0u64..u64::MAX))
+            .count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exposes `Serialize` / `Deserialize` as marker traits plus same-named
+//! no-op derive macros (the trait lives in the type namespace, the derive
+//! in the macro namespace, so one `use serde::{Serialize, Deserialize}`
+//! imports both — exactly like real serde). The workspace only ever
+//! *derives* these; JSON output goes through the `serde_json` stand-in's
+//! value model instead of a generic `Serializer`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Blanket implementations so `T: Serialize` bounds stay satisfiable for
+/// any type in downstream code.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

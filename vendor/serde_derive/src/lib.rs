@@ -1,0 +1,21 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of model
+//! types but never routes them through a serde `Serializer` (all JSON
+//! output goes through the `serde_json` stand-in's `json!` macro with
+//! primitive values). These derives therefore expand to nothing; the
+//! attribute still type-checks and documents intent at the derive site.
+
+use proc_macro::TokenStream;
+
+/// Derive `serde::Serialize` (no-op expansion).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive `serde::Deserialize` (no-op expansion).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,685 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Implements the subset this workspace uses: the [`Value`] tree, the
+//! [`json!`] construction macro, RFC 8259-conformant emission via
+//! `Display` / [`to_string`] / [`to_string_pretty`], and a small
+//! [`from_str`] parser (used by tests and tooling that read the emitted
+//! reports back). Object member order is insertion order, like real
+//! serde_json with its default feature set disabled... close enough for
+//! line-oriented benchmark records.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integer forms are kept exact, floats as `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed (negative) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+
+    /// Value as `u64` if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) if v >= 0 => Some(v as u64),
+            Number::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) if v.is_finite() => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else if v != 0.0 && (v.abs() >= 1e15 || v.abs() < 1e-5) {
+                    write!(f, "{v:e}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            // JSON has no NaN/Inf; serialize as null like serde_json's
+            // arbitrary-precision-off behaviour for invalid floats.
+            Number::F(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; members keep insertion order.
+    Object(Map),
+}
+
+/// Insertion-ordered string-keyed map of JSON values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert (replacing any existing member with the same key).
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a member.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterate members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no members.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl Value {
+    /// Member access for objects (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if an exact non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>, indent: Option<usize>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(n) => write!(f, "{n}"),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                if let Some(level) = indent {
+                    write!(f, "\n{}", "  ".repeat(level + 1))?;
+                }
+                fmt_value(item, f, indent.map(|l| l + 1))?;
+            }
+            if let Some(level) = indent {
+                write!(f, "\n{}", "  ".repeat(level))?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{")?;
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                if let Some(level) = indent {
+                    write!(f, "\n{}", "  ".repeat(level + 1))?;
+                }
+                write_escaped(f, k)?;
+                f.write_str(if indent.is_some() { ": " } else { ":" })?;
+                fmt_value(val, f, indent.map(|l| l + 1))?;
+            }
+            if let Some(level) = indent {
+                write!(f, "\n{}", "  ".repeat(level))?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            fmt_value(self, f, Some(0))
+        } else {
+            fmt_value(self, f, None)
+        }
+    }
+}
+
+/// Compact JSON text for a value.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(format!("{value}"))
+}
+
+/// Two-space-indented JSON text for a value.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    Ok(format!("{value:#}"))
+}
+
+/// Error type for parse/serialize operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+impl From<&&str> for Value {
+    fn from(s: &&str) -> Value {
+        Value::String((*s).to_string())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(v as f64))
+    }
+}
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U(v as u64)) }
+        }
+    )*};
+}
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v < 0 {
+                    Value::Number(Number::I(v as i64))
+                } else {
+                    Value::Number(Number::U(v as u64))
+                }
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(m: BTreeMap<String, Value>) -> Value {
+        Value::Object(m.into_iter().collect())
+    }
+}
+
+/// Build a [`Value`] with JSON-literal syntax; expressions interpolate via
+/// `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_internal!(map; $($body)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs,
+/// accumulating value tokens until a top-level comma (brace/bracket/paren
+/// groups are single token trees, so embedded commas never split a value).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_object_internal!(@value $map; $key; (); $($rest)*)
+    };
+    (@value $map:ident; $key:literal; ($($val:tt)*); , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($($val)*));
+        $crate::json_object_internal!($map; $($rest)*)
+    };
+    (@value $map:ident; $key:literal; ($($val:tt)*);) => {
+        $map.insert($key.to_string(), $crate::json!($($val)*));
+    };
+    (@value $map:ident; $key:literal; ($($val:tt)*); $next:tt $($rest:tt)*) => {
+        $crate::json_object_internal!(@value $map; $key; ($($val)* $next); $($rest)*)
+    };
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(|v| Value::Number(Number::F(v)))
+                .map_err(|_| self.err("bad number"))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::Number(Number::U(u)))
+        } else {
+            text.parse::<i64>()
+                .map(|v| Value::Number(Number::I(v)))
+                .map_err(|_| self.err("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_and_interpolation() {
+        let name = "mwcl";
+        let v = json!({"workload": name, "threads": 4, "mops": 1.25, "ok": true});
+        assert_eq!(
+            v.to_string(),
+            r#"{"workload":"mwcl","threads":4,"mops":1.25,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_method_call_values() {
+        struct W;
+        impl W {
+            fn name(&self) -> &'static str {
+                "create"
+            }
+        }
+        let w = W;
+        let xs = [1u64, 2, 3];
+        let v = json!({"op": w.name(), "sum": xs.iter().sum::<u64>(), "nested": {"a": 1}});
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("create"));
+        assert_eq!(v.get("sum").and_then(Value::as_u64), Some(6));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("a")).and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn arrays_and_null() {
+        let v = json!([1, 2.5, "x"]);
+        assert_eq!(v.to_string(), r#"[1,2.5,"x"]"#);
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({"k": "a\"b\\c\nd"});
+        assert_eq!(v.to_string(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let v = json!({"a": [1, json!({"b": null})], "c": -3, "d": 0.5, "s": "héllo\t"});
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(json!(3.0).to_string(), "3.0");
+        assert_eq!(json!(1e300).to_string(), "1e300");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+}
