@@ -4,9 +4,14 @@
 # Works fully offline: all external dependencies are path-resolved to the
 # stand-ins under vendor/ (the build environment cannot reach crates.io),
 # so no pre-warmed registry is required. Run from the repository root.
+#
+# The test suite runs twice: once with the dentry cache enabled (the
+# default) and once with ARCKFS_DCACHE=0, so the lock-free resolution
+# path and the plain locked walk both stay green.
 set -eux
 
 cargo build --release
-cargo test -q
-cargo test -q --workspace
+ARCKFS_DCACHE=1 cargo test -q --workspace
+ARCKFS_DCACHE=0 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -51,6 +51,20 @@ pub struct Config {
     pub delegation_threads: usize,
     /// Minimum write size handed to the delegation pool.
     pub delegation_min: usize,
+
+    /// Lock-free path-resolution (dentry) cache (`crate::dcache`). On by
+    /// default; off leaves resolution byte-for-byte on the authoritative
+    /// bucket-index path for A/B comparison. The preset constructors honor
+    /// the `ARCKFS_DCACHE` environment variable (`0` disables) so CI can
+    /// run the full suite on both paths without code changes.
+    pub dcache: bool,
+    /// Number of direct-mapped dentry-cache slots.
+    pub dcache_slots: usize,
+}
+
+/// Preset default for [`Config::dcache`]: on, unless `ARCKFS_DCACHE=0`.
+fn dcache_env_default() -> bool {
+    std::env::var("ARCKFS_DCACHE").map_or(true, |v| v != "0")
 }
 
 impl Config {
@@ -71,6 +85,8 @@ impl Config {
             ntstore_threshold: 4096,
             delegation_threads: 0,
             delegation_min: 512 * 1024,
+            dcache: dcache_env_default(),
+            dcache_slots: 4096,
         }
     }
 

@@ -209,7 +209,7 @@ impl FileSystem for PathCacheFs {
 mod tests {
     use super::*;
     use crate::Config;
-    use vfs::{read_file, write_file, FsError};
+    use vfs::{FsError, FsExt};
 
     fn cached() -> Arc<PathCacheFs> {
         let fs = crate::new_fs(48 << 20, Config::arckfs_plus()).unwrap().1;
@@ -219,16 +219,16 @@ mod tests {
     #[test]
     fn cached_opens_hit_after_first_resolution() {
         let fs = cached();
-        vfs::mkdir_all(fs.inner().as_ref(), "/a/b/c/d").unwrap();
-        write_file(fs.as_ref(), "/a/b/c/d/deep.txt", b"data").unwrap();
+        fs.inner().mkdir_all("/a/b/c/d").unwrap();
+        fs.write_file("/a/b/c/d/deep.txt", b"data").unwrap();
         for _ in 0..10 {
-            let fd = fs.open("/a/b/c/d/deep.txt", OpenFlags::RDONLY).unwrap();
+            let fd = fs.open("/a/b/c/d/deep.txt", OpenFlags::read()).unwrap();
             fs.close(fd).unwrap();
         }
         let (hits, _) = fs.cache_stats();
         assert!(hits >= 9, "expected cache hits, got {hits}");
         assert_eq!(
-            read_file(fs.as_ref(), "/a/b/c/d/deep.txt").unwrap(),
+            fs.read_file("/a/b/c/d/deep.txt").unwrap(),
             b"data"
         );
     }
@@ -236,40 +236,40 @@ mod tests {
     #[test]
     fn rename_invalidates() {
         let fs = cached();
-        write_file(fs.as_ref(), "/x", b"1").unwrap();
+        fs.write_file("/x", b"1").unwrap();
         fs.stat("/x").unwrap(); // cached
         fs.rename("/x", "/y").unwrap();
         assert_eq!(fs.stat("/x").unwrap_err(), FsError::NotFound);
-        assert_eq!(read_file(fs.as_ref(), "/y").unwrap(), b"1");
+        assert_eq!(fs.read_file("/y").unwrap(), b"1");
     }
 
     #[test]
     fn unlink_and_recreate_does_not_serve_stale_ino() {
         let fs = cached();
-        write_file(fs.as_ref(), "/f", b"old").unwrap();
+        fs.write_file("/f", b"old").unwrap();
         fs.stat("/f").unwrap();
         fs.unlink("/f").unwrap();
-        write_file(fs.as_ref(), "/f", b"new").unwrap();
-        assert_eq!(read_file(fs.as_ref(), "/f").unwrap(), b"new");
+        fs.write_file("/f", b"new").unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"new");
     }
 
     #[test]
     fn stale_hits_degrade_to_slow_path_after_release() {
         let fs = cached();
-        write_file(fs.as_ref(), "/r", b"v").unwrap();
+        fs.write_file("/r", b"v").unwrap();
         fs.stat("/r").unwrap(); // cached
                                 // Release through the inner LibFS (mapping goes stale).
         fs.inner().commit_path("/").unwrap();
         fs.inner().release_path("/r").unwrap();
         // The cached-ino fast path transparently re-acquires or falls back.
-        assert_eq!(read_file(fs.as_ref(), "/r").unwrap(), b"v");
+        assert_eq!(fs.read_file("/r").unwrap(), b"v");
     }
 
     #[test]
     fn prefix_invalidation_covers_subtrees() {
         let fs = cached();
-        vfs::mkdir_all(fs.inner().as_ref(), "/p/q").unwrap();
-        write_file(fs.as_ref(), "/p/q/f", b"z").unwrap();
+        fs.inner().mkdir_all("/p/q").unwrap();
+        fs.write_file("/p/q/f", b"z").unwrap();
         fs.stat("/p/q/f").unwrap();
         fs.unlink("/p/q/f").unwrap();
         fs.rmdir("/p/q").unwrap();
@@ -280,13 +280,13 @@ mod tests {
     fn faster_than_uncached_for_deep_opens() {
         use std::time::Instant;
         let inner = crate::new_fs(48 << 20, Config::arckfs_plus()).unwrap().1;
-        vfs::mkdir_all(inner.as_ref(), "/d1/d2/d3/d4").unwrap();
-        write_file(inner.as_ref(), "/d1/d2/d3/d4/t", b"x").unwrap();
+        inner.mkdir_all("/d1/d2/d3/d4").unwrap();
+        inner.write_file("/d1/d2/d3/d4/t", b"x").unwrap();
         let n = 20_000;
 
         let t0 = Instant::now();
         for _ in 0..n {
-            let fd = inner.open("/d1/d2/d3/d4/t", OpenFlags::RDONLY).unwrap();
+            let fd = inner.open("/d1/d2/d3/d4/t", OpenFlags::read()).unwrap();
             inner.close(fd).unwrap();
         }
         let plain = t0.elapsed();
@@ -294,7 +294,7 @@ mod tests {
         let fs = PathCacheFs::new(inner);
         let t1 = Instant::now();
         for _ in 0..n {
-            let fd = fs.open("/d1/d2/d3/d4/t", OpenFlags::RDONLY).unwrap();
+            let fd = fs.open("/d1/d2/d3/d4/t", OpenFlags::read()).unwrap();
             fs.close(fd).unwrap();
         }
         let cached = t1.elapsed();
@@ -447,7 +447,7 @@ impl FileSystem for AppendBufferFs {
 mod append_buffer_tests {
     use super::*;
     use crate::Config;
-    use vfs::read_file;
+    use vfs::FsExt;
 
     fn buffered() -> Arc<AppendBufferFs> {
         let fs = crate::new_fs(48 << 20, Config::arckfs_plus()).unwrap().1;
@@ -457,7 +457,7 @@ mod append_buffer_tests {
     #[test]
     fn appends_coalesce_until_fsync() {
         let fs = buffered();
-        let fd = fs.open("/wal", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/wal", OpenFlags::rw().create()).unwrap();
         for _ in 0..100 {
             fs.append(fd, b"record!").unwrap();
         }
@@ -472,7 +472,7 @@ mod append_buffer_tests {
     #[test]
     fn reads_observe_buffered_appends() {
         let fs = buffered();
-        let fd = fs.open("/f", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/f", OpenFlags::rw().create()).unwrap();
         fs.append(fd, b"hello").unwrap();
         let mut buf = [0u8; 5];
         assert_eq!(fs.read_at(fd, &mut buf, 0).unwrap(), 5);
@@ -483,16 +483,16 @@ mod append_buffer_tests {
     #[test]
     fn close_flushes() {
         let fs = buffered();
-        let fd = fs.open("/c", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/c", OpenFlags::rw().create()).unwrap();
         fs.append(fd, b"tail").unwrap();
         fs.close(fd).unwrap();
-        assert_eq!(read_file(fs.as_ref(), "/c").unwrap(), b"tail");
+        assert_eq!(fs.read_file("/c").unwrap(), b"tail");
     }
 
     #[test]
     fn buffer_limit_forces_writeout() {
         let fs = buffered();
-        let fd = fs.open("/big", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/big", OpenFlags::rw().create()).unwrap();
         let chunk = vec![1u8; 16 * 1024];
         for _ in 0..5 {
             fs.append(fd, &chunk).unwrap();
@@ -505,7 +505,7 @@ mod append_buffer_tests {
     #[test]
     fn fewer_fences_than_unbuffered() {
         let plain = crate::new_fs(48 << 20, Config::arckfs_plus()).unwrap().1;
-        let fd = plain.open("/w", OpenFlags::CREATE).unwrap();
+        let fd = plain.open("/w", OpenFlags::rw().create()).unwrap();
         plain.reset_stats();
         for _ in 0..200 {
             plain.append(fd, b"0123456789abcdef").unwrap();
@@ -513,7 +513,7 @@ mod append_buffer_tests {
         let plain_fences = plain.stats().fences;
 
         let fs = buffered();
-        let fd = fs.open("/w", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/w", OpenFlags::rw().create()).unwrap();
         fs.reset_stats();
         for _ in 0..200 {
             fs.append(fd, b"0123456789abcdef").unwrap();

@@ -1,0 +1,323 @@
+//! Lock-free path-resolution (dentry) cache.
+//!
+//! Path resolution is the LibFS's dominant source of shared-lock traffic:
+//! every component hop takes a directory-bucket lock (`FsStats::
+//! shared_lock_acqs`), and that serial fraction is exactly what caps the
+//! USL scalability model at high thread counts. This module caches
+//! `(parent, name) → child inode` translations so repeat walks skip the
+//! bucket locks entirely.
+//!
+//! # Structure
+//!
+//! The cache is a fixed-size, direct-mapped table of atomic slots. Each
+//! slot holds a packed [`ArenaRef`] into a generation-checked
+//! [`rcu::Arena`], whose entries are reclaimed through the same epoch
+//! domain ([`rcu::Rcu`]) the directory index uses. A reader therefore
+//! performs: one atomic load (the slot), one generation-checked arena read
+//! (the entry), and one atomic load of the parent directory's generation —
+//! no locks, and no access that can dangle: a slot displaced by a
+//! concurrent fill is freed *deferred*, past every in-flight epoch guard,
+//! and a late reader of the old ref gets a detected `UafError` (treated as
+//! a miss), never a torn entry.
+//!
+//! # Invalidation protocol (stale hit ⇒ miss, never a wrong answer)
+//!
+//! Every namespace writer — create, unlink, rename, rmdir, plus §4.3
+//! release and revival — publishes a **per-directory generation bump**
+//! ([`crate::inode::MemInode::bump_dcache_gen`]) inside its critical
+//! section. Fills snapshot the parent's generation *before* consulting the
+//! authoritative bucket index and store that snapshot in the entry; a hit
+//! is trusted only while the snapshot still equals the parent's current
+//! generation. The two sides compose into the invariant the whole design
+//! rests on:
+//!
+//! * a fill that raced a writer stored an already-stale generation, so the
+//!   entry never validates — a wasted fill, not a wrong answer;
+//! * a hit that validates is indistinguishable from an authoritative
+//!   bucket-index lookup performed at the instant of the generation check
+//!   (any writer that has since mutated the directory bumped the
+//!   generation first, inside its critical section);
+//! * a released directory's next mutation is only observable after
+//!   revival, and both release and revival bump the generation, so a
+//!   cached entry can never leak state from before a release across it —
+//!   the resolution falls back to the authoritative path, which surfaces
+//!   the §4.3 [`vfs::FsError::Released`] sentinel and lets `run_retrying`
+//!   replay.
+//!
+//! Entries additionally record the parent's [`MemInode::uid`] — a
+//! never-recycled instance id — so an entry filled under a previous life
+//! of a recycled inode *number* cannot validate against its successor.
+//!
+//! [`MemInode::uid`]: crate::inode::MemInode::uid
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rcu::{Arena, ArenaRef, Rcu};
+
+use crate::inode::{DirState, MemInode};
+
+/// One cached translation. Immutable once inserted; replaced, never
+/// updated in place.
+#[derive(Debug)]
+struct DcacheEntry {
+    /// `uid` of the parent directory's `MemInode` instance.
+    parent_uid: u64,
+    /// Component name.
+    name: String,
+    /// Target inode number.
+    child: u64,
+    /// Parent's dentry-cache generation, snapshotted before the fill's
+    /// authoritative lookup.
+    pgen: u64,
+}
+
+/// Bits of the packed slot word holding the arena index; the rest holds
+/// the arena generation. A slot word of `0` means "empty" (arena
+/// generations of live refs are odd, so a real packed ref is never 0).
+const INDEX_BITS: u32 = 24;
+const INDEX_MASK: u64 = (1 << INDEX_BITS) - 1;
+
+fn pack(r: ArenaRef) -> Option<u64> {
+    let idx = r.index as u64;
+    if idx > INDEX_MASK || r.gen >= (1 << (64 - INDEX_BITS)) {
+        return None; // would not round-trip; caller skips caching
+    }
+    Some((r.gen << INDEX_BITS) | idx)
+}
+
+fn unpack(packed: u64) -> ArenaRef {
+    ArenaRef {
+        index: (packed & INDEX_MASK) as usize,
+        gen: packed >> INDEX_BITS,
+    }
+}
+
+/// The per-LibFS dentry cache. See the module docs for the protocol.
+pub struct Dcache {
+    slots: Box<[AtomicU64]>,
+    arena: Arc<Arena<DcacheEntry>>,
+    rcu: Arc<Rcu>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for Dcache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dcache")
+            .field("slots", &self.slots.len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Dcache {
+    /// A cache with `slots` direct-mapped entries (rounded up to one), tied
+    /// to the LibFS's epoch-reclamation domain.
+    pub fn new(slots: usize, rcu: Arc<Rcu>) -> Dcache {
+        Dcache {
+            slots: (0..slots.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            arena: Arc::new(Arena::new()),
+            rcu,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn slot_index(&self, parent_uid: u64, name: &str) -> usize {
+        // Mix the per-instance parent uid into the name hash so sibling
+        // directories with identical entry names spread across slots.
+        let h = DirState::name_hash(name) ^ parent_uid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h as usize) % self.slots.len()
+    }
+
+    /// Lock-free lookup of `name` under `parent`. Returns the child inode
+    /// number on a validated hit; every other outcome (empty slot,
+    /// displaced entry, reclaimed arena slot, generation mismatch) is a
+    /// miss and the caller falls back to the authoritative bucket index.
+    pub fn lookup(&self, parent: &MemInode, name: &str) -> Option<u64> {
+        let idx = self.slot_index(parent.uid(), name);
+        let _guard = self.rcu.read_guard();
+        let packed = self.slots[idx].load(Ordering::SeqCst);
+        if packed != 0 {
+            let read = self.arena.read(unpack(packed), |e| {
+                (e.parent_uid == parent.uid() && e.name == name).then_some((e.child, e.pgen))
+            });
+            if let Ok(Some((child, pgen))) = read {
+                // Validate *after* reading the entry: if no writer has
+                // bumped the generation since the fill snapshot, this hit
+                // is equivalent to an authoritative lookup right now.
+                if pgen == parent.dcache_gen() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    obs::dcache_event(true);
+                    return Some(child);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::dcache_event(false);
+        None
+    }
+
+    /// Publish a translation learned from an authoritative lookup. `pgen`
+    /// must be the parent's generation snapshotted *before* that lookup:
+    /// if a writer raced in between, the entry simply never validates.
+    pub fn insert(&self, parent: &MemInode, pgen: u64, name: &str, child: u64) {
+        if pgen != parent.dcache_gen() {
+            return; // already stale; don't waste a slot
+        }
+        let r = self.arena.insert(DcacheEntry {
+            parent_uid: parent.uid(),
+            name: name.to_string(),
+            child,
+            pgen,
+        });
+        let Some(packed) = pack(r) else {
+            // Out of packable range (pathological churn); drop the entry.
+            let _ = self.arena.free(r);
+            return;
+        };
+        let idx = self.slot_index(parent.uid(), name);
+        let old = self.slots[idx].swap(packed, Ordering::SeqCst);
+        if old != 0 {
+            // The displaced entry may still be under a reader's epoch
+            // guard; reclaim it once every in-flight guard has exited.
+            self.arena.free_deferred(unpack(old), &self.rcu);
+        }
+    }
+
+    /// Record a per-directory generation bump (the writers' side of the
+    /// protocol; the bump itself lives on the `MemInode`).
+    pub fn note_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Validated hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses (including fills) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Generation bumps published by writers so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Reset the counters (not the cached entries).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{Mapping, MappingRegistry, PmemDevice};
+    use trio::InodeType;
+
+    fn dir_inode(ino: u64) -> Arc<MemInode> {
+        let dev = PmemDevice::new(1 << 20);
+        let reg = Arc::new(MappingRegistry::new());
+        let m = Mapping::new(dev, reg, 0, 1 << 20);
+        MemInode::new(
+            ino,
+            InodeType::Directory,
+            1,
+            m,
+            0,
+            2,
+            0,
+            Some(DirState::new(4, 2)),
+        )
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let d = Dcache::new(64, Rcu::new());
+        let p = dir_inode(2);
+        assert_eq!(d.lookup(&p, "f"), None);
+        d.insert(&p, p.dcache_gen(), "f", 42);
+        assert_eq!(d.lookup(&p, "f"), Some(42));
+        assert_eq!(d.hits(), 1);
+        assert_eq!(d.misses(), 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let d = Dcache::new(64, Rcu::new());
+        let p = dir_inode(2);
+        d.insert(&p, p.dcache_gen(), "f", 42);
+        assert_eq!(d.lookup(&p, "f"), Some(42));
+        p.bump_dcache_gen();
+        d.note_invalidation();
+        assert_eq!(d.lookup(&p, "f"), None, "stale hit must degrade to miss");
+        assert_eq!(d.invalidations(), 1);
+    }
+
+    #[test]
+    fn stale_fill_never_validates() {
+        let d = Dcache::new(64, Rcu::new());
+        let p = dir_inode(2);
+        let g0 = p.dcache_gen();
+        p.bump_dcache_gen(); // writer raced between snapshot and fill
+        d.insert(&p, g0, "f", 42);
+        assert_eq!(d.lookup(&p, "f"), None);
+    }
+
+    #[test]
+    fn recycled_ino_cannot_alias() {
+        let d = Dcache::new(64, Rcu::new());
+        let p1 = dir_inode(7);
+        d.insert(&p1, p1.dcache_gen(), "f", 42);
+        // Same inode number, new MemInode instance (recycled ino).
+        let p2 = dir_inode(7);
+        assert_eq!(d.lookup(&p2, "f"), None, "uid must gate validation");
+    }
+
+    #[test]
+    fn displacement_frees_deferred() {
+        let rcu = Rcu::new();
+        let d = Dcache::new(1, rcu.clone()); // single slot: every fill displaces
+        let p = dir_inode(2);
+        for i in 0..100u64 {
+            d.insert(&p, p.dcache_gen(), &format!("f{i}"), i);
+        }
+        rcu.synchronize();
+        assert!(
+            d.arena.live() <= 2,
+            "displaced entries must be reclaimed, live={}",
+            d.arena.live()
+        );
+    }
+
+    #[test]
+    fn concurrent_fill_and_lookup_never_wrong() {
+        let d = Arc::new(Dcache::new(8, Rcu::new()));
+        let p = dir_inode(2);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let d = &d;
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let name = format!("n{}", (i + t) % 16);
+                        let want = DirState::name_hash(&name);
+                        d.insert(p, p.dcache_gen(), &name, want);
+                        if let Some(got) = d.lookup(p, &name) {
+                            assert_eq!(got, want, "cache returned wrong child");
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

@@ -3,15 +3,15 @@
 //!
 //! This module contains three of the paper's bug sites:
 //!
-//! * **§4.2** — [`LibFs::write_dentry_core`]: the artifact's single-flush
+//! * **§4.2** — `LibFs::write_dentry_core`: the artifact's single-flush
 //!   optimization skips flushing the commit marker's cache line while
 //!   persisting the payload, and the buggy variant omits the fence that
 //!   orders the payload flushes before the marker store.
-//! * **§4.4** — [`LibFs::dir_insert`]: the buggy variant updates the
+//! * **§4.4** — `LibFs::dir_insert`: the buggy variant updates the
 //!   auxiliary index *before* and *outside* the critical section that
 //!   writes the core-state dentry, so a concurrent reader can follow the
 //!   index into core data that does not exist yet.
-//! * **§4.5** — [`LibFs::dir_lookup`] / [`LibFs::dir_remove`]: the buggy
+//! * **§4.5** — `LibFs::dir_lookup` / `LibFs::dir_remove`: the buggy
 //!   variant lets readers traverse bucket entries without RCU protection
 //!   while a writer frees them immediately.
 //!
@@ -323,6 +323,7 @@ impl LibFs {
             // (which quiesces this table exclusively) never observes a
             // half-done create.
             self.persist_dir_size(dir, &mapping, 1)?;
+            self.dcache_invalidate(dir);
             let grow = ds.live.load(Ordering::SeqCst) > (arr.len() as u64) * DirState::RESIZE_LOAD;
             drop(b);
             drop(arr);
@@ -348,6 +349,7 @@ impl LibFs {
                     log_off: off,
                 });
                 b.push((h, r));
+                self.dcache_invalidate(dir);
                 grow = ds.live.load(Ordering::SeqCst) > (arr.len() as u64) * DirState::RESIZE_LOAD;
             }
             if grow {
@@ -440,6 +442,7 @@ impl LibFs {
             }
             // As in dir_insert: the size update stays inside the section.
             self.persist_dir_size(dir, &mapping, -1)?;
+            self.dcache_invalidate(dir);
             drop(b);
             Ok(meta)
         } else {
@@ -457,6 +460,7 @@ impl LibFs {
                     // BUG §4.5: immediate free while readers may hold refs.
                     let _ = ds.arena.free(r);
                 }
+                self.dcache_invalidate(dir);
                 meta
             };
             inject::point("dir.remove.core_access");
@@ -644,6 +648,7 @@ impl LibFs {
         } else {
             let _ = ds.arena.free(r_old);
         }
+        self.dcache_invalidate(dir);
         // Live-entry count is unchanged (+1 −1), so no size update.
         Ok(())
     }

@@ -181,7 +181,20 @@ pub struct MemInode {
     pub meta: Mutex<()>,
     /// Directory auxiliary state (None for regular files).
     pub dir: Option<DirState>,
+    /// Workspace-unique id of this `MemInode` *instance*. Inode numbers are
+    /// recycled; dentry-cache entries record the instance they were filled
+    /// against so an entry published under a previous life of the same
+    /// inode number can never validate against its successor.
+    uid: u64,
+    /// Per-directory dentry-cache generation. Namespace writers bump it
+    /// inside their critical section; a cached `(parent, name)` entry is
+    /// only trusted while the generation it was filled at is still current
+    /// (see `crate::dcache`).
+    dcache_gen: AtomicU64,
 }
+
+/// Source of [`MemInode::uid`] values, shared by every LibFS in the process.
+static NEXT_MEM_INODE_UID: AtomicU64 = AtomicU64::new(1);
 
 impl std::fmt::Debug for MemInode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -218,7 +231,27 @@ impl MemInode {
             rw: RwLock::new(()),
             meta: Mutex::new(()),
             dir,
+            uid: NEXT_MEM_INODE_UID.fetch_add(1, Ordering::Relaxed),
+            dcache_gen: AtomicU64::new(0),
         })
+    }
+
+    /// Workspace-unique id of this instance (never recycled, unlike `ino`).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Current dentry-cache generation of this directory.
+    pub fn dcache_gen(&self) -> u64 {
+        self.dcache_gen.load(Ordering::SeqCst)
+    }
+
+    /// Publish a generation bump: every dentry-cache entry filled under an
+    /// earlier generation of this directory stops validating. Called by
+    /// namespace writers inside their critical section (and by release /
+    /// revival, which change what the auxiliary index may serve).
+    pub fn bump_dcache_gen(&self) {
+        self.dcache_gen.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Current lifecycle state.

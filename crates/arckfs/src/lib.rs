@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod custom;
+pub mod dcache;
 pub mod delegate;
 pub mod dir;
 pub mod file;
@@ -51,12 +52,12 @@ use vfs::FsResult;
 /// # Examples
 ///
 /// ```
-/// use vfs::FileSystem;
+/// use vfs::{FileSystem, FsExt};
 ///
 /// let (kernel, fs) = arckfs::new_fs(32 << 20, arckfs::Config::arckfs_plus())?;
 /// fs.mkdir("/inbox")?;
-/// vfs::write_file(fs.as_ref(), "/inbox/msg", b"hello")?;
-/// assert_eq!(vfs::read_file(fs.as_ref(), "/inbox/msg")?, b"hello");
+/// fs.write_file("/inbox/msg", b"hello")?;
+/// assert_eq!(fs.read_file("/inbox/msg")?, b"hello");
 /// fs.unmount()?;
 /// assert_eq!(kernel.stats().snapshot().verify_failures, 0);
 /// # Ok::<(), vfs::FsError>(())

@@ -76,6 +76,9 @@ pub struct LibFs {
     pending_renames: Mutex<HashMap<u64, HashSet<u64>>>,
     /// Shared-state lock acquisitions (for the scalability model).
     shared_lock_acqs: AtomicU64,
+    /// Lock-free path-resolution cache (`crate::dcache`), consulted by
+    /// [`LibFs::lookup_child`] when [`Config::dcache`] is on.
+    pub(crate) dcache: crate::dcache::Dcache,
     /// I/O delegation worker pool (OdinFS-style; §2.2, §5.2).
     pub(crate) delegation: crate::delegate::DelegationPool,
     label: String,
@@ -97,13 +100,15 @@ impl LibFs {
         let geom = *kernel.geometry();
         let label = format!("{}#{}", config.label(), id.0);
         let config_threads = config.delegation_threads;
+        let rcu = Rcu::new();
+        let dcache = crate::dcache::Dcache::new(config.dcache_slots, rcu.clone());
         Ok(Arc::new(LibFs {
             kernel,
             id,
             geom,
             config,
             base_mapping,
-            rcu: Rcu::new(),
+            rcu,
             uid,
             inodes: RwLock::new(HashMap::new()),
             revive_lock: Mutex::new(()),
@@ -113,6 +118,7 @@ impl LibFs {
             next_fd: AtomicU64::new(3),
             pending_renames: Mutex::new(HashMap::new()),
             shared_lock_acqs: AtomicU64::new(0),
+            dcache,
             delegation: crate::delegate::DelegationPool::new(config_threads),
             label,
         }))
@@ -140,6 +146,19 @@ impl LibFs {
 
     pub(crate) fn count_lock(&self) {
         self.shared_lock_acqs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish a namespace mutation of `dir` to the dentry cache: bump the
+    /// per-directory generation (always — the cache may be enabled on
+    /// another handle to the same LibFS later) and count the invalidation.
+    /// Must be called *inside* the mutating critical section, after the
+    /// index change, so that once the writer's lock is released every
+    /// cached translation under this directory has stopped validating.
+    pub(crate) fn dcache_invalidate(&self, dir: &MemInode) {
+        dir.bump_dcache_gen();
+        if self.config.dcache {
+            self.dcache.note_invalidation();
+        }
     }
 
     // ---- resource pools ----------------------------------------------------
@@ -310,6 +329,10 @@ impl LibFs {
         mi.cached_size.store(raw.size, Ordering::SeqCst);
         mi.cached_nlink.store(raw.nlink, Ordering::SeqCst);
         mi.seq.store(raw.seq.max(max_seq).max(mi.seq.load(Ordering::SeqCst)), Ordering::SeqCst);
+        // The rebuilt index supersedes anything cached before (or during)
+        // the release; bump before publishing so no pre-revival
+        // translation can validate against the revived directory.
+        self.dcache_invalidate(mi);
         // Publish last: once the state flips, waiters bail out of their
         // Released retries and enter critical sections against the new
         // mapping installed here.
@@ -473,12 +496,36 @@ impl LibFs {
 
     // ---- path resolution -----------------------------------------------------
 
+    /// Look up one path component under `dir`, consulting the lock-free
+    /// dentry cache first when it is enabled. A validated cache hit skips
+    /// the bucket-lock acquisition of [`crate::dir`]'s authoritative
+    /// lookup; every other outcome falls back to it and (when still
+    /// fresh) publishes the translation for the next walk.
+    pub(crate) fn lookup_child(&self, dir: &Arc<MemInode>, name: &str) -> FsResult<Option<u64>> {
+        if self.config.dcache {
+            if let Some(child) = self.dcache.lookup(dir, name) {
+                return Ok(Some(child));
+            }
+            // Snapshot the generation *before* the authoritative lookup:
+            // a writer racing in between makes the fill stale, and a
+            // stale fill never validates (see `crate::dcache`).
+            let g0 = dir.dcache_gen();
+            let meta = self.dir_lookup(dir, name)?;
+            if let Some(m) = &meta {
+                self.dcache.insert(dir, g0, name, m.ino);
+            }
+            Ok(meta.map(|m| m.ino))
+        } else {
+            Ok(self.dir_lookup(dir, name)?.map(|m| m.ino))
+        }
+    }
+
     /// Resolve a directory path to its in-memory inode.
     pub(crate) fn resolve_dir(&self, comps: &[&str]) -> FsResult<Arc<MemInode>> {
         let mut cur = self.get_inode(ROOT_INO, 0)?;
         for c in comps {
-            let meta = self.dir_lookup(&cur, c)?.ok_or(FsError::NotFound)?;
-            let child = self.get_inode(meta.ino, cur.ino)?;
+            let ino = self.lookup_child(&cur, c)?.ok_or(FsError::NotFound)?;
+            let child = self.get_inode(ino, cur.ino)?;
             if child.itype != InodeType::Directory {
                 return Err(FsError::NotADirectory);
             }
@@ -494,8 +541,10 @@ impl LibFs {
         }
         let (parent_comps, name) = vpath::split_parent(path)?;
         let parent = self.resolve_dir(&parent_comps)?;
-        let meta = self.dir_lookup(&parent, name)?.ok_or(FsError::NotFound)?;
-        self.get_inode(meta.ino, parent.ino)
+        let ino = self
+            .lookup_child(&parent, name)?
+            .ok_or(FsError::NotFound)?;
+        self.get_inode(ino, parent.ino)
     }
 
     // ---- inode initialization (create/mkdir) ----------------------------------
@@ -682,6 +731,10 @@ impl LibFs {
             }
             let _m = mi.meta.lock();
             mi.mark_released();
+            // Cached translations under a released directory must stop
+            // validating: another LibFS may mutate it while released, and
+            // the rebuilt post-revival index is the only authority.
+            self.dcache_invalidate(&mi);
             self.kernel.release(self.id, ino)?;
             // Locks drop here; auxiliary state is retained (readers use the
             // cached metadata; the next write re-acquires).
@@ -689,6 +742,7 @@ impl LibFs {
         } else {
             // BUG §4.3: no synchronization with in-flight operations, and
             // the auxiliary state is dropped.
+            self.dcache_invalidate(&mi);
             self.inodes.write().remove(&ino);
             self.kernel.release(self.id, ino)?;
             Ok(())
@@ -960,6 +1014,20 @@ impl LibFs {
         Ok((mi, entry))
     }
 
+    /// The directory inode behind a handle opened with
+    /// [`FileSystem::open_dir`] — the anchor of the `*_at` fast paths.
+    /// Re-fetched through `get_inode` on every use so a §4.3 release of
+    /// the directory revives it transparently rather than surfacing a
+    /// dangling handle.
+    fn dir_of_fd(&self, dirfd: Fd) -> FsResult<Arc<MemInode>> {
+        let entry = self.fd_entry(dirfd)?;
+        let mi = self.get_inode(entry.ino, 0)?;
+        if mi.itype != InodeType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        Ok(mi)
+    }
+
     fn create_impl(&self, path: &str, itype: InodeType) -> FsResult<u64> {
         self.create_impl_with_mode(path, itype, mode::RW_ALL)
     }
@@ -978,13 +1046,26 @@ impl LibFs {
 
     fn create_impl_with_mode(&self, path: &str, itype: InodeType, perm: u32) -> FsResult<u64> {
         let (parent_comps, name) = vpath::split_parent(path)?;
+        let parent = self.resolve_dir(&parent_comps)?;
+        self.create_in_dir(&parent, name, itype, perm)
+    }
+
+    /// Create `name` under an already-resolved parent directory — the
+    /// shared tail of the path-based creates and the handle-relative
+    /// `*_at` entry points (which skip the prefix walk entirely).
+    fn create_in_dir(
+        &self,
+        parent: &Arc<MemInode>,
+        name: &str,
+        itype: InodeType,
+        perm: u32,
+    ) -> FsResult<u64> {
         vpath::validate_name(name)?;
         if name.len() > DENTRY_NAME_CAP {
             return Err(FsError::NameTooLong);
         }
-        let parent = self.resolve_dir(&parent_comps)?;
         let (child_ino, child_mapping) = self.alloc_ino()?;
-        let res = self.dir_insert(&parent, name, child_ino, |fs| {
+        let res = self.dir_insert(parent, name, child_ino, |fs| {
             fs.init_inode_core_with_mode(child_ino, itype, perm)
         });
         if let Err(e) = res {
@@ -993,7 +1074,7 @@ impl LibFs {
         }
         self.install_fresh_inode(child_ino, itype, parent.ino, child_mapping)?;
         if self.config.verify_every_op {
-            self.ensure_connected(&parent)?;
+            self.ensure_connected(parent)?;
             self.kernel.commit(self.id, parent.ino)?;
         }
         Ok(child_ino)
@@ -1002,7 +1083,12 @@ impl LibFs {
     fn remove_impl(&self, path: &str, want_dir: bool) -> FsResult<()> {
         let (parent_comps, name) = vpath::split_parent(path)?;
         let parent = self.resolve_dir(&parent_comps)?;
+        self.remove_in_dir(&parent, name, want_dir)
+    }
 
+    /// Remove `name` under an already-resolved parent directory — the
+    /// shared tail of `unlink`/`rmdir` and the handle-relative `unlink_at`.
+    fn remove_in_dir(&self, parent: &Arc<MemInode>, name: &str, want_dir: bool) -> FsResult<()> {
         // §4.3: hold the parent's file lock in read mode across the removal
         // and the post-removal teardown. The release quiesce takes it in
         // write mode first, so the mapping the child's core state is torn
@@ -1020,7 +1106,7 @@ impl LibFs {
             // child's commit marker between this thread's lookup and its
             // marker read.
             let mut checked = None;
-            let meta = self.dir_remove_validated(&parent, name, |m| {
+            let meta = self.dir_remove_validated(parent, name, |m| {
                 let pm = parent.mapping_handle();
                 let ibase = self.geom.inode_offset(m.ino);
                 let marker = pm.read_u64(ibase + I_MARKER).map_err(map_fault)?;
@@ -1057,7 +1143,7 @@ impl LibFs {
                 checked.expect("validate ran before a successful removal"),
             )
         } else {
-            let meta = self.dir_lookup(&parent, name)?.ok_or(FsError::NotFound)?;
+            let meta = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
 
             // Load the child inode directly from the mapped core state, as
             // the C artifact does by pointer. If a racing create has
@@ -1095,7 +1181,7 @@ impl LibFs {
             }
 
             // Remove the dentry first, then free the inode and its pages.
-            self.dir_remove(&parent, name)?;
+            self.dir_remove(parent, name)?;
             (meta.ino, itype)
         };
 
@@ -1142,7 +1228,7 @@ impl LibFs {
         self.recycle_ino(child_ino, mapping);
 
         if self.config.verify_every_op {
-            self.ensure_connected(&parent)?;
+            self.ensure_connected(parent)?;
             self.kernel.commit(self.id, parent.ino)?;
         }
         Ok(())
@@ -1185,6 +1271,9 @@ impl LibFs {
             verifications: ks.verifications,
             pm_bytes_written: dev.bytes_written,
             shared_lock_acqs: self.shared_lock_acqs.load(Ordering::Relaxed),
+            dcache_hits: self.dcache.hits(),
+            dcache_misses: self.dcache.misses(),
+            dcache_invalidations: self.dcache.invalidations(),
         }
     }
 }
@@ -1202,7 +1291,7 @@ impl FileSystem for LibFs {
             fd.0,
             FdEntry {
                 ino,
-                flags: OpenFlags::RDWR,
+                flags: OpenFlags::rw(),
             },
         );
         Ok(fd)
@@ -1210,21 +1299,40 @@ impl FileSystem for LibFs {
 
     fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
         let _span = obs::span(obs::OpKind::Open, self.kernel.device().stats());
-        let ino = self.run_retrying(|| match self.resolve(path) {
-            Ok(mi) => {
-                if mi.itype != InodeType::Regular {
-                    return Err(FsError::IsADirectory);
-                }
-                if flags.truncate {
-                    if !flags.write {
-                        return Err(FsError::BadAccessMode);
+        let ino = self.run_retrying(|| loop {
+            match self.resolve(path) {
+                Ok(mi) => {
+                    if flags.create && flags.excl {
+                        // O_CREAT|O_EXCL: an existing name is an error, and
+                        // the create below is the atomic arbiter — the
+                        // dentry insert's duplicate check runs inside the
+                        // bucket critical section, so exactly one of two
+                        // racing excl creates can win.
+                        return Err(FsError::AlreadyExists);
                     }
-                    self.file_truncate(&mi, 0)?;
+                    if mi.itype != InodeType::Regular {
+                        return Err(FsError::IsADirectory);
+                    }
+                    if flags.truncate {
+                        if !flags.write {
+                            return Err(FsError::BadAccessMode);
+                        }
+                        self.file_truncate(&mi, 0)?;
+                    }
+                    return Ok(mi.ino);
                 }
-                Ok(mi.ino)
+                Err(FsError::NotFound) if flags.create => {
+                    match self.create_impl(path, InodeType::Regular) {
+                        Ok(ino) => return Ok(ino),
+                        // Lost a create race. Without excl that is benign —
+                        // loop and open the winner's file; with excl it is
+                        // exactly the collision excl exists to report.
+                        Err(FsError::AlreadyExists) if !flags.excl => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
             }
-            Err(FsError::NotFound) if flags.create => self.create_impl(path, InodeType::Regular),
-            Err(e) => Err(e),
         })?;
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
         self.fds.write().insert(fd.0, FdEntry { ino, flags });
@@ -1258,6 +1366,14 @@ impl FileSystem for LibFs {
             if !entry.flags.write {
                 return Err(FsError::BadAccessMode);
             }
+            // O_APPEND: every write lands at end-of-file regardless of the
+            // requested offset, as in POSIX.
+            let offset = if entry.flags.append {
+                let mapping = mi.mapping_handle();
+                self.file_size(&mi, &mapping)?
+            } else {
+                offset
+            };
             self.file_write_at(&mi, buf, offset)
         })
     }
@@ -1367,6 +1483,107 @@ impl FileSystem for LibFs {
         self.meta_of(&mi)
     }
 
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        let _span = obs::span(obs::OpKind::Stat, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let entry = self.fd_entry(fd)?;
+            let mi = self.get_inode(entry.ino, 0)?;
+            self.meta_of(&mi)
+        })
+    }
+
+    fn open_dir(&self, path: &str) -> FsResult<Fd> {
+        let _span = obs::span(obs::OpKind::Open, self.kernel.device().stats());
+        let ino = self.run_retrying(|| {
+            let mi = self.resolve(path)?;
+            if mi.itype != InodeType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            Ok(mi.ino)
+        })?;
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(
+            fd.0,
+            FdEntry {
+                ino,
+                flags: OpenFlags::read(),
+            },
+        );
+        Ok(fd)
+    }
+
+    // The handle-relative operations anchor at the directory inode held by
+    // the fd, so each costs one `lookup_child` (a lock-free dcache probe on
+    // the hot path) instead of a full prefix walk. `fd_dir_path` stays
+    // unsupported: these natives never need to reconstruct a path.
+
+    fn open_at(&self, dirfd: Fd, name: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let _span = obs::span(obs::OpKind::Open, self.kernel.device().stats());
+        vpath::validate_name(name)?;
+        let ino = self.run_retrying(|| loop {
+            let dir = self.dir_of_fd(dirfd)?;
+            match self.lookup_child(&dir, name)? {
+                Some(ino) => {
+                    if flags.create && flags.excl {
+                        return Err(FsError::AlreadyExists);
+                    }
+                    let mi = self.get_inode(ino, dir.ino)?;
+                    if mi.itype != InodeType::Regular {
+                        return Err(FsError::IsADirectory);
+                    }
+                    if flags.truncate {
+                        if !flags.write {
+                            return Err(FsError::BadAccessMode);
+                        }
+                        self.file_truncate(&mi, 0)?;
+                    }
+                    return Ok(mi.ino);
+                }
+                None if flags.create => {
+                    match self.create_in_dir(&dir, name, InodeType::Regular, mode::RW_ALL) {
+                        Ok(ino) => return Ok(ino),
+                        Err(FsError::AlreadyExists) if !flags.excl => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => return Err(FsError::NotFound),
+            }
+        })?;
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(fd.0, FdEntry { ino, flags });
+        Ok(fd)
+    }
+
+    fn stat_at(&self, dirfd: Fd, name: &str) -> FsResult<Metadata> {
+        let _span = obs::span(obs::OpKind::Stat, self.kernel.device().stats());
+        vpath::validate_name(name)?;
+        self.run_retrying(|| {
+            let dir = self.dir_of_fd(dirfd)?;
+            let ino = self.lookup_child(&dir, name)?.ok_or(FsError::NotFound)?;
+            let mi = self.get_inode(ino, dir.ino)?;
+            self.meta_of(&mi)
+        })
+    }
+
+    fn unlink_at(&self, dirfd: Fd, name: &str) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Unlink, self.kernel.device().stats());
+        vpath::validate_name(name)?;
+        self.run_retrying(|| {
+            let dir = self.dir_of_fd(dirfd)?;
+            self.remove_in_dir(&dir, name, false)
+        })
+    }
+
+    fn mkdir_at(&self, dirfd: Fd, name: &str) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Mkdir, self.kernel.device().stats());
+        vpath::validate_name(name)?;
+        self.run_retrying(|| {
+            let dir = self.dir_of_fd(dirfd)?;
+            self.create_in_dir(&dir, name, InodeType::Directory, mode::RW_ALL)
+                .map(|_| ())
+        })
+    }
+
     fn stats(&self) -> FsStats {
         self.gather_stats()
     }
@@ -1374,13 +1591,14 @@ impl FileSystem for LibFs {
     fn reset_stats(&self) {
         self.kernel.device().stats().reset();
         self.shared_lock_acqs.store(0, Ordering::Relaxed);
+        self.dcache.reset_counters();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vfs::{read_file, write_file};
+    use vfs::FsExt;
 
     fn fs(config: Config) -> Arc<LibFs> {
         crate::new_fs(64 << 20, config).expect("format").1
@@ -1393,8 +1611,8 @@ mod tests {
     #[test]
     fn create_write_read_round_trip() {
         for f in both() {
-            write_file(f.as_ref(), "/hello.txt", b"hello world").unwrap();
-            assert_eq!(read_file(f.as_ref(), "/hello.txt").unwrap(), b"hello world");
+            f.write_file("/hello.txt", b"hello world").unwrap();
+            assert_eq!(f.read_file("/hello.txt").unwrap(), b"hello world");
             let st = f.stat("/hello.txt").unwrap();
             assert_eq!(st.size, 11);
             assert_eq!(st.file_type, FileType::Regular);
@@ -1412,10 +1630,10 @@ mod tests {
     fn open_missing_fails_without_create() {
         let f = fs(Config::arckfs_plus());
         assert_eq!(
-            f.open("/nope", OpenFlags::RDONLY).unwrap_err(),
+            f.open("/nope", OpenFlags::read()).unwrap_err(),
             FsError::NotFound
         );
-        let fd = f.open("/nope", OpenFlags::CREATE).unwrap();
+        let fd = f.open("/nope", OpenFlags::rw().create()).unwrap();
         f.close(fd).unwrap();
         assert!(f.stat("/nope").is_ok());
     }
@@ -1425,8 +1643,8 @@ mod tests {
         for f in both() {
             f.mkdir("/d").unwrap();
             f.mkdir("/d/e").unwrap();
-            write_file(f.as_ref(), "/d/e/f.txt", b"deep").unwrap();
-            assert_eq!(read_file(f.as_ref(), "/d/e/f.txt").unwrap(), b"deep");
+            f.write_file("/d/e/f.txt", b"deep").unwrap();
+            assert_eq!(f.read_file("/d/e/f.txt").unwrap(), b"deep");
             assert_eq!(f.stat("/d").unwrap().file_type, FileType::Directory);
             assert_eq!(f.stat("/d/e").unwrap().size, 1);
         }
@@ -1483,10 +1701,10 @@ mod tests {
     #[test]
     fn rename_same_dir() {
         for f in both() {
-            write_file(f.as_ref(), "/old", b"data").unwrap();
+            f.write_file("/old", b"data").unwrap();
             f.rename("/old", "/new").unwrap();
             assert_eq!(f.stat("/old").unwrap_err(), FsError::NotFound);
-            assert_eq!(read_file(f.as_ref(), "/new").unwrap(), b"data");
+            assert_eq!(f.read_file("/new").unwrap(), b"data");
         }
     }
 
@@ -1495,9 +1713,9 @@ mod tests {
         for f in both() {
             f.mkdir("/a").unwrap();
             f.mkdir("/b").unwrap();
-            write_file(f.as_ref(), "/a/f", b"move me").unwrap();
+            f.write_file("/a/f", b"move me").unwrap();
             f.rename("/a/f", "/b/g").unwrap();
-            assert_eq!(read_file(f.as_ref(), "/b/g").unwrap(), b"move me");
+            assert_eq!(f.read_file("/b/g").unwrap(), b"move me");
             assert_eq!(f.stat("/a/f").unwrap_err(), FsError::NotFound);
             assert_eq!(f.stat("/a").unwrap().size, 0);
             assert_eq!(f.stat("/b").unwrap().size, 1);
@@ -1518,15 +1736,15 @@ mod tests {
         // 16 direct pages = 64 KiB; write 256 KiB to exercise the single
         // indirect level.
         let data: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
-        write_file(f.as_ref(), "/big", &data).unwrap();
-        assert_eq!(read_file(f.as_ref(), "/big").unwrap(), data);
+        f.write_file("/big", &data).unwrap();
+        assert_eq!(f.read_file("/big").unwrap(), data);
         assert_eq!(f.stat("/big").unwrap().size, 256 * 1024);
     }
 
     #[test]
     fn sparse_writes_read_zeroes_in_holes() {
         let f = fs(Config::arckfs_plus());
-        let fd = f.open("/sparse", OpenFlags::CREATE).unwrap();
+        let fd = f.open("/sparse", OpenFlags::rw().create()).unwrap();
         f.write_at(fd, b"end", 10_000).unwrap();
         let mut buf = vec![0xFFu8; 100];
         let n = f.read_at(fd, &mut buf, 0).unwrap();
@@ -1539,8 +1757,8 @@ mod tests {
     fn truncate_shrinks_dwtl_style() {
         let f = fs(Config::arckfs_plus());
         let data = vec![7u8; 64 * 1024];
-        write_file(f.as_ref(), "/t", &data).unwrap();
-        let fd = f.open("/t", OpenFlags::RDWR).unwrap();
+        f.write_file("/t", &data).unwrap();
+        let fd = f.open("/t", OpenFlags::rw()).unwrap();
         // DWTL: reduce the size of a private file by 4K.
         f.truncate(fd, 60 * 1024).unwrap();
         assert_eq!(f.stat("/t").unwrap().size, 60 * 1024);
@@ -1550,10 +1768,10 @@ mod tests {
     #[test]
     fn append_returns_offsets() {
         let f = fs(Config::arckfs_plus());
-        let fd = f.open("/log", OpenFlags::CREATE).unwrap();
+        let fd = f.open("/log", OpenFlags::rw().create()).unwrap();
         assert_eq!(f.append(fd, b"aaa").unwrap(), 0);
         assert_eq!(f.append(fd, b"bb").unwrap(), 3);
-        assert_eq!(read_file(f.as_ref(), "/log").unwrap(), b"aaabb");
+        assert_eq!(f.read_file("/log").unwrap(), b"aaabb");
     }
 
     #[test]
@@ -1577,10 +1795,10 @@ mod tests {
     #[test]
     fn access_mode_enforced() {
         let f = fs(Config::arckfs_plus());
-        write_file(f.as_ref(), "/m", b"x").unwrap();
-        let rd = f.open("/m", OpenFlags::RDONLY).unwrap();
+        f.write_file("/m", b"x").unwrap();
+        let rd = f.open("/m", OpenFlags::read()).unwrap();
         assert_eq!(f.write_at(rd, b"y", 0).unwrap_err(), FsError::BadAccessMode);
-        let wr = f.open("/m", OpenFlags::WRONLY).unwrap();
+        let wr = f.open("/m", OpenFlags::empty().write()).unwrap();
         let mut buf = [0u8; 1];
         assert_eq!(
             f.read_at(wr, &mut buf, 0).unwrap_err(),
@@ -1667,8 +1885,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..50 {
                         let p = format!("/p{t}/f{i}");
-                        write_file(f.as_ref(), &p, b"x").unwrap();
-                        assert_eq!(read_file(f.as_ref(), &p).unwrap(), b"x");
+                        f.write_file(&p, b"x").unwrap();
+                        assert_eq!(f.read_file(&p).unwrap(), b"x");
                     }
                     for i in 0..50 {
                         f.unlink(&format!("/p{t}/f{i}")).unwrap();
@@ -1686,12 +1904,129 @@ mod tests {
         let f = fs(Config::arckfs_plus());
         let name = "n".repeat(100);
         let path = format!("/{name}");
-        write_file(f.as_ref(), &path, b"long").unwrap();
-        assert_eq!(read_file(f.as_ref(), &path).unwrap(), b"long");
+        f.write_file(&path, b"long").unwrap();
+        assert_eq!(f.read_file(&path).unwrap(), b"long");
         let over = format!("/{}", "x".repeat(DENTRY_NAME_CAP + 1));
         assert!(matches!(
             f.create(&over).unwrap_err(),
             FsError::NameTooLong | FsError::InvalidPath(_)
         ));
+    }
+
+    #[test]
+    fn at_surface_round_trip() {
+        for f in both() {
+            f.mkdir("/d").unwrap();
+            let dfd = f.open_dir("/d").unwrap();
+            let fd = f.open_at(dfd, "file", OpenFlags::rw().create()).unwrap();
+            f.write_at(fd, b"payload", 0).unwrap();
+            f.close(fd).unwrap();
+            assert_eq!(f.stat_at(dfd, "file").unwrap().size, 7);
+            assert_eq!(f.read_file("/d/file").unwrap(), b"payload");
+            f.mkdir_at(dfd, "sub").unwrap();
+            assert_eq!(
+                f.stat("/d/sub").unwrap().file_type,
+                FileType::Directory
+            );
+            f.unlink_at(dfd, "file").unwrap();
+            assert_eq!(f.stat("/d/file").unwrap_err(), FsError::NotFound);
+            f.close(dfd).unwrap();
+        }
+    }
+
+    #[test]
+    fn at_surface_rejects_non_dirs_and_paths() {
+        let f = fs(Config::arckfs_plus());
+        f.write_file("/plain", b"x").unwrap();
+        assert_eq!(f.open_dir("/plain").unwrap_err(), FsError::NotADirectory);
+        let root = f.open_dir("/").unwrap();
+        assert!(matches!(
+            f.open_at(root, "a/b", OpenFlags::read()).unwrap_err(),
+            FsError::InvalidPath(_)
+        ));
+        let ffd = f.open("/plain", OpenFlags::read()).unwrap();
+        assert_eq!(
+            f.stat_at(ffd, "x").unwrap_err(),
+            FsError::NotADirectory,
+            "a file fd is not a directory handle"
+        );
+    }
+
+    #[test]
+    fn open_excl_is_atomic_arbiter() {
+        let f = fs(Config::arckfs_plus());
+        let fd = f.open("/x", OpenFlags::rw().create_new()).unwrap();
+        f.close(fd).unwrap();
+        assert_eq!(
+            f.open("/x", OpenFlags::rw().create_new()).unwrap_err(),
+            FsError::AlreadyExists
+        );
+        // Same semantics through the handle-relative entry point.
+        let root = f.open_dir("/").unwrap();
+        assert_eq!(
+            f.open_at(root, "x", OpenFlags::rw().create_new()).unwrap_err(),
+            FsError::AlreadyExists
+        );
+        let fd = f.open_at(root, "y", OpenFlags::rw().create_new()).unwrap();
+        f.close(fd).unwrap();
+    }
+
+    #[test]
+    fn append_flag_writes_at_eof() {
+        let f = fs(Config::arckfs_plus());
+        f.write_file("/log", b"abc").unwrap();
+        let fd = f.open("/log", OpenFlags::empty().append()).unwrap();
+        // The requested offset is ignored under O_APPEND.
+        f.write_at(fd, b"def", 0).unwrap();
+        f.close(fd).unwrap();
+        assert_eq!(f.read_file("/log").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn fstat_matches_stat() {
+        let f = fs(Config::arckfs_plus());
+        f.write_file("/s", b"12345").unwrap();
+        let fd = f.open("/s", OpenFlags::read()).unwrap();
+        let by_fd = f.fstat(fd).unwrap();
+        let by_path = f.stat("/s").unwrap();
+        assert_eq!(by_fd.size, by_path.size);
+        assert_eq!(by_fd.ino, by_path.ino);
+        f.close(fd).unwrap();
+        assert_eq!(f.fstat(fd).unwrap_err(), FsError::BadDescriptor);
+    }
+
+    #[test]
+    fn dcache_hits_accumulate_and_invalidate() {
+        let mut cfg = Config::arckfs_plus();
+        cfg.dcache = true;
+        let f = fs(cfg);
+        f.mkdir("/d").unwrap();
+        f.write_file("/d/f", b"x").unwrap();
+        f.reset_stats();
+        for _ in 0..10 {
+            f.stat("/d/f").unwrap();
+        }
+        let s = f.stats();
+        assert!(s.dcache_hits >= 10, "repeat walks must hit: {s:?}");
+        // A namespace write under /d invalidates its cached translations.
+        f.write_file("/d/g", b"y").unwrap();
+        let s = f.stats();
+        assert!(s.dcache_invalidations >= 1, "create must invalidate: {s:?}");
+        assert_eq!(f.read_file("/d/f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn dcache_off_never_counts() {
+        let mut cfg = Config::arckfs_plus();
+        cfg.dcache = false;
+        let f = fs(cfg);
+        f.mkdir("/d").unwrap();
+        f.write_file("/d/f", b"x").unwrap();
+        for _ in 0..10 {
+            f.stat("/d/f").unwrap();
+        }
+        let s = f.stats();
+        assert_eq!(s.dcache_hits, 0);
+        assert_eq!(s.dcache_misses, 0);
     }
 }

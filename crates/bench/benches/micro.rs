@@ -61,7 +61,7 @@ fn bench_open(c: &mut Criterion) {
             .unwrap();
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
-                let fd = fs.open("/d/target", OpenFlags::RDONLY).unwrap();
+                let fd = fs.open("/d/target", OpenFlags::read()).unwrap();
                 fs.close(fd).unwrap();
             })
         });
@@ -110,7 +110,7 @@ fn bench_write_4k(c: &mut Criterion) {
     let mut g = c.benchmark_group("write4k");
     for (label, config) in variants() {
         let fs = fs_of(config);
-        let fd = fs.open("/data", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/data", OpenFlags::rw().create()).unwrap();
         let block = vec![0u8; 4096];
         fs.write_at(fd, &block, 0).unwrap();
         let mut i = 0u64;

@@ -9,7 +9,7 @@ use std::time::Instant;
 use arckfs::custom::{AppendBufferFs, PathCacheFs};
 use arckfs::Config;
 use bench::record_json;
-use vfs::{FileSystem, OpenFlags};
+use vfs::{FileSystem, FsExt, OpenFlags};
 
 const DEV: usize = 256 << 20;
 
@@ -27,7 +27,7 @@ fn deep_open_cost(fs: &Arc<dyn FileSystem>) -> f64 {
     let start = Instant::now();
     for _ in 0..n {
         let fd = fs
-            .open("/d1/d2/d3/d4/target", OpenFlags::RDONLY)
+            .open("/d1/d2/d3/d4/target", OpenFlags::read())
             .expect("open");
         fs.close(fd).expect("close");
     }
@@ -37,7 +37,7 @@ fn deep_open_cost(fs: &Arc<dyn FileSystem>) -> f64 {
 /// µs/op of 64-byte appends with an fsync every 128 records (a WAL shape).
 fn wal_append_cost(fs: &Arc<dyn FileSystem>) -> f64 {
     let n = iters();
-    let fd = fs.open("/wal", OpenFlags::CREATE_TRUNC).expect("open");
+    let fd = fs.open("/wal", OpenFlags::rw().create().truncate()).expect("open");
     let rec = [0x5Au8; 64];
     let start = Instant::now();
     for i in 0..n {
@@ -58,8 +58,8 @@ fn main() {
     let plain = arckfs::new_fs(DEV, Config::arckfs_plus())
         .expect("format")
         .1;
-    vfs::mkdir_all(plain.as_ref(), "/d1/d2/d3/d4").expect("dirs");
-    vfs::write_file(plain.as_ref(), "/d1/d2/d3/d4/target", b"x").expect("file");
+    plain.mkdir_all("/d1/d2/d3/d4").expect("dirs");
+    plain.write_file("/d1/d2/d3/d4/target", b"x").expect("file");
     let plain_dyn: Arc<dyn FileSystem> = plain.clone();
     let base_open = deep_open_cost(&plain_dyn);
     let cached: Arc<dyn FileSystem> = PathCacheFs::new(plain);

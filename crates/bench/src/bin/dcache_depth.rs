@@ -1,0 +1,190 @@
+//! Dentry-cache ablation: path-depth sweep (not a paper figure).
+//!
+//! Stats one file at directory depths 1–8 on two otherwise-identical
+//! ArckFS+ instances — dentry cache on vs. off — and reports ns/op,
+//! shared-lock acquisitions per op, and the cache hit rate. A warm cache
+//! should resolve every component without touching a bucket lock, so the
+//! lock-acquisition column is the headline: at depth 4 the cached walk
+//! must need at most half the acquisitions of the uncached one.
+//!
+//! The depth-4 rows are also fed through [`bench::calibrate_measured`]
+//! so the measured PM-serial fraction and lock traffic show up as a
+//! lower σ in the USL profile, not just a lower t1.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use arckfs::{Config, LibFs};
+use bench::{calibrate_measured, per_op, pm_serial_fraction, record_json, FsKind};
+use pmem::{LatencyModel, PmemDevice};
+use vfs::{FileSystem, FsExt};
+
+const DEV: usize = 256 << 20;
+const MAX_DEPTH: usize = 8;
+
+fn iters() -> u64 {
+    std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+/// `/d1/d2/.../d<depth>`.
+fn chain(depth: usize) -> String {
+    (1..=depth).fold(String::new(), |mut p, i| {
+        p.push_str(&format!("/d{i}"));
+        p
+    })
+}
+
+/// One ArckFS+ instance on an Optane-priced device, dcache on or off.
+fn build_fs(dcache: bool) -> Arc<LibFs> {
+    let mut config = Config::arckfs_plus();
+    config.dcache = dcache;
+    let device = PmemDevice::with_latency(DEV, LatencyModel::optane());
+    let fs = arckfs::new_fs_on(device, config).expect("format").1;
+    for depth in 1..=MAX_DEPTH {
+        let dir = chain(depth);
+        fs.mkdir_all(&dir).expect("dirs");
+        fs.write_file(&format!("{dir}/target"), b"x").expect("file");
+    }
+    fs
+}
+
+/// One measured cell: a stat loop on `path`.
+struct Cell {
+    ns_per_op: f64,
+    lock_acqs: f64,
+    syscalls: f64,
+    row: Option<obs::KindReport>,
+}
+
+fn stat_cell(fs: &Arc<LibFs>, path: &str) -> Cell {
+    let n = iters();
+    for _ in 0..16 {
+        fs.stat(path).expect("warm");
+    }
+    obs::reset();
+    let before = fs.stats();
+    let start = Instant::now();
+    for _ in 0..n {
+        fs.stat(path).expect("stat");
+    }
+    let ns_per_op = start.elapsed().as_secs_f64() * 1e9 / n as f64;
+    let after = fs.stats();
+    let per = per_op(&after, &before, n);
+    Cell {
+        ns_per_op,
+        lock_acqs: per.lock_acqs,
+        syscalls: per.syscalls,
+        row: obs::report().kind(obs::OpKind::Stat).cloned(),
+    }
+}
+
+fn hit_rate(cell: &Cell) -> Option<f64> {
+    cell.row.as_ref().and_then(|r| r.dcache_hit_rate())
+}
+
+fn main() {
+    obs::enable();
+    println!("# Dentry-cache depth sweep (stat loop, ArckFS+, {} iters/cell)", iters());
+    println!(
+        "{:>5}  {:>12} {:>12}  {:>10} {:>10}  {:>8}  {:>8}",
+        "depth", "off ns/op", "on ns/op", "off lk/op", "on lk/op", "lk ×", "hit rate"
+    );
+
+    let fs_off = build_fs(false);
+    let fs_on = build_fs(true);
+    let mut obs_off = obs::Report::default();
+    let mut obs_on = obs::Report::default();
+    let mut depth4: Option<(Cell, Cell)> = None;
+
+    for depth in 1..=MAX_DEPTH {
+        let path = format!("{}/target", chain(depth));
+        let off = stat_cell(&fs_off, &path);
+        if let Some(row) = &off.row {
+            obs_off.merge(&obs::Report { kinds: vec![row.clone()] });
+        }
+        let on = stat_cell(&fs_on, &path);
+        if let Some(row) = &on.row {
+            obs_on.merge(&obs::Report { kinds: vec![row.clone()] });
+        }
+        let reduction = if on.lock_acqs > 0.0 {
+            off.lock_acqs / on.lock_acqs
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{depth:>5}  {:>12.1} {:>12.1}  {:>10.2} {:>10.2}  {:>8.2}  {:>8}",
+            off.ns_per_op,
+            on.ns_per_op,
+            off.lock_acqs,
+            on.lock_acqs,
+            reduction,
+            hit_rate(&on).map_or("-".to_string(), |r| format!("{:.1}%", r * 100.0)),
+        );
+        record_json(
+            "dcache_depth",
+            serde_json::json!({
+                "depth": depth,
+                "off": {"ns_per_op": off.ns_per_op, "lock_acqs_per_op": off.lock_acqs},
+                "on": {"ns_per_op": on.ns_per_op, "lock_acqs_per_op": on.lock_acqs,
+                       "hit_rate": hit_rate(&on)},
+                "lock_acq_reduction": reduction,
+            }),
+        );
+        if depth == 4 {
+            depth4 = Some((off, on));
+        }
+    }
+
+    if let Ok(p) = obs_off.write_json("dcache_depth_off") {
+        println!("\nobs attribution (cache off): {p}");
+    }
+    if let Ok(p) = obs_on.write_json("dcache_depth_on") {
+        println!("obs attribution (cache on):  {p}");
+    }
+
+    // Depth-4 verdict (the acceptance bar) and the calibrated USL view:
+    // the measured rows — including each mode's PM-serial fraction —
+    // become per-mode profiles for the shared-deep-dir stat shape.
+    let (off, on) = depth4.expect("depth 4 measured");
+    let reduction = off.lock_acqs / on.lock_acqs.max(f64::MIN_POSITIVE);
+    println!(
+        "\ndepth-4 stat: {:.2} -> {:.2} shared lock acqs/op ({reduction:.2}x, need >= 2x): {}",
+        off.lock_acqs,
+        on.lock_acqs,
+        if reduction >= 2.0 { "PASS" } else { "FAIL" }
+    );
+
+    let lat = LatencyModel::optane();
+    for (mode, cell) in [("off", &off), ("on", &on)] {
+        let Some(row) = &cell.row else { continue };
+        let sf = pm_serial_fraction(row, &lat);
+        let profile = calibrate_measured(
+            FsKind::ArckFsPlus,
+            fxmark::Workload::MRPM,
+            cell.ns_per_op / 1e3,
+            row,
+            cell.syscalls,
+            cell.lock_acqs,
+            &lat,
+        );
+        println!(
+            "depth-4 USL (dcache {mode}): t1 {:.3} µs  pm-serial {:.4}  σ {:.5}  modelled x16 {:.0} kops/s",
+            profile.t1_us,
+            sf,
+            profile.sigma,
+            profile.throughput(16) / 1e3,
+        );
+        record_json(
+            "dcache_depth",
+            serde_json::json!({
+                "calibration": {"mode": mode, "t1_us": profile.t1_us,
+                                "pm_serial_fraction": sf, "sigma": profile.sigma,
+                                "kappa": profile.kappa,
+                                "modelled_x16_ops": profile.throughput(16)},
+            }),
+        );
+    }
+}

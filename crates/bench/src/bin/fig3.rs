@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{bench_duration, make_fs, record_json, FsKind};
-use vfs::{FileSystem, OpenFlags};
+use vfs::{FileSystem, FsExt, OpenFlags};
 
 const DEV: usize = 256 << 20;
 const DATA_FILE_SIZE: u64 = 8 << 20;
@@ -24,14 +24,14 @@ fn ops_per_sec(ops: u64, secs: f64) -> f64 {
 fn measure(fs: &Arc<dyn FileSystem>, op: &str) -> (f64, f64) {
     let d = bench_duration();
     // Setup per op kind.
-    vfs::mkdir_all(fs.as_ref(), "/bench/d1/d2").expect("setup dirs");
+    fs.mkdir_all("/bench/d1/d2").expect("setup dirs");
     match op {
         "open" | "delete" => {
             // A pool of files; open reopens, delete consumes + refills.
         }
         "read" | "write" => {
             let fd = fs
-                .open("/bench/data", OpenFlags::CREATE)
+                .open("/bench/data", OpenFlags::rw().create())
                 .expect("data file");
             let block = vec![0u8; 4096];
             for i in 0..(DATA_FILE_SIZE / 4096) {
@@ -43,7 +43,7 @@ fn measure(fs: &Arc<dyn FileSystem>, op: &str) -> (f64, f64) {
     }
     if op == "open" {
         let fd = fs
-            .open("/bench/d1/d2/target", OpenFlags::CREATE)
+            .open("/bench/d1/d2/target", OpenFlags::rw().create())
             .expect("target");
         fs.close(fd).expect("close");
     }
@@ -58,7 +58,7 @@ fn measure(fs: &Arc<dyn FileSystem>, op: &str) -> (f64, f64) {
     let blocks = DATA_FILE_SIZE / 4096;
     let mut data_fd = None;
     if op == "read" || op == "write" {
-        data_fd = Some(fs.open("/bench/data", OpenFlags::RDWR).expect("reopen"));
+        data_fd = Some(fs.open("/bench/data", OpenFlags::rw()).expect("reopen"));
     }
     while wall.elapsed() < d {
         match op {
@@ -79,7 +79,7 @@ fn measure(fs: &Arc<dyn FileSystem>, op: &str) -> (f64, f64) {
             }
             "open" => {
                 let fd = fs
-                    .open("/bench/d1/d2/target", OpenFlags::RDONLY)
+                    .open("/bench/d1/d2/target", OpenFlags::read())
                     .expect("open");
                 fs.close(fd).expect("close");
                 ops += 1;

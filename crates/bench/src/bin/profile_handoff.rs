@@ -88,7 +88,7 @@ fn main() {
 
     // nova-style single write timing for comparison
     let kfs = kernelfs::KernelFs::new(64 << 20, kernelfs::Profile::nova());
-    let fd = kfs.open("/f", vfs::OpenFlags::CREATE).unwrap();
+    let fd = kfs.open("/f", vfs::OpenFlags::rw().create()).unwrap();
     let block = vec![0u8; 4096];
     kfs.write_at(fd, &block, 0).unwrap();
     let t = Instant::now();

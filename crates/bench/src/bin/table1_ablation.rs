@@ -96,7 +96,7 @@ fn open_cost(config: Config) -> (f64, obs::Report) {
     let fd = fs.create("/d/target").expect("target");
     fs.close(fd).expect("close");
     measure(&fs, |fs, _| {
-        let fd = fs.open("/d/target", OpenFlags::RDONLY).expect("open");
+        let fd = fs.open("/d/target", OpenFlags::read()).expect("open");
         fs.close(fd).expect("close");
     })
 }

@@ -26,7 +26,7 @@ use bench::record_json;
 use kernelfs::{KernelFs, Profile};
 use pmem::{LatencyModel, PmemDevice};
 use trio::{Geometry, Kernel, KernelConfig};
-use vfs::{FileSystem, OpenFlags};
+use vfs::{FileSystem, FsExt, OpenFlags};
 
 const DEV: usize = 768 << 20;
 const SMALL_FILE: u64 = 2 << 20;
@@ -73,8 +73,8 @@ const WRITES_PER_TRANSFER: u64 = 32;
 fn arck_shared_write(file_size: u64, trust_group: bool) -> f64 {
     let (a, b, _k) = two_apps(trust_group);
     // App A creates and sizes the file.
-    vfs::write_file(a.as_ref(), "/shared.bin", &[0u8; 4096]).expect("create");
-    let fda = a.open("/shared.bin", OpenFlags::RDWR).expect("open a");
+    a.write_file("/shared.bin", &[0u8; 4096]).expect("create");
+    let fda = a.open("/shared.bin", OpenFlags::rw()).expect("open a");
     let block = vec![0x11u8; 4096];
     for off in (0..file_size).step_by(1 << 20) {
         a.write_at(fda, &vec![0u8; 1 << 20], off).expect("prefill");
@@ -84,7 +84,7 @@ fn arck_shared_write(file_size: u64, trust_group: bool) -> f64 {
 
     let apps: [&Arc<LibFs>; 2] = [&a, &b];
     let fdb = {
-        let fd = b.open("/shared.bin", OpenFlags::RDWR).expect("open b");
+        let fd = b.open("/shared.bin", OpenFlags::rw()).expect("open b");
         if !trust_group {
             b.release_path("/shared.bin").expect("hand back");
             b.release_path("/").expect("hand back root");
@@ -93,7 +93,7 @@ fn arck_shared_write(file_size: u64, trust_group: bool) -> f64 {
     };
     if trust_group {
         // Re-enter co-ownership for A as well; nobody releases below.
-        let _ = a.open("/shared.bin", OpenFlags::RDWR).expect("co-own a");
+        let _ = a.open("/shared.bin", OpenFlags::rw()).expect("co-own a");
     }
     let fds = [fda, fdb];
 
@@ -122,7 +122,7 @@ fn arck_shared_write(file_size: u64, trust_group: bool) -> f64 {
 fn nova_shared_write(file_size: u64) -> f64 {
     let device = PmemDevice::with_latency(DEV, LatencyModel::optane());
     let fs = KernelFs::format(device, Profile::nova());
-    let fd = fs.open("/shared.bin", OpenFlags::CREATE).expect("create");
+    let fd = fs.open("/shared.bin", OpenFlags::rw().create()).expect("create");
     for off in (0..file_size).step_by(1 << 20) {
         fs.write_at(fd, &vec![0u8; 1 << 20], off).expect("prefill");
     }

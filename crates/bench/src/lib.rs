@@ -13,6 +13,7 @@
 //! | `fio_data` | §5.1–§5.2 — data performance and scalability |
 //! | `leveldb_bench` | §5.3 — LevelDB db_bench |
 //! | `table1_ablation` | Table 1 — per-patch overhead |
+//! | `dcache_depth` | dentry-cache ablation — path-depth sweep (not a paper figure) |
 //!
 //! All binaries honour two environment variables:
 //! `BENCH_MILLIS` (per-cell duration, default 300) and
@@ -238,11 +239,16 @@ pub fn calibrate_measured(
 pub fn model_inputs(kind: FsKind, workload: fxmark::Workload) -> (SharingLevel, LockStructure) {
     use fxmark::Workload as W;
     let sharing = match workload {
-        W::DWTL | W::MRPL | W::MRDL | W::MWCL | W::MWUL | W::MWRL => SharingLevel::Private,
+        W::DWTL | W::MRPL | W::MRPLAt | W::MRDL | W::MWCL | W::MWUL | W::MWRL => {
+            SharingLevel::Private
+        }
         W::MRPM | W::MRDM | W::MWCM | W::MWUM | W::MWRM => SharingLevel::SharedDir,
         W::MRPH => SharingLevel::SameObject,
     };
-    let read_only = matches!(workload, W::MRPL | W::MRPM | W::MRPH | W::MRDL | W::MRDM);
+    let read_only = matches!(
+        workload,
+        W::MRPL | W::MRPLAt | W::MRPM | W::MRPH | W::MRDL | W::MRDM
+    );
     let locks = if kind.is_arck() {
         if read_only {
             // ArckFS+ reads are RCU/lock-free-cached; ArckFS copies refs
@@ -301,14 +307,15 @@ pub fn record_json(file: &str, value: serde_json::Value) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vfs::FsExt;
 
     #[test]
     fn every_kind_constructs_and_works() {
         for kind in FsKind::paper_set() {
             let fs = make_fs(kind, 16 << 20, false);
-            vfs::write_file(fs.as_ref(), "/smoke", b"x")
+            fs.write_file("/smoke", b"x")
                 .unwrap_or_else(|e| panic!("{}: {e}", kind.label()));
-            assert_eq!(vfs::read_file(fs.as_ref(), "/smoke").unwrap(), b"x");
+            assert_eq!(fs.read_file("/smoke").unwrap(), b"x");
         }
     }
 
@@ -330,6 +337,7 @@ mod tests {
             verifications: 0,
             pm_bytes_written: 0,
             shared_lock_acqs: 200,
+            ..FsStats::default()
         };
         let p = per_op(&after, &before, 10);
         assert!((p.flushes - 10.0).abs() < 1e-9);

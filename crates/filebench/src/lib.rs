@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vfs::{mkdir_all, FileSystem, FsError, FsResult, OpenFlags};
+use vfs::{FileSystem, FsError, FsExt, FsResult, OpenFlags};
 
 /// Which personality to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,11 +146,11 @@ pub fn setup(fs: &dyn FileSystem, config: &FilebenchConfig, threads: usize) -> F
         FilesetMode::SharedDir => vec![dir_of(config, 0)],
     };
     for dir in dirs {
-        mkdir_all(fs, &dir)?;
+        fs.mkdir_all(&dir)?;
         for i in 0..config.nfiles {
             if i % 2 == 0 {
                 let path = format!("{dir}/f{i:05}");
-                let fd = fs.open(&path, OpenFlags::CREATE)?;
+                let fd = fs.open(&path, OpenFlags::rw().create())?;
                 fs.write_at(fd, &data, 0)?;
                 fs.close(fd)?;
             }
@@ -192,7 +192,7 @@ fn flow(
     // 2. create + append (+fsync for varmail).
     let fresh = pick(rng);
     with_lock(&fresh, &mut || {
-        let fd = fs.open(&fresh, OpenFlags::CREATE)?;
+        let fd = fs.open(&fresh, OpenFlags::rw().create())?;
         fs.append(fd, data)?;
         if config.personality == Personality::Varmail {
             fs.fsync(fd)?;
@@ -205,9 +205,9 @@ fn flow(
             // 3. open + read whole + append + fsync.
             let target = pick(rng);
             with_lock(&target, &mut || {
-                let fd = match fs.open(&target, OpenFlags::RDWR) {
+                let fd = match fs.open(&target, OpenFlags::rw()) {
                     Ok(fd) => fd,
-                    Err(FsError::NotFound) => fs.open(&target, OpenFlags::CREATE)?,
+                    Err(FsError::NotFound) => fs.open(&target, OpenFlags::rw().create())?,
                     Err(e) => return Err(e),
                 };
                 let mut off = 0u64;
@@ -225,7 +225,7 @@ fn flow(
             // 4. open + read whole.
             let target = pick(rng);
             with_lock(&target, &mut || {
-                let fd = match fs.open(&target, OpenFlags::RDONLY) {
+                let fd = match fs.open(&target, OpenFlags::read()) {
                     Ok(fd) => fd,
                     Err(FsError::NotFound) => return Ok(()),
                     Err(e) => return Err(e),
@@ -246,7 +246,7 @@ fn flow(
             for _ in 0..5 {
                 let target = pick(rng);
                 with_lock(&target, &mut || {
-                    let fd = match fs.open(&target, OpenFlags::RDONLY) {
+                    let fd = match fs.open(&target, OpenFlags::read()) {
                         Ok(fd) => fd,
                         Err(FsError::NotFound) => return Ok(()),
                         Err(e) => return Err(e),

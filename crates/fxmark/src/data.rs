@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vfs::{mkdir_all, FileSystem, FsError, FsResult, OpenFlags};
+use vfs::{FileSystem, FsError, FsExt, FsResult, OpenFlags};
 
 /// Block size used by every data workload (FxMark uses 4K).
 pub const BLOCK: usize = 4096;
@@ -80,7 +80,7 @@ impl DataWorkload {
     pub fn setup(&self, fs: &dyn FileSystem, threads: usize) -> FsResult<()> {
         let block = vec![0x6Du8; BLOCK];
         let fill = |path: &str, bytes: u64| -> FsResult<()> {
-            let fd = fs.open(path, OpenFlags::CREATE)?;
+            let fd = fs.open(path, OpenFlags::rw().create())?;
             for off in (0..bytes).step_by(BLOCK) {
                 fs.write_at(fd, &block, off)?;
             }
@@ -88,7 +88,7 @@ impl DataWorkload {
         };
         if self.is_private() {
             for t in 0..threads {
-                mkdir_all(fs, &format!("/fxdata/t{t}"))?;
+                fs.mkdir_all(&format!("/fxdata/t{t}"))?;
                 let prefill = if *self == DataWorkload::DWAL {
                     0
                 } else {
@@ -104,7 +104,7 @@ impl DataWorkload {
                 }
             }
         } else {
-            mkdir_all(fs, "/fxdata/shared")?;
+            fs.mkdir_all("/fxdata/shared")?;
             match fs.create(&self.path(0)) {
                 Ok(fd) => fs.close(fd)?,
                 Err(FsError::AlreadyExists) => {}
@@ -164,7 +164,7 @@ pub fn run_data_workload(
             s.spawn(move || {
                 barrier.wait();
                 let run = || -> FsResult<u64> {
-                    let fd = fs.open(&workload.path(t), OpenFlags::RDWR)?;
+                    let fd = fs.open(&workload.path(t), OpenFlags::rw())?;
                     let mut rng = SmallRng::seed_from_u64(0xda7a + t as u64);
                     let mut buf = vec![0x2Eu8; BLOCK];
                     let mut appended = 0u64;

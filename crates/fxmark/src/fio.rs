@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use vfs::{mkdir_all, FileSystem, FsError, FsResult, OpenFlags};
+use vfs::{FileSystem, FsError, FsExt, FsResult, OpenFlags};
 
 /// Access pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +98,7 @@ impl FioJob {
         assert!(blocks > 0, "file must hold at least one block");
         let data = vec![0x5Au8; self.block_size];
         let write_all = |path: &str| -> FsResult<()> {
-            let fd = fs.open(path, OpenFlags::CREATE)?;
+            let fd = fs.open(path, OpenFlags::rw().create())?;
             for b in 0..blocks {
                 fs.write_at(fd, &data, b * self.block_size as u64)?;
             }
@@ -107,12 +107,12 @@ impl FioJob {
         match self.sharing {
             Sharing::Private => {
                 for t in 0..threads {
-                    mkdir_all(fs, &format!("/fio/t{t}"))?;
+                    fs.mkdir_all(&format!("/fio/t{t}"))?;
                     write_all(&self.path(t))?;
                 }
             }
             Sharing::Shared => {
-                mkdir_all(fs, "/fio/shared")?;
+                fs.mkdir_all("/fio/shared")?;
                 write_all(&self.path(0))?;
             }
         }
@@ -174,9 +174,9 @@ pub fn run_fio(
                     let fd = fs.open(
                         &path,
                         if job.direction == Direction::Read {
-                            OpenFlags::RDONLY
+                            OpenFlags::read()
                         } else {
-                            OpenFlags::RDWR
+                            OpenFlags::rw()
                         },
                     )?;
                     let mut rng = SmallRng::seed_from_u64(0xf10 + t as u64);

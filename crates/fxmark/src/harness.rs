@@ -65,6 +65,11 @@ struct WorkerCtx<'a> {
     pending: Vec<String>,
     /// DWTL current size.
     dwtl_size: u64,
+    /// MRPLat's directory handle, opened lazily on the first operation.
+    /// `None` after `dir_fd_tried` means the FS lacks `open_dir` and the
+    /// workload degrades to full-path opens (equivalent to MRPL).
+    dir_fd: Option<vfs::Fd>,
+    dir_fd_tried: bool,
 }
 
 impl<'a> WorkerCtx<'a> {
@@ -77,6 +82,8 @@ impl<'a> WorkerCtx<'a> {
             counter: 0,
             pending: Vec::new(),
             dwtl_size: Workload::DWTL_FILE_SIZE,
+            dir_fd: None,
+            dir_fd_tried: false,
         }
     }
 
@@ -91,7 +98,7 @@ impl<'a> WorkerCtx<'a> {
         match self.workload {
             Workload::DWTL => {
                 let path = format!("{}/dwtl", Workload::private_dir(t));
-                let fd = self.fs.open(&path, OpenFlags::RDWR)?;
+                let fd = self.fs.open(&path, OpenFlags::rw())?;
                 if self.dwtl_size < 4096 {
                     // Re-extend (uncounted) once fully consumed.
                     self.fs.truncate(fd, Workload::DWTL_FILE_SIZE)?;
@@ -106,20 +113,39 @@ impl<'a> WorkerCtx<'a> {
             }
             Workload::MRPL => {
                 let path = format!("{}/target", Workload::private_deep_dir(t));
-                let fd = self.fs.open(&path, OpenFlags::RDONLY)?;
+                let fd = self.fs.open(&path, OpenFlags::read())?;
+                self.fs.close(fd)?;
+                Ok(1)
+            }
+            Workload::MRPLAt => {
+                if !self.dir_fd_tried {
+                    self.dir_fd_tried = true;
+                    self.dir_fd = match self.fs.open_dir(&Workload::private_deep_dir(t)) {
+                        Ok(fd) => Some(fd),
+                        Err(FsError::Unsupported(_)) => None,
+                        Err(e) => return Err(e),
+                    };
+                }
+                let fd = match self.dir_fd {
+                    Some(d) => self.fs.open_at(d, "target", OpenFlags::read())?,
+                    None => {
+                        let path = format!("{}/target", Workload::private_deep_dir(t));
+                        self.fs.open(&path, OpenFlags::read())?
+                    }
+                };
                 self.fs.close(fd)?;
                 Ok(1)
             }
             Workload::MRPM => {
                 let i = self.rng.gen_range(0..Workload::FILES_PER_DIR);
                 let path = format!("{}/f{i}", Workload::shared_deep_dir());
-                let fd = self.fs.open(&path, OpenFlags::RDONLY)?;
+                let fd = self.fs.open(&path, OpenFlags::read())?;
                 self.fs.close(fd)?;
                 Ok(1)
             }
             Workload::MRPH => {
                 let path = format!("{}/f0", Workload::shared_deep_dir());
-                let fd = self.fs.open(&path, OpenFlags::RDONLY)?;
+                let fd = self.fs.open(&path, OpenFlags::read())?;
                 self.fs.close(fd)?;
                 Ok(1)
             }
@@ -475,7 +501,7 @@ mod tests {
 
     #[test]
     fn every_workload_runs_single_thread() {
-        for w in Workload::all() {
+        for w in Workload::extended() {
             let fs = mk_fs();
             let r = run_workload_timed(fs, w, 1, 50).unwrap_or_else(|e| {
                 panic!("workload {w} failed: {e}");

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use vfs::{mkdir_all, FileSystem, FsError, FsResult};
+use vfs::{FileSystem, FsError, FsExt, FsResult};
 
 /// Create a file if it does not exist (setup is idempotent so workloads
 /// can share one file system instance).
@@ -45,6 +45,10 @@ pub enum Workload {
     MWRL,
     /// Move a private file to a shared directory.
     MWRM,
+    /// MRPL through the handle-relative API: open a private file via a
+    /// directory handle (`open_at`), skipping the five-component walk.
+    /// Not part of the paper's Figure 3/4 set ([`Workload::all`]).
+    MRPLAt,
 }
 
 impl fmt::Display for Workload {
@@ -62,6 +66,14 @@ impl Workload {
         ]
     }
 
+    /// [`Workload::all`] plus the non-paper extension workloads (currently
+    /// just [`Workload::MRPLAt`]); keeps the figures' set stable.
+    pub fn extended() -> Vec<Workload> {
+        let mut v = Workload::all();
+        v.push(Workload::MRPLAt);
+        v
+    }
+
     /// The workload's FxMark name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -77,6 +89,7 @@ impl Workload {
             Workload::MWUM => "MWUM",
             Workload::MWRL => "MWRL",
             Workload::MWRM => "MWRM",
+            Workload::MRPLAt => "MRPLat",
         }
     }
 
@@ -95,12 +108,13 @@ impl Workload {
             Workload::MWUM => "Unlink an empty file in a shared dir.",
             Workload::MWRL => "Rename a private file in a private dir.",
             Workload::MWRM => "Move a private file to a shared dir.",
+            Workload::MRPLAt => "Open a private file via a dir handle (open_at).",
         }
     }
 
     /// Parse a workload name.
     pub fn from_name(s: &str) -> Option<Workload> {
-        Workload::all()
+        Workload::extended()
             .into_iter()
             .find(|w| w.name().eq_ignore_ascii_case(s))
     }
@@ -143,23 +157,23 @@ impl Workload {
         match self {
             Workload::DWTL => {
                 for t in 0..threads {
-                    mkdir_all(fs, &Self::private_dir(t))?;
+                    fs.mkdir_all(&Self::private_dir(t))?;
                     let path = format!("{}/dwtl", Self::private_dir(t));
-                    let fd = fs.open(&path, vfs::OpenFlags::CREATE)?;
+                    let fd = fs.open(&path, vfs::OpenFlags::rw().create())?;
                     fs.truncate(fd, Self::DWTL_FILE_SIZE)?;
                     fs.close(fd)?;
                 }
             }
-            Workload::MRPL => {
+            Workload::MRPL | Workload::MRPLAt => {
                 for t in 0..threads {
                     let dir = Self::private_deep_dir(t);
-                    mkdir_all(fs, &dir)?;
+                    fs.mkdir_all(&dir)?;
                     ensure_file(fs, &format!("{dir}/target"))?;
                 }
             }
             Workload::MRPM | Workload::MRPH => {
                 let dir = Self::shared_deep_dir();
-                mkdir_all(fs, &dir)?;
+                fs.mkdir_all(&dir)?;
                 for i in 0..Self::FILES_PER_DIR {
                     ensure_file(fs, &format!("{dir}/f{i}"))?;
                 }
@@ -167,7 +181,7 @@ impl Workload {
             Workload::MRDL => {
                 for t in 0..threads {
                     let dir = Self::private_dir(t);
-                    mkdir_all(fs, &dir)?;
+                    fs.mkdir_all(&dir)?;
                     for i in 0..Self::FILES_PER_DIR {
                         ensure_file(fs, &format!("{dir}/f{i}"))?;
                     }
@@ -175,23 +189,23 @@ impl Workload {
             }
             Workload::MRDM => {
                 let dir = Self::shared_dir();
-                mkdir_all(fs, &dir)?;
+                fs.mkdir_all(&dir)?;
                 for i in 0..Self::FILES_PER_DIR {
                     ensure_file(fs, &format!("{dir}/f{i}"))?;
                 }
             }
             Workload::MWCL | Workload::MWUL | Workload::MWRL => {
                 for t in 0..threads {
-                    mkdir_all(fs, &Self::private_dir(t))?;
+                    fs.mkdir_all(&Self::private_dir(t))?;
                 }
             }
             Workload::MWCM | Workload::MWUM => {
-                mkdir_all(fs, &Self::shared_dir())?;
+                fs.mkdir_all(&Self::shared_dir())?;
             }
             Workload::MWRM => {
-                mkdir_all(fs, &Self::shared_dir())?;
+                fs.mkdir_all(&Self::shared_dir())?;
                 for t in 0..threads {
-                    mkdir_all(fs, &Self::private_dir(t))?;
+                    fs.mkdir_all(&Self::private_dir(t))?;
                 }
             }
         }
@@ -205,7 +219,7 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for w in Workload::all() {
+        for w in Workload::extended() {
             assert_eq!(Workload::from_name(w.name()), Some(w));
             assert_eq!(Workload::from_name(&w.name().to_lowercase()), Some(w));
         }
@@ -215,6 +229,9 @@ mod tests {
     #[test]
     fn twelve_workloads() {
         assert_eq!(Workload::all().len(), 12);
+        // Extensions ride outside the paper set.
+        assert_eq!(Workload::extended().len(), 13);
+        assert!(!Workload::all().contains(&Workload::MRPLAt));
     }
 
     #[test]

@@ -42,6 +42,10 @@ struct Node {
 struct FdEntry {
     ino: u64,
     flags: OpenFlags,
+    /// Normalized absolute path, recorded for handles opened with
+    /// `open_dir` — the baselines keep the trait's path-delegating `*at`
+    /// defaults, which reconstruct `dir/name` through `fd_dir_path`.
+    dir_path: Option<String>,
 }
 
 /// A baseline file system instance (see the crate docs).
@@ -321,7 +325,8 @@ impl FileSystem for KernelFs {
             fd.0,
             FdEntry {
                 ino,
-                flags: OpenFlags::RDWR,
+                flags: OpenFlags::rw(),
+                dir_path: None,
             },
         );
         Ok(fd)
@@ -332,6 +337,9 @@ impl FileSystem for KernelFs {
         self.enter(false);
         let ino = match self.resolve_path(path) {
             Ok(node) => {
+                if flags.create && flags.excl {
+                    return Err(FsError::AlreadyExists);
+                }
                 if matches!(&*node.body.read(), Body::Dir(_)) {
                     return Err(FsError::IsADirectory);
                 }
@@ -354,7 +362,14 @@ impl FileSystem for KernelFs {
             Err(e) => return Err(e),
         };
         let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
-        self.fds.write().insert(fd.0, FdEntry { ino, flags });
+        self.fds.write().insert(
+            fd.0,
+            FdEntry {
+                ino,
+                flags,
+                dir_path: None,
+            },
+        );
         Ok(fd)
     }
 
@@ -659,6 +674,58 @@ impl FileSystem for KernelFs {
         })
     }
 
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        let _span = obs::span(obs::OpKind::Stat, self.device.stats());
+        self.enter(false);
+        let (node, _) = self.file_fd(fd)?;
+        let body = node.body.read();
+        Ok(match &*body {
+            Body::Dir(m) => Metadata {
+                ino: node.ino,
+                file_type: FileType::Directory,
+                size: m.len() as u64,
+                nlink: 2,
+            },
+            Body::File { size, .. } => Metadata {
+                ino: node.ino,
+                file_type: FileType::Regular,
+                size: *size,
+                nlink: 1,
+            },
+        })
+    }
+
+    fn open_dir(&self, path: &str) -> FsResult<Fd> {
+        let _span = obs::span(obs::OpKind::Open, self.device.stats());
+        self.enter(false);
+        let comps = vpath::components(path)?;
+        let node = self.resolve(&comps)?;
+        if !matches!(&*node.body.read(), Body::Dir(_)) {
+            return Err(FsError::NotADirectory);
+        }
+        let normalized = format!("/{}", comps.join("/"));
+        let fd = Fd(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(
+            fd.0,
+            FdEntry {
+                ino: node.ino,
+                flags: OpenFlags::read(),
+                dir_path: Some(normalized),
+            },
+        );
+        Ok(fd)
+    }
+
+    fn fd_dir_path(&self, dirfd: Fd) -> FsResult<String> {
+        let entry = self
+            .fds
+            .read()
+            .get(&dirfd.0)
+            .cloned()
+            .ok_or(FsError::BadDescriptor)?;
+        entry.dir_path.ok_or(FsError::NotADirectory)
+    }
+
     fn stats(&self) -> FsStats {
         let dev = self.device.stats().snapshot();
         FsStats {
@@ -668,6 +735,7 @@ impl FileSystem for KernelFs {
             verifications: 0,
             pm_bytes_written: dev.bytes_written,
             shared_lock_acqs: self.shared_lock_acqs.load(Ordering::Relaxed),
+            ..FsStats::default()
         }
     }
 
@@ -681,7 +749,7 @@ impl FileSystem for KernelFs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vfs::{read_file, write_file};
+    use vfs::FsExt;
 
     fn all_fs() -> Vec<Arc<KernelFs>> {
         Profile::all()
@@ -693,10 +761,10 @@ mod tests {
     #[test]
     fn round_trip_all_profiles() {
         for fs in all_fs() {
-            write_file(fs.as_ref(), "/f", b"baseline").unwrap();
-            assert_eq!(read_file(fs.as_ref(), "/f").unwrap(), b"baseline");
+            fs.write_file("/f", b"baseline").unwrap();
+            assert_eq!(fs.read_file("/f").unwrap(), b"baseline");
             fs.mkdir("/d").unwrap();
-            write_file(fs.as_ref(), "/d/g", b"x").unwrap();
+            fs.write_file("/d/g", b"x").unwrap();
             assert_eq!(fs.readdir("/d").unwrap().len(), 1);
             fs.unlink("/d/g").unwrap();
             fs.rmdir("/d").unwrap();
@@ -708,10 +776,10 @@ mod tests {
         let fs = KernelFs::new(16 << 20, Profile::nova());
         fs.mkdir("/a").unwrap();
         fs.mkdir("/b").unwrap();
-        write_file(fs.as_ref(), "/a/f", b"1").unwrap();
+        fs.write_file("/a/f", b"1").unwrap();
         fs.rename("/a/f", "/a/g").unwrap();
         fs.rename("/a/g", "/b/h").unwrap();
-        assert_eq!(read_file(fs.as_ref(), "/b/h").unwrap(), b"1");
+        assert_eq!(fs.read_file("/b/h").unwrap(), b"1");
         assert!(fs.stat("/a/f").is_err());
     }
 
@@ -763,7 +831,7 @@ mod tests {
     #[test]
     fn truncate_and_sparse() {
         let fs = KernelFs::new(16 << 20, Profile::pmfs());
-        let fd = fs.open("/t", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/t", OpenFlags::rw().create()).unwrap();
         fs.write_at(fd, &[1u8; 8192], 0).unwrap();
         fs.truncate(fd, 4096).unwrap();
         assert_eq!(fs.stat("/t").unwrap().size, 4096);
@@ -785,7 +853,7 @@ mod tests {
     #[test]
     fn splitfs_data_ops_skip_syscalls() {
         let fs = KernelFs::new(16 << 20, Profile::splitfs());
-        let fd = fs.open("/f", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/f", OpenFlags::rw().create()).unwrap();
         fs.reset_stats();
         for i in 0..10 {
             fs.write_at(fd, &[0u8; 64], i * 64).unwrap();
@@ -793,5 +861,35 @@ mod tests {
         assert_eq!(fs.stats().syscalls, 0, "userspace data path");
         fs.create("/meta").unwrap();
         assert!(fs.stats().syscalls > 0, "metadata still crosses");
+    }
+
+    #[test]
+    fn at_defaults_delegate_through_dir_path() {
+        let fs = KernelFs::new(16 << 20, Profile::ext4());
+        fs.mkdir("/d").unwrap();
+        let dfd = fs.open_dir("/d").unwrap();
+        let fd = fs.open_at(dfd, "f", OpenFlags::rw().create()).unwrap();
+        fs.write_at(fd, b"abc", 0).unwrap();
+        assert_eq!(fs.fstat(fd).unwrap().size, 3);
+        fs.close(fd).unwrap();
+        assert_eq!(fs.stat_at(dfd, "f").unwrap().size, 3);
+        fs.mkdir_at(dfd, "sub").unwrap();
+        assert_eq!(
+            fs.stat("/d/sub").unwrap().file_type,
+            FileType::Directory
+        );
+        fs.unlink_at(dfd, "f").unwrap();
+        assert_eq!(fs.stat("/d/f").unwrap_err(), FsError::NotFound);
+        // A plain file handle is not a directory anchor.
+        let ffd = fs.open("/x", OpenFlags::rw().create()).unwrap();
+        assert_eq!(
+            fs.stat_at(ffd, "f").unwrap_err(),
+            FsError::NotADirectory
+        );
+        // O_EXCL on an existing name fails.
+        assert_eq!(
+            fs.open("/x", OpenFlags::rw().create_new()).unwrap_err(),
+            FsError::AlreadyExists
+        );
     }
 }

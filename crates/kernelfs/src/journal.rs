@@ -61,7 +61,7 @@ impl Journal {
     /// offset `target`, following the mode's discipline. In `Redo` mode the
     /// in-place update is performed by the journal (after commit); in
     /// `Undo` mode the caller's old value is logged first and the caller
-    /// performs the update through [`Journal::apply_inplace`].
+    /// performs the update through `Journal::apply_inplace`.
     pub fn log_update(&self, target: u64, payload: &[u8]) -> PmemResult<()> {
         debug_assert!(payload.len() as u64 <= RECORD_SIZE - 32);
         match self.mode {

@@ -23,7 +23,7 @@ pub mod sstable;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use vfs::{mkdir_all, FileSystem, FsError, FsResult};
+use vfs::{FileSystem, FsError, FsExt, FsResult};
 
 use memtable::MemTable;
 use sstable::SsTable;
@@ -59,18 +59,30 @@ struct DbInner {
 pub struct Db {
     fs: Arc<dyn FileSystem>,
     dir: String,
+    /// Handle on the database directory, when the file system supports
+    /// [`FileSystem::open_dir`]: every WAL/SSTable open then goes through
+    /// the `*at` surface, anchoring at this handle instead of re-walking
+    /// the directory prefix. `None` falls back to full-path operations.
+    dirfd: Option<vfs::Fd>,
     inner: Mutex<DbInner>,
 }
 
 impl Db {
     /// Open (create) a database under `dir`.
     pub fn open(fs: Arc<dyn FileSystem>, dir: &str) -> FsResult<Db> {
-        mkdir_all(fs.as_ref(), dir)?;
+        fs.mkdir_all(dir)?;
+        let dirfd = fs.open_dir(dir).ok();
         let wal_path = format!("{dir}/wal.log");
-        let wal_fd = fs.open(&wal_path, vfs::OpenFlags::CREATE_TRUNC)?;
+        let wal_fd = sstable::open_rel(
+            fs.as_ref(),
+            dirfd,
+            &wal_path,
+            vfs::OpenFlags::rw().create().truncate(),
+        )?;
         Ok(Db {
             fs,
             dir: dir.to_string(),
+            dirfd,
             inner: Mutex::new(DbInner {
                 mem: MemTable::new(),
                 wal_fd,
@@ -79,6 +91,18 @@ impl Db {
                 next_table: 0,
             }),
         })
+    }
+
+    /// Unlink a file in the database directory, preferring the
+    /// handle-relative form.
+    fn unlink_rel(&self, path: &str) -> FsResult<()> {
+        if let Some(d) = self.dirfd {
+            match self.fs.unlink_at(d, sstable::base_name(path)) {
+                Err(FsError::Unsupported(_)) => {}
+                r => return r,
+            }
+        }
+        self.fs.unlink(path)
     }
 
     /// Insert or overwrite a key.
@@ -110,7 +134,7 @@ impl Db {
             return Ok(v.clone());
         }
         for table in inner.tables.iter().rev() {
-            if let Some(v) = table.get(self.fs.as_ref(), key)? {
+            if let Some(v) = table.get(self.fs.as_ref(), self.dirfd, key)? {
                 return Ok(v);
             }
         }
@@ -150,13 +174,23 @@ impl Db {
         inner.next_table += 1;
         let path = format!("{}/sst-{id:06}.tbl", self.dir);
         let mem = std::mem::replace(&mut inner.mem, MemTable::new());
-        let table = SsTable::write(self.fs.as_ref(), &path, mem.into_sorted_entries())?;
+        let table = SsTable::write(
+            self.fs.as_ref(),
+            self.dirfd,
+            &path,
+            mem.into_sorted_entries(),
+        )?;
         inner.tables.push(table);
 
         // Reset the WAL: its contents are now durable in the table.
         self.fs.close(inner.wal_fd)?;
-        self.fs.unlink(&inner.wal_path)?;
-        inner.wal_fd = self.fs.open(&inner.wal_path, vfs::OpenFlags::CREATE)?;
+        self.unlink_rel(&inner.wal_path)?;
+        inner.wal_fd = sstable::open_rel(
+            self.fs.as_ref(),
+            self.dirfd,
+            &inner.wal_path,
+            vfs::OpenFlags::rw().create(),
+        )?;
 
         if inner.tables.len() >= COMPACT_TRIGGER {
             self.compact_locked(inner)?;
@@ -168,7 +202,7 @@ impl Db {
         // Merge all tables newest-wins into one.
         let mut merged = MemTable::new();
         for table in &inner.tables {
-            for (k, v) in table.scan(self.fs.as_ref())? {
+            for (k, v) in table.scan(self.fs.as_ref(), self.dirfd)? {
                 merged.put(k, v); // later (newer) tables overwrite
             }
         }
@@ -180,9 +214,9 @@ impl Db {
             .into_sorted_entries()
             .filter(|(_, v)| v.is_some())
             .collect::<Vec<_>>();
-        let table = SsTable::write(self.fs.as_ref(), &path, live.into_iter())?;
+        let table = SsTable::write(self.fs.as_ref(), self.dirfd, &path, live.into_iter())?;
         for old in inner.tables.drain(..) {
-            match self.fs.unlink(old.path()) {
+            match self.unlink_rel(old.path()) {
                 Ok(()) | Err(FsError::NotFound) => {}
                 Err(e) => return Err(e),
             }

@@ -6,13 +6,37 @@
 //! in-memory index (every 16th key and its offset) accelerates point reads
 //! the way LevelDB's block index does.
 
-use vfs::{FileSystem, FsResult, OpenFlags};
+use vfs::{Fd, FileSystem, FsError, FsResult, OpenFlags};
 
 /// A decoded `(key, value-or-tombstone)` record.
 pub type Record = (Vec<u8>, Option<Vec<u8>>);
 
 /// Index every Nth record.
 const INDEX_EVERY: usize = 16;
+
+/// Open a table file relative to the database's directory handle when the
+/// file system supports the `*at` surface, else by full path. Every
+/// SSTable open is one component deep in the same directory, so the
+/// handle-relative form skips the prefix walk on each point read.
+pub(crate) fn open_rel(
+    fs: &dyn FileSystem,
+    dirfd: Option<Fd>,
+    path: &str,
+    flags: OpenFlags,
+) -> FsResult<Fd> {
+    if let Some(d) = dirfd {
+        match fs.open_at(d, base_name(path), flags) {
+            Err(FsError::Unsupported(_)) => {}
+            r => return r,
+        }
+    }
+    fs.open(path, flags)
+}
+
+/// The final component of `path`.
+pub(crate) fn base_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
 
 /// An immutable sorted table.
 #[derive(Debug)]
@@ -24,13 +48,15 @@ pub struct SsTable {
 }
 
 impl SsTable {
-    /// Write sorted `entries` to a new file at `path`.
+    /// Write sorted `entries` to a new file at `path`, creating it
+    /// relative to `dirfd` when available.
     pub fn write(
         fs: &dyn FileSystem,
+        dirfd: Option<Fd>,
         path: &str,
         entries: impl Iterator<Item = (Vec<u8>, Option<Vec<u8>>)>,
     ) -> FsResult<SsTable> {
-        let fd = fs.open(path, OpenFlags::CREATE_TRUNC)?;
+        let fd = open_rel(fs, dirfd, path, OpenFlags::rw().create().truncate())?;
         let mut index = Vec::new();
         let mut buf = Vec::with_capacity(64 * 1024);
         let mut off = 0u64;
@@ -72,22 +98,27 @@ impl SsTable {
     /// Point lookup. `Ok(None)` = key absent here; `Ok(Some(None))` =
     /// tombstone (key deleted); `Ok(Some(Some(v)))` = value.
     #[allow(clippy::option_option)]
-    pub fn get(&self, fs: &dyn FileSystem, key: &[u8]) -> FsResult<Option<Option<Vec<u8>>>> {
+    pub fn get(
+        &self,
+        fs: &dyn FileSystem,
+        dirfd: Option<Fd>,
+        key: &[u8],
+    ) -> FsResult<Option<Option<Vec<u8>>>> {
         // Find the index group that may contain the key.
         let start = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
             Ok(i) => self.index[i].1,
             Err(0) => return Ok(None), // before the first key
             Err(i) => self.index[i - 1].1,
         };
-        let fd = fs.open(&self.path, OpenFlags::RDONLY)?;
+        let fd = open_rel(fs, dirfd, &self.path, OpenFlags::read())?;
         let result = self.scan_from(fs, fd, start, Some(key));
         fs.close(fd)?;
         result.map(|v| v.into_iter().next().map(|(_, val)| val))
     }
 
     /// Scan the whole table into (key, value) pairs (used by compaction).
-    pub fn scan(&self, fs: &dyn FileSystem) -> FsResult<Vec<Record>> {
-        let fd = fs.open(&self.path, OpenFlags::RDONLY)?;
+    pub fn scan(&self, fs: &dyn FileSystem, dirfd: Option<Fd>) -> FsResult<Vec<Record>> {
+        let fd = open_rel(fs, dirfd, &self.path, OpenFlags::read())?;
         let result = self.scan_from(fs, fd, 0, None);
         fs.close(fd)?;
         result

@@ -188,6 +188,8 @@ struct KindCell {
     clwb: AtomicU64,
     ntstores: AtomicU64,
     sfences: AtomicU64,
+    dcache_hits: AtomicU64,
+    dcache_misses: AtomicU64,
 }
 
 struct Tables {
@@ -211,6 +213,39 @@ thread_local! {
         regs.push(std::sync::Arc::downgrade(&r));
         r
     };
+
+    /// Stack of in-flight span kinds on this thread, so events raised deep
+    /// inside an operation (dentry-cache hits/misses) can be attributed to
+    /// the innermost enclosing operation without threading the kind
+    /// through every call signature.
+    static KIND_STACK: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The innermost in-flight span's kind on this thread, or [`OpKind::Other`]
+/// when no span is active.
+pub fn current_kind() -> OpKind {
+    KIND_STACK.with(|s| {
+        s.borrow()
+            .last()
+            .map(|i| OpKind::from_index(*i))
+            .unwrap_or(OpKind::Other)
+    })
+}
+
+/// Record a dentry-cache lookup outcome, attributed to the innermost
+/// in-flight span's kind (see [`current_kind`]). One relaxed load when
+/// observability is disabled.
+#[inline]
+pub fn dcache_event(hit: bool) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let cell = &tables().kinds[current_kind() as usize];
+    if hit {
+        cell.dcache_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        cell.dcache_misses.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn record(kind: OpKind, latency_ns: u64, delta: &StatsSnapshot) {
@@ -247,6 +282,8 @@ pub fn reset() {
         cell.clwb.store(0, Ordering::Relaxed);
         cell.ntstores.store(0, Ordering::Relaxed);
         cell.sfences.store(0, Ordering::Relaxed);
+        cell.dcache_hits.store(0, Ordering::Relaxed);
+        cell.dcache_misses.store(0, Ordering::Relaxed);
     }
     let regs = t.rings.lock().unwrap_or_else(|e| e.into_inner());
     for w in regs.iter() {
@@ -284,6 +321,7 @@ pub fn span<'a>(kind: OpKind, stats: &'a PmemStats) -> ObsSpan<'a> {
     if !ENABLED.load(Ordering::Relaxed) {
         return ObsSpan { inner: None };
     }
+    KIND_STACK.with(|s| s.borrow_mut().push(kind as u8));
     ObsSpan {
         inner: Some(SpanInner {
             kind,
@@ -303,13 +341,20 @@ impl ObsSpan<'_> {
     /// Drop without recording (e.g. on an error path that should not
     /// pollute latency statistics).
     pub fn cancel(mut self) {
-        self.inner = None;
+        if self.inner.take().is_some() {
+            KIND_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
     }
 }
 
 impl Drop for ObsSpan<'_> {
     fn drop(&mut self) {
         if let Some(s) = self.inner.take() {
+            KIND_STACK.with(|st| {
+                st.borrow_mut().pop();
+            });
             let latency_ns = s.start.elapsed().as_nanos() as u64;
             let delta = s.stats.snapshot().delta(&s.before);
             record(s.kind, latency_ns, &delta);
@@ -332,9 +377,21 @@ pub struct KindReport {
     pub latency: Histogram,
     /// Total counter deltas attributed to this kind.
     pub totals: StatsSnapshot,
+    /// Dentry-cache hits attributed to this kind (see
+    /// [`dcache_event`]).
+    pub dcache_hits: u64,
+    /// Dentry-cache misses attributed to this kind.
+    pub dcache_misses: u64,
 }
 
 impl KindReport {
+    /// Dentry-cache hit rate for this kind, or `None` when the cache was
+    /// never consulted under it.
+    pub fn dcache_hit_rate(&self) -> Option<f64> {
+        let total = self.dcache_hits + self.dcache_misses;
+        (total > 0).then(|| self.dcache_hits as f64 / total as f64)
+    }
+
     /// Store fences per operation.
     pub fn sfences_per_op(&self) -> f64 {
         self.totals.sfences as f64 / self.ops.max(1) as f64
@@ -380,6 +437,11 @@ impl KindReport {
                 "loads": self.totals.loads,
                 "bytes_read": self.totals.bytes_read,
             }),
+            "dcache": serde_json::json!({
+                "hits": self.dcache_hits,
+                "misses": self.dcache_misses,
+                "hit_rate": self.dcache_hit_rate(),
+            }),
         })
     }
 }
@@ -412,6 +474,8 @@ impl Report {
                     mine.totals.clwb += row.totals.clwb;
                     mine.totals.ntstores += row.totals.ntstores;
                     mine.totals.sfences += row.totals.sfences;
+                    mine.dcache_hits += row.dcache_hits;
+                    mine.dcache_misses += row.dcache_misses;
                 }
                 None => self.kinds.push(row.clone()),
             }
@@ -447,13 +511,17 @@ pub fn report() -> Report {
     for k in OpKind::ALL {
         let cell = &t.kinds[k as usize];
         let ops = cell.ops.load(Ordering::Relaxed);
-        if ops == 0 {
+        let dcache_hits = cell.dcache_hits.load(Ordering::Relaxed);
+        let dcache_misses = cell.dcache_misses.load(Ordering::Relaxed);
+        if ops == 0 && dcache_hits + dcache_misses == 0 {
             continue;
         }
         kinds.push(KindReport {
             kind: k,
             ops,
             latency: cell.lat.snapshot(),
+            dcache_hits,
+            dcache_misses,
             totals: StatsSnapshot {
                 stores: cell.stores.load(Ordering::Relaxed),
                 bytes_written: cell.bytes_written.load(Ordering::Relaxed),
@@ -628,6 +696,45 @@ mod tests {
             .filter(|r| r.kind() == OpKind::Stat)
             .count();
         assert!(stats_ops >= 5, "ring kept {stats_ops} stat records");
+        reset();
+    }
+
+    #[test]
+    fn dcache_events_attribute_to_innermost_span() {
+        let _g = serial();
+        reset();
+        enabled_scope(|| {
+            let dev = pmem::PmemDevice::new(1 << 16);
+            {
+                let _s = span(OpKind::Stat, dev.stats());
+                dcache_event(true);
+                dcache_event(true);
+                dcache_event(false);
+            }
+            dcache_event(false); // outside any span → Other
+        });
+        let rep = report();
+        let stat = rep.kind(OpKind::Stat).expect("stat row");
+        assert_eq!((stat.dcache_hits, stat.dcache_misses), (2, 1));
+        let rate = stat.dcache_hit_rate().expect("rate");
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+        let other = rep.kind(OpKind::Other).expect("other row");
+        assert_eq!(other.dcache_misses, 1);
+        let json = stat.to_json();
+        assert!(json.get("dcache").is_some(), "JSON must carry dcache block");
+        reset();
+    }
+
+    #[test]
+    fn cancel_pops_kind_stack() {
+        let _g = serial();
+        reset();
+        enabled_scope(|| {
+            let dev = pmem::PmemDevice::new(1 << 16);
+            let s = span(OpKind::Rename, dev.stats());
+            s.cancel();
+            assert_eq!(current_kind(), OpKind::Other);
+        });
         reset();
     }
 

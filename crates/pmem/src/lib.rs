@@ -19,7 +19,7 @@
 //!   cache line independently, any *prefix* of its pending stores (stores to
 //!   the same line persist in order; distinct lines reorder freely unless
 //!   ordered by flush + fence). This is the standard simplified Px86 model
-//!   (cf. Cho et al., PLDI 2021, cited by the paper as [5]) and is exactly
+//!   (cf. Cho et al., PLDI 2021, cited by the paper as \[5\]) and is exactly
 //!   the semantics under which the §4.2 missing-fence bug produces a dentry
 //!   whose commit marker is durable while its payload is not.
 //!

@@ -8,7 +8,7 @@
 //! in-process module with a syscall-like API (each entry point counts — and
 //! can charge — a kernel crossing):
 //!
-//! * [`format`] — the on-PM **core state** layout shared with every LibFS:
+//! * [`mod@format`] — the on-PM **core state** layout shared with every LibFS:
 //!   superblock, inode table, shadow inode table, page-allocator bitmap,
 //!   file pages, and the multi-tailed directory dentry log.
 //! * [`controller`] — the access controller: inode ownership

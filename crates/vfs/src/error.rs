@@ -127,6 +127,11 @@ pub enum FsError {
     NameTooLong,
     /// Too many open files (`EMFILE`).
     TooManyOpenFiles,
+    /// The file system does not implement this optional operation
+    /// (`ENOTSUP`); carries the operation name. Generic callers (e.g. the
+    /// [`crate::FsExt`] helpers, the KV store) treat this as "fall back to
+    /// the path-based API", never as data loss.
+    Unsupported(&'static str),
     /// Internal invariant violation — indicates a bug in this workspace, not
     /// in the modelled system.
     Internal(String),
@@ -159,6 +164,7 @@ impl fmt::Display for FsError {
             FsError::Corrupted(m) => write!(f, "corrupted on-PM state: {m}"),
             FsError::NameTooLong => write!(f, "name too long"),
             FsError::TooManyOpenFiles => write!(f, "too many open files"),
+            FsError::Unsupported(op) => write!(f, "operation not supported: {op}"),
             FsError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -12,6 +12,16 @@
 //! artifact intercepts: positional reads and writes (`pread`/`pwrite`-style),
 //! path-based metadata operations, and an `fsync` that ArckFS-class systems
 //! may implement as a no-op because every operation persists synchronously.
+//!
+//! Two API layers sit on top of the path-based core:
+//!
+//! * **handle-relative (`*at`) operations** — [`FileSystem::open_dir`] yields
+//!   a directory handle, and [`FileSystem::open_at`] /
+//!   [`FileSystem::stat_at`] / [`FileSystem::unlink_at`] /
+//!   [`FileSystem::mkdir_at`] operate relative to it, letting
+//!   implementations skip the per-component prefix walk entirely;
+//! * the [`FsExt`] extension trait — whole-file convenience helpers
+//!   (`fs.write_file(..)`) that supersede the deprecated free functions.
 
 pub mod error;
 pub mod path;
@@ -34,55 +44,120 @@ impl fmt::Display for Fd {
     }
 }
 
-/// Flags accepted by [`FileSystem::open`].
+/// Flags accepted by [`FileSystem::open`], built fluently:
+///
+/// ```
+/// use vfs::OpenFlags;
+/// let f = OpenFlags::read().write().create_new();
+/// assert!(f.read && f.write && f.create && f.excl);
+/// ```
+///
+/// Starters are [`OpenFlags::read`], [`OpenFlags::rw`] and
+/// [`OpenFlags::empty`]; every other flag chains off a starter. The old
+/// `RDONLY`/`CREATE`-style constants remain as deprecated aliases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpenFlags {
     /// Open for reading.
     pub read: bool,
     /// Open for writing.
     pub write: bool,
-    /// Create the file if it does not exist.
+    /// Create the file if it does not exist (`O_CREAT`).
     pub create: bool,
-    /// Truncate the file to zero length on open.
+    /// With [`OpenFlags::create`], fail with [`FsError::AlreadyExists`] if
+    /// the path already exists (`O_EXCL`). The existence check and the
+    /// creation are atomic: they happen inside one directory-bucket
+    /// critical section, never as a separate lookup.
+    pub excl: bool,
+    /// Truncate the file to zero length on open (`O_TRUNC`).
     pub truncate: bool,
+    /// Every write through this descriptor lands at end-of-file
+    /// (`O_APPEND`); the positional offset passed to
+    /// [`FileSystem::write_at`] is ignored.
+    pub append: bool,
 }
 
 impl OpenFlags {
+    /// No access mode at all; chain flags off this to build write-only
+    /// descriptors (`OpenFlags::empty().write()`).
+    pub const fn empty() -> OpenFlags {
+        OpenFlags {
+            read: false,
+            write: false,
+            create: false,
+            excl: false,
+            truncate: false,
+            append: false,
+        }
+    }
+
+    /// Start a builder opened for reading (`O_RDONLY`).
+    pub const fn read() -> OpenFlags {
+        let mut f = OpenFlags::empty();
+        f.read = true;
+        f
+    }
+
+    /// Start a builder opened for reading and writing (`O_RDWR`).
+    pub const fn rw() -> OpenFlags {
+        OpenFlags::read().write()
+    }
+
+    /// Add write access (`O_WRONLY` when chained off
+    /// [`OpenFlags::empty`]).
+    pub const fn write(mut self) -> OpenFlags {
+        self.write = true;
+        self
+    }
+
+    /// Create the file if missing (`O_CREAT`).
+    pub const fn create(mut self) -> OpenFlags {
+        self.create = true;
+        self
+    }
+
+    /// Create the file, failing if it already exists
+    /// (`O_CREAT | O_EXCL`, like [`std::fs::OpenOptions::create_new`]).
+    pub const fn create_new(mut self) -> OpenFlags {
+        self.create = true;
+        self.excl = true;
+        self
+    }
+
+    /// Require exclusive creation (`O_EXCL`); only meaningful together
+    /// with [`OpenFlags::create`].
+    pub const fn excl(mut self) -> OpenFlags {
+        self.excl = true;
+        self
+    }
+
+    /// Truncate on open (`O_TRUNC`).
+    pub const fn truncate(mut self) -> OpenFlags {
+        self.truncate = true;
+        self
+    }
+
+    /// Append mode (`O_APPEND`); implies write access.
+    pub const fn append(mut self) -> OpenFlags {
+        self.write = true;
+        self.append = true;
+        self
+    }
+
     /// `O_RDONLY`.
-    pub const RDONLY: OpenFlags = OpenFlags {
-        read: true,
-        write: false,
-        create: false,
-        truncate: false,
-    };
+    #[deprecated(note = "use the builder: `OpenFlags::read()`")]
+    pub const RDONLY: OpenFlags = OpenFlags::read();
     /// `O_WRONLY`.
-    pub const WRONLY: OpenFlags = OpenFlags {
-        read: false,
-        write: true,
-        create: false,
-        truncate: false,
-    };
+    #[deprecated(note = "use the builder: `OpenFlags::empty().write()`")]
+    pub const WRONLY: OpenFlags = OpenFlags::empty().write();
     /// `O_RDWR`.
-    pub const RDWR: OpenFlags = OpenFlags {
-        read: true,
-        write: true,
-        create: false,
-        truncate: false,
-    };
+    #[deprecated(note = "use the builder: `OpenFlags::rw()`")]
+    pub const RDWR: OpenFlags = OpenFlags::rw();
     /// `O_RDWR | O_CREAT`.
-    pub const CREATE: OpenFlags = OpenFlags {
-        read: true,
-        write: true,
-        create: true,
-        truncate: false,
-    };
+    #[deprecated(note = "use the builder: `OpenFlags::rw().create()`")]
+    pub const CREATE: OpenFlags = OpenFlags::rw().create();
     /// `O_RDWR | O_CREAT | O_TRUNC`.
-    pub const CREATE_TRUNC: OpenFlags = OpenFlags {
-        read: true,
-        write: true,
-        create: true,
-        truncate: true,
-    };
+    #[deprecated(note = "use the builder: `OpenFlags::rw().create().truncate()`")]
+    pub const CREATE_TRUNC: OpenFlags = OpenFlags::rw().create().truncate();
 }
 
 /// The type of an inode.
@@ -143,6 +218,13 @@ pub struct FsStats {
     pub pm_bytes_written: u64,
     /// Number of lock acquisitions taken on shared (cross-thread) state.
     pub shared_lock_acqs: u64,
+    /// Path-resolution (dentry) cache hits.
+    pub dcache_hits: u64,
+    /// Path-resolution (dentry) cache misses (including fills).
+    pub dcache_misses: u64,
+    /// Per-directory generation bumps published by namespace writers; each
+    /// bump invalidates every cached entry of that directory at once.
+    pub dcache_invalidations: u64,
 }
 
 /// The common file-system interface.
@@ -150,6 +232,13 @@ pub struct FsStats {
 /// All methods take `&self`; implementations are internally synchronized and
 /// callable from many threads, which is exactly what the FxMark and Filebench
 /// harnesses do.
+///
+/// The `*at` family ([`FileSystem::open_at`] and friends) operates relative
+/// to a directory handle from [`FileSystem::open_dir`]. The default
+/// implementations delegate to the path-based methods via
+/// [`FileSystem::fd_dir_path`]; implementations with a native notion of
+/// directory handles (the ArckFS LibFS) override them to skip the prefix
+/// walk entirely.
 pub trait FileSystem: Send + Sync {
     /// A short human-readable identifier (e.g. `"arckfs+"`, `"nova"`).
     fn fs_name(&self) -> &str;
@@ -202,6 +291,57 @@ pub trait FileSystem: Send + Sync {
     /// Stat a path.
     fn stat(&self, path: &str) -> FsResult<Metadata>;
 
+    /// Stat an open descriptor (`fstat`). Unlike [`FileSystem::stat`] this
+    /// cannot race with a rename or unlink of the path the descriptor was
+    /// opened at.
+    fn fstat(&self, fd: Fd) -> FsResult<Metadata> {
+        let _ = fd;
+        Err(FsError::Unsupported("fstat"))
+    }
+
+    /// Open a directory handle for use with the `*at` operations. The
+    /// handle is closed with [`FileSystem::close`].
+    fn open_dir(&self, path: &str) -> FsResult<Fd> {
+        let _ = path;
+        Err(FsError::Unsupported("open_dir"))
+    }
+
+    /// The absolute path a directory handle was opened at. Only needed by
+    /// implementations that rely on the default path-delegating `*at`
+    /// methods; natively handle-relative implementations never call it.
+    fn fd_dir_path(&self, dirfd: Fd) -> FsResult<String> {
+        let _ = dirfd;
+        Err(FsError::Unsupported("fd_dir_path"))
+    }
+
+    /// Open `name` (a single component) relative to a directory handle.
+    fn open_at(&self, dirfd: Fd, name: &str, flags: OpenFlags) -> FsResult<Fd> {
+        path::validate_name(name)?;
+        let dir = self.fd_dir_path(dirfd)?;
+        self.open(&path::join(&dir, name), flags)
+    }
+
+    /// Stat `name` relative to a directory handle.
+    fn stat_at(&self, dirfd: Fd, name: &str) -> FsResult<Metadata> {
+        path::validate_name(name)?;
+        let dir = self.fd_dir_path(dirfd)?;
+        self.stat(&path::join(&dir, name))
+    }
+
+    /// Remove the regular file `name` relative to a directory handle.
+    fn unlink_at(&self, dirfd: Fd, name: &str) -> FsResult<()> {
+        path::validate_name(name)?;
+        let dir = self.fd_dir_path(dirfd)?;
+        self.unlink(&path::join(&dir, name))
+    }
+
+    /// Create the directory `name` relative to a directory handle.
+    fn mkdir_at(&self, dirfd: Fd, name: &str) -> FsResult<()> {
+        path::validate_name(name)?;
+        let dir = self.fd_dir_path(dirfd)?;
+        self.mkdir(&path::join(&dir, name))
+    }
+
     /// Aggregate counters; used for the calibrated scalability model.
     fn stats(&self) -> FsStats {
         FsStats::default()
@@ -211,50 +351,105 @@ pub trait FileSystem: Send + Sync {
     fn reset_stats(&self) {}
 }
 
-/// Convenience: write an entire file at a path, creating it if necessary.
-pub fn write_file(fs: &dyn FileSystem, path: &str, data: &[u8]) -> FsResult<()> {
-    let fd = fs.open(path, OpenFlags::CREATE_TRUNC)?;
-    let mut off = 0u64;
-    let mut rem = data;
-    while !rem.is_empty() {
-        let n = fs.write_at(fd, rem, off)?;
-        off += n as u64;
-        rem = &rem[n..];
+/// Whole-file convenience operations, available on every [`FileSystem`]
+/// (including `dyn FileSystem`) through a blanket implementation.
+pub trait FsExt: FileSystem {
+    /// Write an entire file at a path, creating it if necessary.
+    fn write_file(&self, path: &str, data: &[u8]) -> FsResult<()> {
+        let fd = self.open(path, OpenFlags::rw().create().truncate())?;
+        let res = (|| {
+            let mut off = 0u64;
+            let mut rem = data;
+            while !rem.is_empty() {
+                let n = self.write_at(fd, rem, off)?;
+                off += n as u64;
+                rem = &rem[n..];
+            }
+            Ok(())
+        })();
+        let closed = self.close(fd);
+        res.and(closed)
     }
-    fs.close(fd)
+
+    /// Read an entire file at a path.
+    ///
+    /// The size is taken from the open descriptor ([`FileSystem::fstat`]),
+    /// not from a second path lookup, so a concurrent rename or
+    /// unlink+create of `path` between open and stat cannot pair the wrong
+    /// size with the descriptor. Implementations without `fstat` fall back
+    /// to reading until end-of-file, which is equally race-free.
+    fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let fd = self.open(path, OpenFlags::read())?;
+        let res = (|| match self.fstat(fd) {
+            Ok(md) => {
+                let size = md.size as usize;
+                let mut buf = vec![0u8; size];
+                let mut off = 0usize;
+                while off < size {
+                    let n = self.read_at(fd, &mut buf[off..], off as u64)?;
+                    if n == 0 {
+                        break;
+                    }
+                    off += n;
+                }
+                buf.truncate(off);
+                Ok(buf)
+            }
+            Err(FsError::Unsupported(_)) => {
+                let mut buf = Vec::new();
+                let mut chunk = vec![0u8; 64 * 1024];
+                loop {
+                    let n = self.read_at(fd, &mut chunk, buf.len() as u64)?;
+                    if n == 0 {
+                        break;
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Ok(buf)
+            }
+            Err(e) => Err(e),
+        })();
+        let closed = self.close(fd);
+        match res {
+            Ok(buf) => closed.map(|()| buf),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Create every directory along `path` (like `mkdir -p`).
+    fn mkdir_all(&self, path: &str) -> FsResult<()> {
+        let comps = path::components(path)?;
+        let mut cur = String::new();
+        for c in comps {
+            cur.push('/');
+            cur.push_str(c);
+            match self.mkdir(&cur) {
+                Ok(()) | Err(FsError::AlreadyExists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<F: FileSystem + ?Sized> FsExt for F {}
+
+/// Convenience: write an entire file at a path, creating it if necessary.
+#[deprecated(note = "use the `FsExt` method: `fs.write_file(path, data)`")]
+pub fn write_file(fs: &dyn FileSystem, path: &str, data: &[u8]) -> FsResult<()> {
+    fs.write_file(path, data)
 }
 
 /// Convenience: read an entire file at a path.
+#[deprecated(note = "use the `FsExt` method: `fs.read_file(path)`")]
 pub fn read_file(fs: &dyn FileSystem, path: &str) -> FsResult<Vec<u8>> {
-    let fd = fs.open(path, OpenFlags::RDONLY)?;
-    let size = fs.stat(path)?.size as usize;
-    let mut buf = vec![0u8; size];
-    let mut off = 0usize;
-    while off < size {
-        let n = fs.read_at(fd, &mut buf[off..], off as u64)?;
-        if n == 0 {
-            break;
-        }
-        off += n;
-    }
-    buf.truncate(off);
-    fs.close(fd)?;
-    Ok(buf)
+    fs.read_file(path)
 }
 
 /// Create every directory along `path` (like `mkdir -p`).
+#[deprecated(note = "use the `FsExt` method: `fs.mkdir_all(path)`")]
 pub fn mkdir_all(fs: &dyn FileSystem, path: &str) -> FsResult<()> {
-    let comps = path::components(path)?;
-    let mut cur = String::new();
-    for c in comps {
-        cur.push('/');
-        cur.push_str(c);
-        match fs.mkdir(&cur) {
-            Ok(()) | Err(FsError::AlreadyExists) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
+    fs.mkdir_all(path)
 }
 
 #[cfg(test)]
@@ -262,17 +457,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn open_flags_constants() {
-        // Read through locals so the assertions check the const values as
-        // data rather than folding away.
-        let (r, c, t) = (
-            OpenFlags::RDONLY,
-            OpenFlags::CREATE,
+    fn open_flags_builder() {
+        let r = OpenFlags::read();
+        assert!(r.read && !r.write && !r.create);
+        let w = OpenFlags::empty().write();
+        assert!(!w.read && w.write);
+        let cn = OpenFlags::read().write().create_new();
+        assert!(cn.read && cn.write && cn.create && cn.excl && !cn.truncate);
+        let ap = OpenFlags::empty().append();
+        assert!(ap.write && ap.append, "append implies write");
+        let ct = OpenFlags::rw().create().truncate();
+        assert!(ct.create && ct.truncate && !ct.excl);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_match_builder() {
+        assert_eq!(OpenFlags::RDONLY, OpenFlags::read());
+        assert_eq!(OpenFlags::WRONLY, OpenFlags::empty().write());
+        assert_eq!(OpenFlags::RDWR, OpenFlags::rw());
+        assert_eq!(OpenFlags::CREATE, OpenFlags::rw().create());
+        assert_eq!(
             OpenFlags::CREATE_TRUNC,
+            OpenFlags::rw().create().truncate()
         );
-        assert_eq!((r.read, r.write), (true, false));
-        assert_eq!((c.create, c.write), (true, true));
-        assert_eq!((t.truncate, t.create), (true, true));
     }
 
     #[test]

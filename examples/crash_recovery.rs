@@ -10,7 +10,7 @@ use arckfs::{Config, LibFs};
 use crashmc::check_sampled;
 use pmem::PmemDevice;
 use trio::{Kernel, KernelConfig};
-use vfs::{read_file, write_file, FileSystem};
+use vfs::{FileSystem, FsExt};
 
 fn main() {
     // ---- part 1: a healthy ArckFS+ crash-recovery round trip -------------
@@ -19,7 +19,7 @@ fn main() {
 
     fs.mkdir("/mail").expect("mkdir");
     for i in 0..20 {
-        write_file(fs.as_ref(), &format!("/mail/msg-{i:03}"), b"important mail").expect("write");
+        fs.write_file(&format!("/mail/msg-{i:03}"), b"important mail").expect("write");
     }
     fs.rename("/mail/msg-000", "/mail/msg-archived")
         .expect("rename");
@@ -38,7 +38,7 @@ fn main() {
     let recovered = crashmc::recover_one(&device, 7).expect("sample");
     let kernel2 = Kernel::recover(recovered, KernelConfig::arckfs_plus()).expect("remount");
     let fs2 = LibFs::mount(kernel2, Config::arckfs_plus(), 0).expect("mount");
-    let mail = read_file(fs2.as_ref(), "/mail/msg-archived").expect("read after recovery");
+    let mail = fs2.read_file("/mail/msg-archived").expect("read after recovery");
     println!(
         "after recovery, /mail/msg-archived reads: {:?}",
         String::from_utf8_lossy(&mail)

@@ -6,7 +6,7 @@
 
 use arckfs::Config;
 use trio::fsck::fsck;
-use vfs::{write_file, FileSystem};
+use vfs::{FileSystem, FsExt};
 
 fn print_report(label: &str, device: &std::sync::Arc<pmem::PmemDevice>) {
     let report = fsck(device).expect("superblock");
@@ -32,7 +32,7 @@ fn main() {
     let (_kernel, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).expect("format");
     fs.mkdir("/srv").expect("mkdir");
     for i in 0..5 {
-        write_file(fs.as_ref(), &format!("/srv/file{i}"), b"content").expect("write");
+        fs.write_file(&format!("/srv/file{i}"), b"content").expect("write");
     }
     print_report("healthy file system", &device);
 

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use arckfs::Config;
-use vfs::{read_file, write_file, FileSystem, OpenFlags};
+use vfs::{FileSystem, FsExt, OpenFlags};
 
 fn main() {
     // One call sets up the whole stack: a 64 MiB emulated PM device, a
@@ -15,13 +15,13 @@ fn main() {
     // Plain file I/O — every operation persists synchronously; fsync is
     // free (§2.2 of the paper).
     fs.mkdir("/projects").expect("mkdir");
-    write_file(fs.as_ref(), "/projects/notes.txt", b"ArckFS+ On Rust").expect("write");
-    let back = read_file(fs.as_ref(), "/projects/notes.txt").expect("read");
+    fs.write_file("/projects/notes.txt", b"ArckFS+ On Rust").expect("write");
+    let back = fs.read_file("/projects/notes.txt").expect("read");
     println!("read back: {}", String::from_utf8_lossy(&back));
 
     // Positional I/O and append.
     let fd = fs
-        .open("/projects/log.bin", OpenFlags::CREATE)
+        .open("/projects/log.bin", OpenFlags::rw().create())
         .expect("open");
     fs.append(fd, b"entry-1 ").expect("append");
     fs.append(fd, b"entry-2").expect("append");

@@ -8,7 +8,7 @@ use std::time::Instant;
 use arckfs::{Config, LibFs};
 use pmem::PmemDevice;
 use trio::{Geometry, Kernel, KernelConfig};
-use vfs::{read_file, write_file, FileSystem};
+use vfs::{FileSystem, FsExt};
 
 fn main() {
     let device = PmemDevice::new(128 << 20);
@@ -19,7 +19,7 @@ fn main() {
     let bob = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 200).expect("mount bob");
 
     // --- exclusive ownership: explicit handoffs, verified every time ----
-    write_file(alice.as_ref(), "/draft.md", b"# Draft v1\n").expect("alice writes");
+    alice.write_file("/draft.md", b"# Draft v1\n").expect("alice writes");
     println!("alice wrote /draft.md (she owns it exclusively)");
     match bob.stat("/draft.md") {
         Err(e) => println!("bob cannot touch it yet: {e}"),
@@ -33,7 +33,7 @@ fn main() {
         "alice handed it off in {:?} (unmap + integrity verification)",
         t.elapsed()
     );
-    let content = read_file(bob.as_ref(), "/draft.md").expect("bob reads");
+    let content = bob.read_file("/draft.md").expect("bob reads");
     println!("bob reads: {:?}", String::from_utf8_lossy(&content));
     let before = kernel.stats().snapshot();
     bob.release_path("/draft.md").expect("bob hands back");
@@ -53,12 +53,12 @@ fn main() {
         .expect("trust group");
     println!("\ncarol and dave form a trust group");
 
-    write_file(carol.as_ref(), "/shared-notes.md", b"carol: hi\n").expect("carol writes");
+    carol.write_file("/shared-notes.md", b"carol: hi\n").expect("carol writes");
     carol.commit_path("/").expect("register");
     let before = kernel.stats().snapshot();
     // Dave joins in *while carol still holds everything* — co-ownership.
     let fd = dave
-        .open("/shared-notes.md", vfs::OpenFlags::RDWR)
+        .open("/shared-notes.md", vfs::OpenFlags::rw())
         .expect("dave opens concurrently");
     dave.append(fd, b"dave: hello\n").expect("dave appends");
     dave.close(fd).expect("close");
@@ -67,7 +67,7 @@ fn main() {
         "dave appended with zero verifications ({} -> {}), {} trust-skips",
         before.verifications, after.verifications, after.trust_skips
     );
-    let daves_view = read_file(dave.as_ref(), "/shared-notes.md").expect("dave re-reads");
+    let daves_view = dave.read_file("/shared-notes.md").expect("dave re-reads");
     println!(
         "dave sees both lines:\n{}",
         String::from_utf8_lossy(&daves_view)
@@ -83,7 +83,7 @@ fn main() {
     dave.unmount()
         .expect("dave leaves (group boundary: verification runs)");
     let eve = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 500).expect("mount eve");
-    let eves_view = read_file(eve.as_ref(), "/shared-notes.md").expect("eve reads");
+    let eves_view = eve.read_file("/shared-notes.md").expect("eve reads");
     assert!(eves_view.ends_with(b"dave: hello\n"));
     println!("eve (an outsider, post-verification) sees the full file");
     println!("final kernel stats: {:?}", kernel.stats().snapshot());

@@ -7,7 +7,7 @@
 use arckfs::{Config, LibFs};
 use pmem::PmemDevice;
 use trio::{Geometry, Kernel, KernelConfig};
-use vfs::{read_file, write_file, FileSystem};
+use vfs::{FileSystem, FsExt};
 
 fn main() {
     let device = PmemDevice::new(64 << 20);
@@ -19,9 +19,7 @@ fn main() {
 
     println!("① App1's LibFS requests access to the root inode (a path op triggers it)");
     println!("② the kernel controller checks permissions and maps the core state");
-    write_file(
-        app1.as_ref(),
-        "/shared-doc.txt",
+    app1.write_file("/shared-doc.txt",
         b"written directly in userspace",
     )
     .expect("App1 write");
@@ -47,7 +45,7 @@ fn main() {
     println!("⑦–⑧ any corruption would be reported and resolved by rollback");
 
     println!("⑨ App2 requests the inode, ⑩ the controller grants the verified state:");
-    let content = read_file(app2.as_ref(), "/shared-doc.txt").expect("App2 read");
+    let content = app2.read_file("/shared-doc.txt").expect("App2 read");
     println!(
         "⑪ App2 reads through its own mapping: {:?}",
         String::from_utf8_lossy(&content)

@@ -10,7 +10,7 @@ use arckfs::{Config, LibFs};
 use pmem::PmemDevice;
 use trio::format::{self, mode};
 use trio::{Geometry, Kernel, KernelConfig};
-use vfs::{write_file, FileSystem, FsError};
+use vfs::{FileSystem, FsError, FsExt};
 
 const DEV: usize = 48 << 20;
 
@@ -22,7 +22,7 @@ fn setup() -> (Arc<Kernel>, Arc<LibFs>) {
     let kernel = Kernel::format(device, geom, KernelConfig::arckfs_plus()).expect("format");
     let victim = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 2).expect("mount victim");
     victim.mkdir("/pub").expect("mkdir");
-    write_file(victim.as_ref(), "/pub/file", b"public").expect("write");
+    victim.write_file("/pub/file", b"public").expect("write");
     victim
         .create_with_mode("/ro", true, mode::RW_OWNER_RO_OTHER)
         .expect("ro dir");
@@ -47,7 +47,7 @@ fn flipping_an_inode_type_is_rejected() {
     let ino = attacker.stat("/pub/file").unwrap().ino;
     let base = kernel.geometry().inode_offset(ino);
     // Acquire the file (mapping it), then flip file -> directory.
-    let _ = attacker.open("/pub/file", vfs::OpenFlags::RDONLY).unwrap();
+    let _ = attacker.open("/pub/file", vfs::OpenFlags::read()).unwrap();
     kernel
         .device()
         .write_u32(base + format::I_TYPE, trio::InodeType::Directory.to_raw())
@@ -63,14 +63,14 @@ fn tampering_with_uid_or_mode_is_rejected() {
     let (kernel, attacker) = setup();
     let ino = attacker.stat("/ro/secret").unwrap().ino;
     let base = kernel.geometry().inode_offset(ino);
-    let _ = attacker.open("/ro/secret", vfs::OpenFlags::RDONLY).unwrap();
+    let _ = attacker.open("/ro/secret", vfs::OpenFlags::read()).unwrap();
     // Chown-by-poke: make the attacker the owner.
     kernel.device().write_u32(base + format::I_UID, 1).unwrap();
     expect_verification_failure(attacker.release_path("/ro/secret"), "uid tamper");
     let raw = format::read_inode(kernel.device(), kernel.geometry(), ino).unwrap();
     assert_eq!(raw.uid, 2, "ownership restored");
 
-    let _ = attacker.open("/ro/secret", vfs::OpenFlags::RDONLY).unwrap();
+    let _ = attacker.open("/ro/secret", vfs::OpenFlags::read()).unwrap();
     kernel
         .device()
         .write_u32(base + format::I_MODE, mode::RW_ALL)

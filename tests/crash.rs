@@ -6,7 +6,7 @@ use arckfs::{Config, LibFs};
 use crashmc::{check_durable, check_sampled};
 use pmem::PmemDevice;
 use trio::{Kernel, KernelConfig};
-use vfs::{read_file, write_file, FileSystem};
+use vfs::{FileSystem, FsExt};
 
 const DEV: usize = 16 << 20;
 
@@ -15,8 +15,8 @@ fn quiesced_workload_is_always_consistent() {
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
     fs.mkdir("/a").unwrap();
-    write_file(fs.as_ref(), "/a/f1", b"one").unwrap();
-    write_file(fs.as_ref(), "/a/f2", b"two").unwrap();
+    fs.write_file("/a/f1", b"one").unwrap();
+    fs.write_file("/a/f2", b"two").unwrap();
     fs.rename("/a/f1", "/a/renamed").unwrap();
     fs.unlink("/a/f2").unwrap();
     // Each operation fenced its own updates; any crash point after the
@@ -53,9 +53,9 @@ fn remount_recovers_the_tree_after_crash() {
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
     fs.mkdir("/docs").unwrap();
-    write_file(fs.as_ref(), "/docs/report.txt", b"durable content").unwrap();
+    fs.write_file("/docs/report.txt", b"durable content").unwrap();
     fs.mkdir("/docs/sub").unwrap();
-    write_file(fs.as_ref(), "/docs/sub/deep.txt", &vec![0x7Au8; 10_000]).unwrap();
+    fs.write_file("/docs/sub/deep.txt", &vec![0x7Au8; 10_000]).unwrap();
 
     // Crash: take a sampled crash image and bring up a whole new kernel
     // on the recovered device.
@@ -64,15 +64,15 @@ fn remount_recovers_the_tree_after_crash() {
     let fs2 = LibFs::mount(kernel, Config::arckfs_plus(), 0).unwrap();
 
     assert_eq!(
-        read_file(fs2.as_ref(), "/docs/report.txt").unwrap(),
+        fs2.read_file("/docs/report.txt").unwrap(),
         b"durable content"
     );
     assert_eq!(
-        read_file(fs2.as_ref(), "/docs/sub/deep.txt").unwrap(),
+        fs2.read_file("/docs/sub/deep.txt").unwrap(),
         vec![0x7Au8; 10_000]
     );
     // And the recovered file system remains fully operational.
-    write_file(fs2.as_ref(), "/docs/new.txt", b"post-recovery").unwrap();
+    fs2.write_file("/docs/new.txt", b"post-recovery").unwrap();
     assert_eq!(fs2.readdir("/docs").unwrap().len(), 3);
 }
 
@@ -81,7 +81,7 @@ fn durable_image_after_clean_unmount_is_pristine() {
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
     for i in 0..10 {
-        write_file(fs.as_ref(), &format!("/f{i}"), b"data").unwrap();
+        fs.write_file(&format!("/f{i}"), b"data").unwrap();
     }
     fs.unmount().unwrap();
     device.persist_all();
@@ -96,7 +96,7 @@ fn recovery_reclaims_orphans_and_recomputes_sizes() {
     // with no dentry (orphan) and a stale directory size.
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
-    write_file(fs.as_ref(), "/real.txt", b"visible").unwrap();
+    fs.write_file("/real.txt", b"visible").unwrap();
     let geom = trio::format::read_superblock(&device).unwrap();
     // Orphan: commit inode 50 with no dentry anywhere.
     let base = geom.inode_offset(50);
@@ -112,7 +112,7 @@ fn recovery_reclaims_orphans_and_recomputes_sizes() {
     let recovered = PmemDevice::from_image(&device.persistent_image().unwrap());
     let kernel = Kernel::recover(recovered, KernelConfig::arckfs_plus()).unwrap();
     let fs2 = LibFs::mount(kernel, Config::arckfs_plus(), 0).unwrap();
-    assert_eq!(read_file(fs2.as_ref(), "/real.txt").unwrap(), b"visible");
+    assert_eq!(fs2.read_file("/real.txt").unwrap(), b"visible");
 }
 
 #[test]
@@ -122,7 +122,7 @@ fn rename_crash_window_is_benign_residue_at_worst() {
     // keeps the newer name; fsck must classify the state as benign.
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
-    write_file(fs.as_ref(), "/before", b"payload").unwrap();
+    fs.write_file("/before", b"payload").unwrap();
     device.persist_all(); // quiesce: the create is fully durable
 
     fs.rename("/before", "/after").unwrap();
@@ -140,14 +140,14 @@ fn rename_crash_window_is_benign_residue_at_worst() {
         "exactly one name must survive (before={before}, after={after})"
     );
     let surviving = if after { "/after" } else { "/before" };
-    assert_eq!(read_file(fs2.as_ref(), surviving).unwrap(), b"payload");
+    assert_eq!(fs2.read_file(surviving).unwrap(), b"payload");
 }
 
 #[test]
 fn unlink_crash_window_is_benign_residue_at_worst() {
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
-    write_file(fs.as_ref(), "/doomed", b"x").unwrap();
+    fs.write_file("/doomed", b"x").unwrap();
     device.persist_all();
 
     fs.unlink("/doomed").unwrap();

@@ -1,0 +1,215 @@
+//! Dentry-cache coherence: the cache may only ever turn a hit into a
+//! miss, never into a wrong answer. A differential harness runs identical
+//! deterministic schedules on two ArckFS+ instances — cache on vs. off —
+//! and demands identical observable results, including across the §4.3
+//! release/re-acquire storm that invalidates whole subtrees at once.
+
+use std::sync::Arc;
+
+use arckfs::{Config, LibFs};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use trio::fsck::fsck;
+use vfs::{FileSystem, FsError, FsExt, OpenFlags};
+
+const DEV: usize = 64 << 20;
+
+fn fs_with_dcache(on: bool) -> (Arc<trio::Kernel>, Arc<LibFs>) {
+    let mut config = Config::arckfs_plus();
+    config.dcache = on;
+    arckfs::new_fs(DEV, config).unwrap()
+}
+
+/// Comparable outcome of one schedule step: success payload or the error
+/// name (errors carry no instance-specific data in this schedule).
+fn outcome<T: std::fmt::Debug>(r: Result<T, FsError>) -> String {
+    match r {
+        Ok(v) => format!("ok:{v:?}"),
+        Err(e) => format!("err:{e:?}"),
+    }
+}
+
+/// Sorted directory listing, for order-insensitive comparison.
+fn listing(fs: &LibFs, dir: &str) -> Result<Vec<String>, FsError> {
+    fs.readdir(dir).map(|v| {
+        let mut names: Vec<String> = v.into_iter().map(|e| e.name).collect();
+        names.sort();
+        names
+    })
+}
+
+#[test]
+fn identical_schedules_cache_on_and_off() {
+    // One seeded schedule of mixed metadata ops, replayed step-for-step
+    // on both instances; every step's observable result must match.
+    let (_k_on, on) = fs_with_dcache(true);
+    let (_k_off, off) = fs_with_dcache(false);
+    for fs in [&on, &off] {
+        fs.mkdir_all("/a/b/c").unwrap();
+        fs.mkdir("/other").unwrap();
+    }
+
+    let mut rng = SmallRng::seed_from_u64(42);
+    for step in 0..2_000 {
+        let name = format!("/a/b/c/n{}", rng.gen_range(0..24));
+        let alt = format!("/other/n{}", rng.gen_range(0..24));
+        let (lhs, rhs) = match rng.gen_range(0..7) {
+            0 => (
+                outcome(on.create(&name).and_then(|fd| on.close(fd))),
+                outcome(off.create(&name).and_then(|fd| off.close(fd))),
+            ),
+            1 => (outcome(on.unlink(&name)), outcome(off.unlink(&name))),
+            2 => (
+                outcome(on.stat(&name).map(|m| (m.file_type, m.size))),
+                outcome(off.stat(&name).map(|m| (m.file_type, m.size))),
+            ),
+            3 => (
+                outcome(on.rename(&name, &alt)),
+                outcome(off.rename(&name, &alt)),
+            ),
+            4 => (
+                outcome(listing(&on, "/a/b/c")),
+                outcome(listing(&off, "/a/b/c")),
+            ),
+            5 => (
+                outcome(on.write_file(&name, b"payload")),
+                outcome(off.write_file(&name, b"payload")),
+            ),
+            _ => (
+                outcome(on.read_file(&name)),
+                outcome(off.read_file(&name)),
+            ),
+        };
+        assert_eq!(lhs, rhs, "divergence at step {step}");
+    }
+
+    // Final trees identical in both directories.
+    assert_eq!(listing(&on, "/a/b/c"), listing(&off, "/a/b/c"));
+    assert_eq!(listing(&on, "/other"), listing(&off, "/other"));
+    assert!(on.stats().dcache_hits > 0, "schedule never hit the cache");
+    assert_eq!(off.stats().dcache_hits + off.stats().dcache_misses, 0);
+}
+
+#[test]
+fn release_storm_with_cache_on_stays_coherent() {
+    // §4.3's storm from `stress.rs`, with the dcache explicitly on: three
+    // writers create into /hot while a releaser keeps revoking the
+    // directory. Release and revival both bump the directory generation,
+    // so cached translations from before a release can never validate
+    // after the re-acquire — the tree must come out complete.
+    let (kernel, fs) = fs_with_dcache(true);
+    fs.mkdir("/hot").unwrap();
+    fs.commit_path("/").unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let fs = fs.clone();
+            s.spawn(move || {
+                for i in 0..150 {
+                    fs.create(&format!("/hot/w{t}-{i}"))
+                        .and_then(|fd| fs.close(fd))
+                        .unwrap_or_else(|e| panic!("writer {t} op {i}: {e}"));
+                    // Keep the cache warm on entries that releases will
+                    // invalidate mid-storm.
+                    let _ = fs.stat(&format!("/hot/w{t}-{}", i / 2));
+                }
+            });
+        }
+        let fs = fs.clone();
+        s.spawn(move || {
+            for _ in 0..60 {
+                match fs.release_path("/hot") {
+                    Ok(()) | Err(FsError::NotOwner { .. }) | Err(FsError::NotFound) => {}
+                    Err(e) => panic!("releaser: {e}"),
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    assert_eq!(fs.readdir("/hot").unwrap().len(), 450);
+    // Every entry resolves — through the cache — to a statable file.
+    for t in 0..3u64 {
+        for i in 0..150 {
+            assert!(fs.stat(&format!("/hot/w{t}-{i}")).is_ok(), "w{t}-{i}");
+        }
+    }
+    let stats = fs.stats();
+    assert!(
+        stats.dcache_invalidations > 0,
+        "storm must have invalidated cached translations"
+    );
+    fs.unmount().unwrap();
+    assert_eq!(kernel.stats().snapshot().verify_failures, 0);
+    assert!(fsck(kernel.device()).unwrap().is_consistent());
+}
+
+#[test]
+fn cached_entry_under_released_directory_degrades_to_miss() {
+    // Fill the cache, release the directory, mutate it after revival —
+    // the cache must never resurrect the pre-release view.
+    let (_kernel, fs) = fs_with_dcache(true);
+    fs.mkdir("/d").unwrap();
+    fs.write_file("/d/old", b"x").unwrap();
+    fs.commit_path("/").unwrap();
+    for _ in 0..4 {
+        fs.stat("/d/old").unwrap(); // warm the (/d, old) translation
+    }
+    let before = fs.stats().dcache_invalidations;
+
+    fs.release_path("/d").unwrap();
+    assert!(fs.stats().dcache_invalidations > before);
+
+    // First access revives /d; the old cached entries must not validate.
+    fs.unlink("/d/old").unwrap();
+    fs.write_file("/d/new", b"y").unwrap();
+    assert!(matches!(fs.stat("/d/old"), Err(FsError::NotFound)));
+    assert_eq!(fs.read_file("/d/new").unwrap(), b"y");
+    assert_eq!(listing(&fs, "/d").unwrap(), vec!["new".to_string()]);
+}
+
+#[test]
+fn rename_and_unlink_invalidate_stale_translations() {
+    let (_kernel, fs) = fs_with_dcache(true);
+    fs.mkdir("/r").unwrap();
+    fs.write_file("/r/src", b"v").unwrap();
+    fs.stat("/r/src").unwrap(); // cache (/r, src)
+
+    fs.rename("/r/src", "/r/dst").unwrap();
+    assert!(matches!(fs.stat("/r/src"), Err(FsError::NotFound)));
+    assert_eq!(fs.read_file("/r/dst").unwrap(), b"v");
+
+    fs.stat("/r/dst").unwrap(); // cache (/r, dst)
+    fs.unlink("/r/dst").unwrap();
+    assert!(matches!(fs.stat("/r/dst"), Err(FsError::NotFound)));
+    assert!(matches!(
+        fs.open("/r/dst", OpenFlags::read()),
+        Err(FsError::NotFound)
+    ));
+}
+
+#[test]
+fn depth4_stat_needs_half_the_lock_acquisitions() {
+    // The tentpole's acceptance bar, asserted deterministically: a warm
+    // cache must cut shared-lock acquisitions per depth-4 stat by >= 2x.
+    let per_op_locks = |dcache: bool| -> u64 {
+        let (_k, fs) = fs_with_dcache(dcache);
+        fs.mkdir_all("/d1/d2/d3/d4").unwrap();
+        fs.write_file("/d1/d2/d3/d4/target", b"x").unwrap();
+        for _ in 0..8 {
+            fs.stat("/d1/d2/d3/d4/target").unwrap(); // warm
+        }
+        let before = fs.stats().shared_lock_acqs;
+        for _ in 0..100 {
+            fs.stat("/d1/d2/d3/d4/target").unwrap();
+        }
+        (fs.stats().shared_lock_acqs - before) / 100
+    };
+    let off = per_op_locks(false);
+    let on = per_op_locks(true);
+    assert!(off >= 5, "uncached depth-4 stat should walk 5 components, got {off}");
+    assert!(
+        on * 2 <= off,
+        "cache-on stat must need <= half the lock acqs: on={on} off={off}"
+    );
+}

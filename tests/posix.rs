@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use arckfs::Config;
 use kernelfs::{KernelFs, Profile};
-use vfs::{mkdir_all, read_file, write_file, FileSystem, FsError, OpenFlags};
+use vfs::{FileSystem, FsError, FsExt, OpenFlags};
 
 const DEV: usize = 48 << 20;
 
@@ -32,9 +32,9 @@ fn for_each(test: impl Fn(&dyn FileSystem)) {
 #[test]
 fn write_read_round_trip_everywhere() {
     for_each(|fs| {
-        write_file(fs, "/hello", b"posix says hi").unwrap();
+        fs.write_file("/hello", b"posix says hi").unwrap();
         assert_eq!(
-            read_file(fs, "/hello").unwrap(),
+            fs.read_file("/hello").unwrap(),
             b"posix says hi",
             "fs {}",
             fs.fs_name()
@@ -52,7 +52,7 @@ fn enoent_eexist_everywhere() {
             "{name}"
         );
         assert_eq!(
-            fs.open("/missing", OpenFlags::RDONLY).unwrap_err(),
+            fs.open("/missing", OpenFlags::read()).unwrap_err(),
             FsError::NotFound,
             "{name}"
         );
@@ -75,8 +75,8 @@ fn enoent_eexist_everywhere() {
 fn directory_semantics_everywhere() {
     for_each(|fs| {
         let name = fs.fs_name().to_string();
-        mkdir_all(fs, "/a/b/c").unwrap();
-        write_file(fs, "/a/b/c/leaf", b"x").unwrap();
+        fs.mkdir_all("/a/b/c").unwrap();
+        fs.write_file("/a/b/c/leaf", b"x").unwrap();
         assert_eq!(fs.rmdir("/a/b").unwrap_err(), FsError::NotEmpty, "{name}");
         assert_eq!(
             fs.unlink("/a/b").unwrap_err(),
@@ -101,7 +101,7 @@ fn readdir_and_stat_agree_everywhere() {
         let name = fs.fs_name().to_string();
         fs.mkdir("/list").unwrap();
         for i in 0..10 {
-            write_file(fs, &format!("/list/f{i}"), &vec![1u8; i * 7]).unwrap();
+            fs.write_file(&format!("/list/f{i}"), &vec![1u8; i * 7]).unwrap();
         }
         let entries = fs.readdir("/list").unwrap();
         assert_eq!(entries.len(), 10, "{name}");
@@ -119,11 +119,11 @@ fn rename_semantics_everywhere() {
         let name = fs.fs_name().to_string();
         fs.mkdir("/src").unwrap();
         fs.mkdir("/dst").unwrap();
-        write_file(fs, "/src/f", b"payload").unwrap();
+        fs.write_file("/src/f", b"payload").unwrap();
         // Same-dir, then cross-dir.
         fs.rename("/src/f", "/src/g").unwrap();
         fs.rename("/src/g", "/dst/h").unwrap();
-        assert_eq!(read_file(fs, "/dst/h").unwrap(), b"payload", "{name}");
+        assert_eq!(fs.read_file("/dst/h").unwrap(), b"payload", "{name}");
         assert_eq!(fs.stat("/src/f").unwrap_err(), FsError::NotFound, "{name}");
         assert_eq!(
             fs.rename("/nope", "/dst/x").unwrap_err(),
@@ -137,7 +137,7 @@ fn rename_semantics_everywhere() {
 fn pread_pwrite_sparse_everywhere() {
     for_each(|fs| {
         let name = fs.fs_name().to_string();
-        let fd = fs.open("/sparse", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/sparse", OpenFlags::rw().create()).unwrap();
         fs.write_at(fd, b"tail", 9000).unwrap();
         assert_eq!(fs.stat("/sparse").unwrap().size, 9004, "{name}");
         let mut mid = [0xFFu8; 16];
@@ -153,8 +153,8 @@ fn pread_pwrite_sparse_everywhere() {
 fn truncate_everywhere() {
     for_each(|fs| {
         let name = fs.fs_name().to_string();
-        write_file(fs, "/t", &vec![9u8; 20_000]).unwrap();
-        let fd = fs.open("/t", OpenFlags::RDWR).unwrap();
+        fs.write_file("/t", &vec![9u8; 20_000]).unwrap();
+        let fd = fs.open("/t", OpenFlags::rw()).unwrap();
         fs.truncate(fd, 5000).unwrap();
         assert_eq!(fs.stat("/t").unwrap().size, 5000, "{name}");
         // Shrink exposes no stale bytes after re-extension.
@@ -170,12 +170,12 @@ fn truncate_everywhere() {
 fn append_and_fsync_everywhere() {
     for_each(|fs| {
         let name = fs.fs_name().to_string();
-        let fd = fs.open("/log", OpenFlags::CREATE).unwrap();
+        let fd = fs.open("/log", OpenFlags::rw().create()).unwrap();
         assert_eq!(fs.append(fd, b"one").unwrap(), 0, "{name}");
         assert_eq!(fs.append(fd, b"two").unwrap(), 3, "{name}");
         fs.fsync(fd).unwrap();
         fs.close(fd).unwrap();
-        assert_eq!(read_file(fs, "/log").unwrap(), b"onetwo", "{name}");
+        assert_eq!(fs.read_file("/log").unwrap(), b"onetwo", "{name}");
     });
 }
 

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use arckfs::Config;
 use proptest::prelude::*;
 use trio::fsck::fsck;
-use vfs::{FileSystem, FsError, OpenFlags};
+use vfs::{FileSystem, FsError, FsExt, OpenFlags};
 
 const DEV: usize = 32 << 20;
 
@@ -92,7 +92,7 @@ fn apply(fs: &dyn FileSystem, oracle: &mut Oracle, op: &Op) {
         }
         Op::Write(p, data, off) => {
             let expected = oracle.write(p, data, *off as usize);
-            let got = fs.open(p, OpenFlags::RDWR).and_then(|fd| {
+            let got = fs.open(p, OpenFlags::rw()).and_then(|fd| {
                 let r = fs.write_at(fd, data, *off as u64);
                 fs.close(fd).expect("close");
                 r
@@ -130,7 +130,7 @@ fn run_sequence(config: Config, ops: &[Op]) {
     }
     // Final state matches the oracle exactly.
     for (p, data) in &oracle.files {
-        let got = vfs::read_file(fs.as_ref(), p).expect("read");
+        let got = fs.read_file(p).expect("read");
         assert_eq!(&got, data, "content of {p}");
     }
     // Everything verifies on the way out, and the device fscks clean.

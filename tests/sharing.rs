@@ -7,7 +7,7 @@ use std::time::Duration;
 use arckfs::{Config, LibFs};
 use pmem::PmemDevice;
 use trio::{Geometry, Kernel, KernelConfig};
-use vfs::{read_file, write_file, FileSystem, FsError};
+use vfs::{FileSystem, FsError, FsExt};
 
 const DEV: usize = 48 << 20;
 
@@ -23,7 +23,7 @@ fn ownership_transfer_via_release() {
     let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
     let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
 
-    write_file(a.as_ref(), "/note.txt", b"from a").unwrap();
+    a.write_file("/note.txt", b"from a").unwrap();
     // B cannot touch it while A holds everything.
     assert!(matches!(
         b.stat("/note.txt").unwrap_err(),
@@ -31,16 +31,16 @@ fn ownership_transfer_via_release() {
     ));
 
     a.unmount().unwrap();
-    assert_eq!(read_file(b.as_ref(), "/note.txt").unwrap(), b"from a");
+    assert_eq!(b.read_file("/note.txt").unwrap(), b"from a");
     // B extends the file; a third app sees the combined content after B
     // hands it off.
-    let fd = b.open("/note.txt", vfs::OpenFlags::RDWR).unwrap();
+    let fd = b.open("/note.txt", vfs::OpenFlags::rw()).unwrap();
     b.write_at(fd, b" and b", 6).unwrap();
     b.close(fd).unwrap();
     b.unmount().unwrap();
 
     let c = LibFs::mount(k, Config::arckfs_plus(), 0).unwrap();
-    assert_eq!(read_file(c.as_ref(), "/note.txt").unwrap(), b"from a and b");
+    assert_eq!(c.read_file("/note.txt").unwrap(), b"from a and b");
 }
 
 #[test]
@@ -69,14 +69,14 @@ fn trust_group_skips_verification() {
     let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
     k.create_trust_group(&[a.id(), b.id()]).unwrap();
 
-    write_file(a.as_ref(), "/g.txt", b"group data").unwrap();
+    a.write_file("/g.txt", b"group data").unwrap();
     // Register the file with the kernel so B's acquire has a shadow entry.
     a.commit_path("/").unwrap();
 
     // B co-acquires while A still holds everything — allowed within the
     // group, no verification.
     let before = k.stats().snapshot();
-    assert_eq!(read_file(b.as_ref(), "/g.txt").unwrap(), b"group data");
+    assert_eq!(b.read_file("/g.txt").unwrap(), b"group data");
     let after = k.stats().snapshot();
     assert_eq!(
         after.verifications, before.verifications,
@@ -92,7 +92,7 @@ fn trust_group_boundary_verifies_lazily() {
     let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
     k.create_trust_group(&[a.id(), b.id()]).unwrap();
 
-    write_file(a.as_ref(), "/boundary.txt", b"x").unwrap();
+    a.write_file("/boundary.txt", b"x").unwrap();
     a.commit_path("/").unwrap();
     // B joins in, then leaves: an intra-group release defers the check
     // because A (same group) still holds the inode.
@@ -122,7 +122,7 @@ fn trust_group_boundary_verifies_lazily() {
 fn involuntary_release_revokes_the_mapping() {
     let k = kernel();
     let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
-    write_file(a.as_ref(), "/seize.txt", b"mine").unwrap();
+    a.write_file("/seize.txt", b"mine").unwrap();
     a.commit_path("/").unwrap();
     let ino = a.stat("/seize.txt").unwrap().ino;
 
@@ -134,7 +134,7 @@ fn involuntary_release_revokes_the_mapping() {
     // Another app can now take it.
     let b = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
     a.release_path("/").unwrap();
-    assert_eq!(read_file(b.as_ref(), "/seize.txt").unwrap(), b"mine");
+    assert_eq!(b.read_file("/seize.txt").unwrap(), b"mine");
 }
 
 #[test]
@@ -161,7 +161,7 @@ fn unregister_forces_everything_back() {
     let k = kernel();
     let a = LibFs::mount(k.clone(), Config::arckfs_plus(), 0).unwrap();
     a.mkdir("/d").unwrap();
-    write_file(a.as_ref(), "/d/f", b"payload").unwrap();
+    a.write_file("/d/f", b"payload").unwrap();
     // Register so the forced releases verify rather than reject.
     a.commit_path("/").unwrap();
     a.commit_path("/d").unwrap();
@@ -171,5 +171,5 @@ fn unregister_forces_everything_back() {
     assert!(k.stats().snapshot().forced_releases > 0);
 
     let b = LibFs::mount(k, Config::arckfs_plus(), 0).unwrap();
-    assert_eq!(read_file(b.as_ref(), "/d/f").unwrap(), b"payload");
+    assert_eq!(b.read_file("/d/f").unwrap(), b"payload");
 }

@@ -11,7 +11,7 @@ use arckfs::{Config, LibFs};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use trio::fsck::fsck;
-use vfs::{FileSystem, FsError, OpenFlags};
+use vfs::{FileSystem, FsError, FsExt, OpenFlags};
 
 const DEV: usize = 64 << 20;
 
@@ -117,14 +117,14 @@ fn deep_tree_concurrent_build_and_teardown() {
             let fs = fs.clone();
             s.spawn(move || {
                 let base = format!("/t{t}");
-                vfs::mkdir_all(fs.as_ref(), &format!("{base}/a/b/c")).unwrap();
+                fs.mkdir_all(&format!("{base}/a/b/c")).unwrap();
                 for i in 0..40 {
                     let p = format!("{base}/a/b/c/f{i}");
-                    vfs::write_file(fs.as_ref(), &p, &vec![t as u8; 100 + i]).unwrap();
+                    fs.write_file(&p, &vec![t as u8; 100 + i]).unwrap();
                 }
                 for i in 0..40 {
                     let p = format!("{base}/a/b/c/f{i}");
-                    assert_eq!(vfs::read_file(fs.as_ref(), &p).unwrap().len(), 100 + i);
+                    assert_eq!(fs.read_file(&p).unwrap().len(), 100 + i);
                     fs.unlink(&p).unwrap();
                 }
                 fs.rmdir(&format!("{base}/a/b/c")).unwrap();
@@ -142,7 +142,7 @@ fn deep_tree_concurrent_build_and_teardown() {
 #[test]
 fn file_data_races_are_serialized_by_the_file_lock() {
     let (_kernel, fs) = arckfs::new_fs(DEV, Config::arckfs_plus()).unwrap();
-    let fd = fs.open("/shared.dat", OpenFlags::CREATE).unwrap();
+    let fd = fs.open("/shared.dat", OpenFlags::rw().create()).unwrap();
     fs.write_at(fd, &vec![0u8; 64 * 1024], 0).unwrap();
 
     // Writers stamp whole 4K blocks; any snapshot of a block must be

@@ -11,7 +11,7 @@ use arckfs::Config;
 use fxmark::fio::{run_fio, Direction, FioJob, Pattern, Sharing};
 use fxmark::{run_workload, RunMode, Workload};
 use kernelfs::{KernelFs, Profile};
-use vfs::FileSystem;
+use vfs::{FileSystem, FsExt};
 
 const DEV: usize = 96 << 20;
 
@@ -131,8 +131,8 @@ fn delegated_writes_round_trip() {
     config.delegation_min = 256 * 1024;
     let (_k, fs) = arckfs::new_fs(256 << 20, config).unwrap();
     let data: Vec<u8> = (0..3_000_000u32).map(|i| (i % 241) as u8).collect();
-    vfs::write_file(fs.as_ref(), "/big-delegated", &data).unwrap();
-    assert_eq!(vfs::read_file(fs.as_ref(), "/big-delegated").unwrap(), data);
+    fs.write_file("/big-delegated", &data).unwrap();
+    assert_eq!(fs.read_file("/big-delegated").unwrap(), data);
     assert!(
         fs.delegated_bytes() >= data.len() as u64,
         "the transfer must go through the pool"
@@ -140,7 +140,7 @@ fn delegated_writes_round_trip() {
 
     // Small writes stay on the inline path.
     let before = fs.delegated_bytes();
-    vfs::write_file(fs.as_ref(), "/small", b"tiny").unwrap();
+    fs.write_file("/small", b"tiny").unwrap();
     assert_eq!(fs.delegated_bytes(), before);
 }
 
@@ -150,7 +150,7 @@ fn delegated_writes_interleave_with_inline() {
     config.delegation_threads = 2;
     config.delegation_min = 512 * 1024;
     let (_k, fs) = arckfs::new_fs(256 << 20, config).unwrap();
-    let fd = fs.open("/mix", vfs::OpenFlags::CREATE).unwrap();
+    let fd = fs.open("/mix", vfs::OpenFlags::rw().create()).unwrap();
     let big = vec![0xABu8; 1 << 20];
     fs.write_at(fd, &big, 0).unwrap();
     fs.write_at(fd, b"patch", 100).unwrap(); // inline small write on top

@@ -428,7 +428,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Sizes accepted by [`vec`].
+    /// Sizes accepted by [`fn@vec`].
     pub trait IntoSizeRange {
         /// Convert to `(min, max)` inclusive bounds.
         fn bounds(self) -> (usize, usize);
