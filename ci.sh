@@ -8,10 +8,20 @@
 # The test suite runs twice: once with the dentry cache enabled (the
 # default) and once with ARCKFS_DCACHE=0, so the lock-free resolution
 # path and the plain locked walk both stay green.
+#
+# The schedmc step exhaustively explores every 2-op interleaving of the
+# explorer vocabulary at preemption bound 2 (seeded, time-budgeted,
+# < 60 s in release mode) and fails on any oracle verdict; coverage lands
+# in results/obs_schedmc.json. ARCKFS_SCHEDMC_DEEP=1 adds the 3-op sweep
+# at bound 3 (minutes, off by default). See DESIGN.md §7.
 set -eux
 
 cargo build --release
 ARCKFS_DCACHE=1 cargo test -q --workspace
 ARCKFS_DCACHE=0 cargo test -q --workspace
+ARCKFS_SCHEDMC_DEEP=0 cargo run --release -q -p schedmc
+if [ "${ARCKFS_SCHEDMC_DEEP:-0}" = "1" ]; then
+    ARCKFS_SCHEDMC_DEEP=1 cargo run --release -q -p schedmc
+fi
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

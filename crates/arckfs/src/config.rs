@@ -29,6 +29,13 @@ pub struct Config {
     /// cross-directory directory renames plus a descendant check.
     pub fix_dir_cycle: bool,
 
+    /// Compute `O_APPEND` write offsets *inside* the file write critical
+    /// section instead of from a size read taken before the lock. Not part
+    /// of the paper's Table 1: this bug was found by `schedmc` in our own
+    /// append path (two concurrent appenders could snapshot the same EOF and
+    /// overlap). Defaults to on; tests flip it off to reproduce the race.
+    pub fix_append_atomic: bool,
+
     /// Baseline profile: verify (commit) the affected directory on *every*
     /// metadata operation, modelling the KucoFS/SplitFS/Strata class of
     /// designs that involve the trusted component per operation (§1).
@@ -77,6 +84,7 @@ impl Config {
             fix_state_sync: false,
             fix_dir_bucket_rcu: false,
             fix_dir_cycle: false,
+            fix_append_atomic: true,
             verify_every_op: false,
             dir_tails: 4,
             dir_buckets: 128,

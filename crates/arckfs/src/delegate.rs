@@ -45,10 +45,15 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until every chunk of the delegated write has reached the
-    /// device, then issue the caller-side fence semantics (the workers
-    /// used non-temporal stores; the caller's following `sfence` orders
-    /// them — exactly the hardware contract).
+    /// Block until every chunk of the delegated write is **durable**.
+    ///
+    /// Each worker issues its own `sfence` after the non-temporal stores of
+    /// its chunk and before signalling completion, so once `wait` returns
+    /// the delegated bytes survive any crash — the caller does not need a
+    /// fence of its own for the data (it still fences for its *metadata*
+    /// updates, e.g. the size word). Fencing from the submitting thread
+    /// would not work: an `sfence` only orders the issuing CPU's own store
+    /// buffer, and the ntstores happened on the workers.
     pub fn wait(self) -> FsResult<()> {
         let mut guard = self.done.lock.lock();
         while self.done.remaining.load(Ordering::SeqCst) != 0 {
@@ -84,10 +89,20 @@ fn worker_loop(rx: Receiver<Job>) {
             .mapping
             .ntstore(job.offset, &job.data)
             .map_err(map_fault);
-        if let Err(e) = result {
-            job.done.error.lock().get_or_insert(e);
+        match result {
+            // Make this chunk durable *before* the completion count drops:
+            // non-temporal stores are only flush-ordered until a fence, and
+            // the fence must come from the CPU that issued them. Without
+            // this, a crash after `Ticket::wait` returned could lose the
+            // delegated bytes (found by the schedmc/crashmc sweep).
+            Ok(()) => job.mapping.sfence(),
+            Err(e) => {
+                job.done.error.lock().get_or_insert(e);
+            }
         }
+        crate::inject::point("delegate.complete.pre_finish");
         if job.done.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            crate::inject::point("delegate.complete.pre_notify");
             let _g = job.done.lock.lock();
             job.done.cv.notify_all();
         }
@@ -136,8 +151,9 @@ impl DelegationPool {
 
     /// Write `data` at `offset` through `mapping` with non-temporal
     /// stores. With workers, the transfer is chunked and this returns a
-    /// [`Ticket`] the caller must wait on before its fence; without, the
-    /// store happens inline and the returned ticket completes immediately.
+    /// [`Ticket`] the caller must wait on — the data is durable once
+    /// `wait` returns; without workers, the store (and its fence) happens
+    /// inline and the returned ticket completes immediately.
     pub fn submit(&self, mapping: &Mapping, offset: u64, data: &[u8]) -> FsResult<Ticket> {
         self.delegated_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -150,6 +166,9 @@ impl DelegationPool {
         match &self.tx {
             None => {
                 mapping.ntstore(offset, data).map_err(map_fault)?;
+                // Same durability contract as the worker path: `wait`
+                // returning means the bytes are fenced.
+                mapping.sfence();
                 Ok(Ticket { done })
             }
             Some(tx) => {

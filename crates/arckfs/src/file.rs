@@ -168,12 +168,41 @@ impl LibFs {
         self.file_release_check(file)?;
         let mapping = file.mapping_handle();
         inject::point_file_write();
+        self.file_write_locked(file, &mapping, data, offset)
+    }
 
+    /// `O_APPEND` write: read the EOF offset and perform the write under
+    /// *one* hold of the file write lock, so two concurrent appenders can
+    /// never snapshot the same end-of-file and overlap. Returns the offset
+    /// the data landed at. (The pre-`fix_append_atomic` path computed the
+    /// offset from a `file_size` read taken before the lock — the TOCTOU
+    /// schedmc flushed out.)
+    pub(crate) fn file_append(&self, file: &MemInode, data: &[u8]) -> FsResult<u64> {
+        self.count_lock();
+        let _w = file.rw.write();
+        self.file_release_check(file)?;
+        let mapping = file.mapping_handle();
+        let offset = self.file_size(file, &mapping)?;
+        crate::inject::point("file.append.offset_read");
+        inject::point_file_write();
+        self.file_write_locked(file, &mapping, data, offset)?;
+        Ok(offset)
+    }
+
+    /// Body of a positional write, with `file.rw` already held in write
+    /// mode and the release check done.
+    fn file_write_locked(
+        &self,
+        file: &MemInode,
+        mapping: &Mapping,
+        data: &[u8],
+        offset: u64,
+    ) -> FsResult<usize> {
         // Very large transfers go through the delegation pool: allocate
         // the whole range first, then ship page-aligned runs to the
         // workers and wait before the fence.
         if data.len() >= self.config.delegation_min && self.delegation.workers() > 0 {
-            return self.file_write_delegated(file, &mapping, data, offset);
+            return self.file_write_delegated(file, mapping, data, offset);
         }
 
         let use_nt = data.len() >= self.config.ntstore_threshold;
@@ -183,8 +212,8 @@ impl LibFs {
             let idx = pos / PAGE_SIZE as u64;
             let in_page = (pos % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(data.len() - done);
-            let fresh_before = self.file_block_page(file.ino, &mapping, idx, false)? == 0;
-            let page = self.file_block_page(file.ino, &mapping, idx, true)?;
+            let fresh_before = self.file_block_page(file.ino, mapping, idx, false)? == 0;
+            let page = self.file_block_page(file.ino, mapping, idx, true)?;
             let base = page * PAGE_SIZE as u64;
             if fresh_before && n < PAGE_SIZE {
                 // Partial write into a fresh page: zero the rest so holes

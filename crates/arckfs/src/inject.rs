@@ -27,10 +27,30 @@
 //! *other* resource can delay teardown only briefly, not hang the whole
 //! suite; the registry entry is kept in that case so stragglers still
 //! unpark cleanly.
+//!
+//! # Programmatic controller (schedule exploration)
+//!
+//! Gates are an all-or-nothing instrument: arming one name parks *every*
+//! arrival and releasing wakes them all, which is exactly one hand-scripted
+//! interleaving. The [`Controller`] is the generalization a systematic
+//! explorer needs: threads spawned through [`Controller::spawn`] become
+//! *participants* (tracked through a thread-local, so unrelated threads and
+//! gate-based tests are unaffected), and **every** `point()` a participant
+//! reaches — regardless of name, armed or not — parks it until the
+//! controller grants it the run token with [`Controller::step`]. Between
+//! grants the controller observes a quiesced system
+//! ([`Controller::quiesce`]), enumerates which participants are parked at
+//! which points, and records the granted sequence as the executed trace
+//! ([`Controller::trace`]). A granted participant that blocks on a lock
+//! held by a *parked* participant is classified [`ThreadStatus::Blocked`]
+//! after a grace period and rejoins the schedulable set at its next point;
+//! dropping the controller releases everyone to run free, so a panicking
+//! explorer cannot strand its victims.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -67,6 +87,11 @@ fn registry() -> &'static Registry {
 /// thread parks until the test releases it.
 pub fn point(name: &str) {
     if ARMED.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    // Participants of a live controller yield to it instead of the gate
+    // registry: the explorer owns their schedule for every point name.
+    if ctl_yield(name) {
         return;
     }
     let reg = registry();
@@ -134,6 +159,19 @@ pub fn is_armed(name: &str) -> bool {
         .get(name)
         .map(|g| g.armed)
         .unwrap_or(false)
+}
+
+/// Names of every currently armed gate (controller/test introspection).
+pub fn armed_points() -> Vec<String> {
+    let mut names: Vec<String> = registry()
+        .gates
+        .lock()
+        .iter()
+        .filter(|(_, g)| g.armed)
+        .map(|(n, _)| n.clone())
+        .collect();
+    names.sort();
+    names
 }
 
 /// Number of currently armed gates, i.e. the fast-path counter [`point`]
@@ -204,6 +242,297 @@ impl Drop for Gate {
             reg.cv.wait_for(&mut gates, deadline - now);
         }
         gates.remove(&self.name);
+    }
+}
+
+// ---- programmatic controller (explorer-owned schedules) --------------------
+
+/// The synthetic point every participant parks on before running its
+/// operation, so the controller also owns the *start order*.
+pub const OP_START: &str = "ctl.op.start";
+
+thread_local! {
+    /// `(controller, tid)` of the participant running on this thread, set
+    /// for the whole lifetime of a [`Controller::spawn`]ed closure.
+    static PARTICIPANT: RefCell<Option<(Arc<CtlShared>, usize)>> =
+        const { RefCell::new(None) };
+}
+
+/// Where a participant currently is, from the controller's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Spawned but not yet parked at [`OP_START`].
+    Starting,
+    /// Parked at the named schedule point, waiting for a grant.
+    AtPoint(String),
+    /// Holds the run token (or was just granted it).
+    Running,
+    /// Was granted the token but did not reach another point within the
+    /// quiesce grace period — almost always blocked on a lock held by a
+    /// *parked* participant. It rejoins the schedulable set at its next
+    /// point (or finishes) on its own.
+    Blocked,
+    /// The operation closure returned (or panicked).
+    Finished,
+}
+
+/// One granted segment of the executed schedule.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Participant index (spawn order).
+    pub tid: usize,
+    /// The label given to [`Controller::spawn`].
+    pub label: String,
+    /// The point the participant was parked at when granted.
+    pub point: String,
+}
+
+struct CtlThread {
+    label: String,
+    status: ThreadStatus,
+}
+
+struct CtlInner {
+    active: bool,
+    threads: Vec<CtlThread>,
+    granted: Option<usize>,
+    trace: Vec<TraceEvent>,
+}
+
+struct CtlShared {
+    m: Mutex<CtlInner>,
+    cv: Condvar,
+}
+
+/// Handle to a participant thread spawned by [`Controller::spawn`].
+pub struct OpHandle<T> {
+    handle: std::thread::JoinHandle<std::thread::Result<T>>,
+}
+
+impl<T> OpHandle<T> {
+    /// Join the participant; a panic inside the operation closure is
+    /// reported as `Err` with the panic payload rendered to a string.
+    pub fn join(self) -> Result<T, String> {
+        match self.handle.join() {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(payload)) | Err(payload) => Err(panic_message(payload)),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "participant panicked".to_string()
+    }
+}
+
+/// If the calling thread is a participant of a live controller, park at the
+/// controller until granted and return `true` (the caller skips the gate
+/// registry). Non-participants return `false` immediately.
+fn ctl_yield(name: &str) -> bool {
+    let part = PARTICIPANT.with(|p| p.borrow().clone());
+    let Some((shared, tid)) = part else {
+        return false;
+    };
+    let mut inner = shared.m.lock();
+    if !inner.active {
+        return true; // controller torn down: run free, still skip gates
+    }
+    inner.threads[tid].status = ThreadStatus::AtPoint(name.to_string());
+    if inner.granted == Some(tid) {
+        inner.granted = None;
+    }
+    shared.cv.notify_all();
+    while inner.active && inner.granted != Some(tid) {
+        shared.cv.wait(&mut inner);
+    }
+    inner.threads[tid].status = ThreadStatus::Running;
+    true
+}
+
+/// An explorer-owned scheduler over participant threads. See the module
+/// docs; `crates/schedmc` builds its bounded schedule enumeration on this.
+///
+/// Dropping the controller releases every parked participant to run free
+/// (and restores the unarmed `point()` fast path once no other gates or
+/// controllers are live).
+pub struct Controller {
+    shared: Arc<CtlShared>,
+}
+
+impl Default for Controller {
+    fn default() -> Self {
+        Controller::new()
+    }
+}
+
+impl Controller {
+    /// A fresh controller with no participants. Multiple controllers may
+    /// coexist (participants are bound to theirs through the thread-local),
+    /// so concurrently running exploration tests cannot collide.
+    pub fn new() -> Controller {
+        ARMED.fetch_add(1, Ordering::SeqCst);
+        Controller {
+            shared: Arc::new(CtlShared {
+                m: Mutex::new(CtlInner {
+                    active: true,
+                    threads: Vec::new(),
+                    granted: None,
+                    trace: Vec::new(),
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Spawn `f` as a participant. The thread immediately parks at
+    /// [`OP_START`]; nothing of `f` runs until the controller grants it.
+    /// Returns the participant's `tid` (spawn order) through the handle's
+    /// position — tids are assigned 0, 1, 2, … in call order.
+    pub fn spawn<T, F>(&self, label: &str, f: F) -> OpHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let shared = self.shared.clone();
+        let tid = {
+            let mut inner = self.shared.m.lock();
+            inner.threads.push(CtlThread {
+                label: label.to_string(),
+                status: ThreadStatus::Starting,
+            });
+            inner.threads.len() - 1
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("schedmc-{label}"))
+            .spawn(move || {
+                PARTICIPANT.with(|p| *p.borrow_mut() = Some((shared.clone(), tid)));
+                point(OP_START);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                PARTICIPANT.with(|p| *p.borrow_mut() = None);
+                let mut inner = shared.m.lock();
+                inner.threads[tid].status = ThreadStatus::Finished;
+                if inner.granted == Some(tid) {
+                    inner.granted = None;
+                }
+                shared.cv.notify_all();
+                drop(inner);
+                r
+            })
+            .expect("spawn schedule participant");
+        OpHandle { handle }
+    }
+
+    /// Wait until no participant is running ([`ThreadStatus::Starting`] or
+    /// [`ThreadStatus::Running`]), classifying any that remain busy past
+    /// `grace` as [`ThreadStatus::Blocked`]. Returns the schedulable set:
+    /// `(tid, point)` for every participant parked at a point, sorted by
+    /// tid (deterministic enumeration order for the explorer).
+    pub fn quiesce(&self, grace: Duration) -> Vec<(usize, String)> {
+        let mut inner = self.shared.m.lock();
+        let deadline = Instant::now() + grace;
+        loop {
+            // Blocked counts as busy too: a previously blocked thread whose
+            // blocker just released may be mid-flight towards its next
+            // point (or towards finishing), and returning before it settles
+            // would race the schedulable-set snapshot. If it is still stuck
+            // at the deadline it is (re-)classified Blocked and skipped.
+            let busy = inner.threads.iter().any(|t| {
+                matches!(
+                    t.status,
+                    ThreadStatus::Starting | ThreadStatus::Running | ThreadStatus::Blocked
+                )
+            });
+            if !busy {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let state = &mut *inner;
+                for (i, t) in state.threads.iter_mut().enumerate() {
+                    if matches!(t.status, ThreadStatus::Starting | ThreadStatus::Running) {
+                        t.status = ThreadStatus::Blocked;
+                        if state.granted == Some(i) {
+                            state.granted = None;
+                        }
+                    }
+                }
+                break;
+            }
+            self.shared.cv.wait_for(&mut inner, deadline - now);
+        }
+        inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match &t.status {
+                ThreadStatus::AtPoint(p) => Some((i, p.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Grant the run token to the participant parked at a point. Records
+    /// the `(tid, label, point)` segment in the executed trace. Returns
+    /// `false` (and grants nothing) if `tid` is not currently parked.
+    pub fn step(&self, tid: usize) -> bool {
+        let mut inner = self.shared.m.lock();
+        let Some(t) = inner.threads.get(tid) else {
+            return false;
+        };
+        let ThreadStatus::AtPoint(point) = t.status.clone() else {
+            return false;
+        };
+        let label = t.label.clone();
+        inner.trace.push(TraceEvent { tid, label, point });
+        // Mark running *here* so an immediately following `quiesce` cannot
+        // observe a stale parked status before the thread wakes.
+        inner.threads[tid].status = ThreadStatus::Running;
+        inner.granted = Some(tid);
+        self.shared.cv.notify_all();
+        true
+    }
+
+    /// Snapshot of every participant's `(label, status)`, indexed by tid.
+    pub fn statuses(&self) -> Vec<(String, ThreadStatus)> {
+        self.shared
+            .m
+            .lock()
+            .threads
+            .iter()
+            .map(|t| (t.label.clone(), t.status.clone()))
+            .collect()
+    }
+
+    /// True when every participant has finished.
+    pub fn all_finished(&self) -> bool {
+        self.shared
+            .m
+            .lock()
+            .threads
+            .iter()
+            .all(|t| t.status == ThreadStatus::Finished)
+    }
+
+    /// The executed trace so far: the sequence of granted segments.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.shared.m.lock().trace.clone()
+    }
+}
+
+impl Drop for Controller {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.m.lock();
+            inner.active = false;
+            inner.granted = None;
+            self.shared.cv.notify_all();
+        }
+        ARMED.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -312,5 +641,116 @@ mod tests {
         assert_eq!(armed_count(), before);
         g1.release();
         assert!(!is_armed(NAME));
+    }
+
+    const GRACE: Duration = Duration::from_millis(200);
+
+    #[test]
+    fn controller_serializes_participants() {
+        let ctl = Controller::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        let h1 = ctl.spawn("a", move || {
+            o1.lock().push("a1");
+            point("ctl.test.mid");
+            o1.lock().push("a2");
+        });
+        let h2 = ctl.spawn("b", move || {
+            o2.lock().push("b1");
+        });
+        // Both park at OP_START before anything runs.
+        let runnable = ctl.quiesce(GRACE);
+        assert_eq!(runnable.len(), 2);
+        assert!(runnable.iter().all(|(_, p)| p == OP_START));
+        assert!(order.lock().is_empty());
+
+        // Schedule: a to its mid point, then b to completion, then a.
+        assert!(ctl.step(0));
+        let runnable = ctl.quiesce(GRACE);
+        assert_eq!(runnable, vec![(0, "ctl.test.mid".to_string()), (1, OP_START.to_string())]);
+        assert!(ctl.step(1));
+        ctl.quiesce(GRACE);
+        assert!(ctl.step(0));
+        ctl.quiesce(GRACE);
+        assert!(ctl.all_finished());
+
+        let trace: Vec<(usize, String)> =
+            ctl.trace().into_iter().map(|e| (e.tid, e.point)).collect();
+        assert_eq!(
+            trace,
+            vec![
+                (0, OP_START.to_string()),
+                (1, OP_START.to_string()),
+                (0, "ctl.test.mid".to_string()),
+            ]
+        );
+        drop(ctl);
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(*order.lock(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn controller_drop_releases_participants() {
+        let ctl = Controller::new();
+        let h = ctl.spawn("free", || {
+            point("ctl.test.never_granted");
+            42
+        });
+        ctl.quiesce(GRACE);
+        drop(ctl); // never granted anything: drop must set it free
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn controller_classifies_blocked_participants() {
+        let ctl = Controller::new();
+        let lock = Arc::new(Mutex::new(()));
+        let l1 = lock.clone();
+        let l2 = lock.clone();
+        let h1 = ctl.spawn("holder", move || {
+            let _g = l1.lock();
+            point("ctl.test.in_lock"); // parks while holding the lock
+        });
+        let h2 = ctl.spawn("blocked", move || {
+            let _g = l2.lock();
+        });
+        ctl.quiesce(GRACE);
+        assert!(ctl.step(0)); // holder runs into the lock, parks inside it
+        ctl.quiesce(GRACE);
+        assert!(ctl.step(1)); // blocked runs into the held lock
+        let runnable = ctl.quiesce(Duration::from_millis(100));
+        // Only the holder is schedulable; the other is Blocked.
+        assert_eq!(runnable.len(), 1);
+        assert_eq!(runnable[0].0, 0);
+        assert_eq!(ctl.statuses()[1].1, ThreadStatus::Blocked);
+        assert!(ctl.step(0)); // holder finishes, lock drops, blocked resumes
+        ctl.quiesce(GRACE);
+        assert!(ctl.all_finished());
+        drop(ctl);
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn controller_reports_participant_panic() {
+        let ctl = Controller::new();
+        let h = ctl.spawn("boom", || panic!("planted failure"));
+        ctl.quiesce(GRACE);
+        assert!(ctl.step(0));
+        ctl.quiesce(GRACE);
+        assert!(ctl.all_finished());
+        drop(ctl);
+        let err = h.join().unwrap_err();
+        assert!(err.contains("planted failure"), "{err}");
+    }
+
+    #[test]
+    fn non_participants_ignore_live_controllers() {
+        let ctl = Controller::new(); // elevates ARMED
+        let t = Instant::now();
+        point("ctl.test.outsider"); // not a participant, not an armed gate
+        assert!(t.elapsed() < Duration::from_millis(50));
+        drop(ctl);
     }
 }

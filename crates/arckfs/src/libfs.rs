@@ -270,6 +270,10 @@ impl LibFs {
             }
         }
         let _m = mi.meta.lock();
+        // Schedule point inside the full §4.3 revival lock order, before the
+        // kernel re-acquire: schedmc explores what racing ops observe while
+        // the inode is held Released with every lock pinned.
+        inject::point("libfs.revive.rebuild");
 
         let grant = self.kernel.acquire(self.id, mi.ino)?;
         let raw = format::read_inode(self.kernel.device(), &self.geom, mi.ino)
@@ -512,6 +516,11 @@ impl LibFs {
             let g0 = dir.dcache_gen();
             let meta = self.dir_lookup(dir, name)?;
             if let Some(m) = &meta {
+                // Schedule point in the fill window: between the generation
+                // snapshot + authoritative lookup above and the slot publish
+                // below. schedmc races a same-name rename through here to
+                // check stale fills can only miss, never lie.
+                inject::point("dcache.fill.publish");
                 self.dcache.insert(dir, g0, name, m.ino);
             }
             Ok(meta.map(|m| m.ino))
@@ -1368,12 +1377,18 @@ impl FileSystem for LibFs {
             }
             // O_APPEND: every write lands at end-of-file regardless of the
             // requested offset, as in POSIX.
-            let offset = if entry.flags.append {
+            if entry.flags.append {
+                if self.config.fix_append_atomic {
+                    return self.file_append(&mi, buf).map(|_| buf.len());
+                }
+                // Buggy original: the EOF offset is snapshotted *before*
+                // file_write_at takes the write lock, so two concurrent
+                // appenders can read the same size and overlap.
                 let mapping = mi.mapping_handle();
-                self.file_size(&mi, &mapping)?
-            } else {
-                offset
-            };
+                let offset = self.file_size(&mi, &mapping)?;
+                inject::point("file.append.offset_read");
+                return self.file_write_at(&mi, buf, offset);
+            }
             self.file_write_at(&mi, buf, offset)
         })
     }
@@ -1385,11 +1400,16 @@ impl FileSystem for LibFs {
             if !entry.flags.write {
                 return Err(FsError::BadAccessMode);
             }
-            // The file write lock serializes concurrent appends; the offset
-            // is read under it inside file_write_at via the size field. Here
-            // we take the simple approach: lock, compute, write.
+            if self.config.fix_append_atomic {
+                // EOF read and write happen under one hold of the file
+                // write lock (see `file_append`).
+                return self.file_append(&mi, buf);
+            }
+            // Buggy original: offset snapshot races the lock acquisition
+            // inside file_write_at — the TOCTOU schedmc found.
             let mapping = mi.mapping_handle();
             let offset = self.file_size(&mi, &mapping)?;
+            inject::point("file.append.offset_read");
             self.file_write_at(&mi, buf, offset)?;
             Ok(offset)
         })

@@ -140,6 +140,22 @@ pub fn check_exhaustive(
     check_sampled(device, samples, 0xc0ffee).map(Some)
 }
 
+/// Exhaustive when the state space fits under `exhaustive_limit`, sampled
+/// (`samples` draws from `seed`) otherwise. This is the oracle shape the
+/// schedule explorer wants at every schedule point: full coverage of the
+/// small per-step spaces, graceful degradation on the rare large ones.
+pub fn check_bounded(
+    device: &Arc<PmemDevice>,
+    exhaustive_limit: u64,
+    samples: usize,
+    seed: u64,
+) -> Result<CrashReport, CrashMcError> {
+    match check_exhaustive(device, exhaustive_limit)? {
+        Some(report) => Ok(report),
+        None => check_sampled(device, samples, seed),
+    }
+}
+
 /// Check the *durable image as-is* (no pending-store choice): what a crash
 /// after a full quiesce would recover.
 pub fn check_durable(device: &Arc<PmemDevice>) -> Result<CrashReport, CrashMcError> {

@@ -492,12 +492,41 @@ impl Report {
         })
     }
 
+    /// [`Report::to_json`] plus caller-supplied top-level extension blocks
+    /// (e.g. `schedmc`'s coverage counters), merged into the same
+    /// `obs-report-v1` object. Extension keys must not collide with the
+    /// base schema (`schema`/`label`/`ops`); base keys win on collision.
+    pub fn to_json_ext(
+        &self,
+        label: &str,
+        extensions: &[(&str, serde_json::Value)],
+    ) -> serde_json::Value {
+        let mut v = self.to_json(label);
+        if let serde_json::Value::Object(obj) = &mut v {
+            for (key, value) in extensions {
+                if obj.get(key).is_none() {
+                    obj.insert((*key).to_string(), value.clone());
+                }
+            }
+        }
+        v
+    }
+
     /// Write `results/obs_<label>.json` (best effort, like
     /// `bench::record_json`). Returns the path written.
     pub fn write_json(&self, label: &str) -> std::io::Result<String> {
+        self.write_json_ext(label, &[])
+    }
+
+    /// [`Report::write_json`] with extension blocks ([`Report::to_json_ext`]).
+    pub fn write_json_ext(
+        &self,
+        label: &str,
+        extensions: &[(&str, serde_json::Value)],
+    ) -> std::io::Result<String> {
         std::fs::create_dir_all("results")?;
         let path = format!("results/obs_{label}.json");
-        let text = serde_json::to_string_pretty(&self.to_json(label))
+        let text = serde_json::to_string_pretty(&self.to_json_ext(label, extensions))
             .unwrap_or_else(|_| "{}".to_string());
         std::fs::write(&path, text + "\n")?;
         Ok(path)

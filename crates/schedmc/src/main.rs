@@ -1,0 +1,69 @@
+//! `schedmc` CLI: run the vocabulary sweep and export coverage.
+//!
+//! Default is the quick CI mode (all op pairs, preemption bound 2,
+//! seeded, time-budgeted). `ARCKFS_SCHEDMC_DEEP=1` switches to the deep
+//! sweep (all op triples, bound 3). Exits non-zero when any schedule
+//! fails an oracle; coverage lands in `results/obs_schedmc.json`.
+
+use schedmc::ExploreOpts;
+
+fn main() {
+    let deep = std::env::var("ARCKFS_SCHEDMC_DEEP").is_ok_and(|v| v == "1");
+    obs::enable();
+
+    let (mode, opts) = if deep {
+        ("deep (triples)", ExploreOpts::deep())
+    } else {
+        ("quick (pairs)", ExploreOpts::quick())
+    };
+    eprintln!(
+        "schedmc: {mode} sweep, preemption bound {}, seed {:#x}",
+        opts.preemption_bound, opts.seed
+    );
+
+    let report = if deep {
+        schedmc::explore_vocabulary_triples(&opts)
+    } else {
+        schedmc::explore_vocabulary(&opts)
+    };
+
+    eprintln!(
+        "schedmc: {} schedules, {} distinct points hit, {} crash states checked (max space {}){}",
+        report.schedules,
+        report.points_hit.len(),
+        report.crash_states_checked,
+        report.state_space_max,
+        if report.truncated {
+            ", truncated by budget"
+        } else {
+            ""
+        }
+    );
+
+    if let Err(e) = obs::report().write_json_ext(
+        "schedmc",
+        &[("schedmc", report.to_json())],
+    ) {
+        eprintln!("schedmc: failed to write obs json: {e}");
+    }
+
+    if report.is_clean() {
+        eprintln!("schedmc: all schedules passed all oracles");
+        return;
+    }
+    eprintln!("schedmc: {} failing schedule(s):", report.failures.len());
+    for f in &report.failures {
+        let ops: Vec<&str> = f.ops.iter().map(|o| o.name()).collect();
+        eprintln!(
+            "  [{}] ops=({}) schedule={:?} preemptions={} seed={:#x}\n    {}\n    replay: {}",
+            f.kind.name(),
+            ops.join(", "),
+            f.schedule,
+            f.preemptions,
+            f.seed,
+            f.detail.replace('\n', "\n    "),
+            f.replay_snippet()
+        );
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,249 @@
+//! Regressions promoted from `schedmc` exploration runs.
+//!
+//! Unlike `tests/bugs.rs`, which scripts the paper's §4 interleavings by
+//! hand, these tests are the output of *systematic* schedule exploration:
+//! each failing test pins the exact choice sequence the explorer found
+//! (minimal in preemptions by construction) and replays it with
+//! [`schedmc::replay`]; each exonerating test pins a suspected-racy window
+//! and asserts the explorer covers it and finds nothing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use arckfs::delegate::DelegationPool;
+use arckfs::{inject, Config};
+use pmem::{Mapping, MappingRegistry, PmemDevice};
+use schedmc::{explore, replay, ExploreOpts, FailureKind, Op};
+
+/// Small deterministic options for in-test exploration: no wall-clock
+/// budget (results must not depend on machine load), crash oracle off
+/// unless the test is about crash states.
+fn opts(config: Config) -> ExploreOpts {
+    ExploreOpts {
+        preemption_bound: 2,
+        max_schedules: 128,
+        max_steps: 64,
+        grace: Duration::from_millis(10),
+        crash_oracle: false,
+        crash_exhaustive_limit: 32,
+        crash_samples: 8,
+        seed: 0xa5c3,
+        budget: None,
+        config,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration sanity: the quick sweep's core claim, pinned as a test
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pair_exploration_is_exhaustive_and_clean_on_arckfs_plus() {
+    let report = explore(&[Op::Create, Op::Unlink], &opts(Config::arckfs_plus()));
+    assert!(
+        !report.truncated,
+        "bound-2 pair space must be fully enumerated"
+    );
+    assert!(
+        report.schedules > 1,
+        "two racing ops admit more than one interleaving"
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+    // Both participants were actually scheduled through their points.
+    assert_eq!(report.points_hit["ctl.op.start"], 2 * report.schedules as u64);
+    assert!(report.points_hit.contains_key("dir.insert.core_write"));
+}
+
+// ---------------------------------------------------------------------------
+// Found by schedmc: O_APPEND offset TOCTOU (not in the paper's Table 1)
+// ---------------------------------------------------------------------------
+
+/// With the fix off, two appenders can both read EOF before either writes:
+/// the writes overlap and the final file matches no serial order. The
+/// explorer finds this within preemption bound 2.
+#[test]
+fn append_toctou_found_with_fix_off() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.fix_append_atomic = false;
+    let report = explore(&[Op::Append, Op::Append], &opts(cfg.clone()));
+    let found = report
+        .failures
+        .iter()
+        .find(|f| f.kind == FailureKind::SpecDivergence)
+        .unwrap_or_else(|| panic!("explorer must find the overlap: {:?}", report.failures));
+    assert!(
+        found.detail.contains("/d/f0"),
+        "divergence must be in the appended file: {}",
+        found.detail
+    );
+
+    // The minimized schedule replays deterministically...
+    let again = replay(&[Op::Append, Op::Append], &found.schedule, &opts(cfg));
+    assert!(!again.diverged_from_schedule);
+    assert_eq!(
+        again.failure.as_ref().map(|f| f.kind),
+        Some(FailureKind::SpecDivergence),
+        "{:?}",
+        again.failure
+    );
+
+    // ...and the same schedule is clean with the fix on.
+    let fixed = replay(
+        &[Op::Append, Op::Append],
+        &found.schedule,
+        &opts(Config::arckfs_plus()),
+    );
+    assert!(fixed.failure.is_none(), "{:?}", fixed.failure);
+}
+
+#[test]
+fn append_space_is_clean_with_fix_on() {
+    let report = explore(&[Op::Append, Op::Append], &opts(Config::arckfs_plus()));
+    assert!(!report.truncated);
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+// ---------------------------------------------------------------------------
+// Rediscovery: the crash oracle finds §4.2 without being told where to look
+// ---------------------------------------------------------------------------
+
+/// The §4.2 missing fence corrupts nothing while the system runs; only the
+/// crash oracle sees it. A single `create` under the unfixed config is
+/// enough: at some schedule point a crash state has a durable commit
+/// marker naming never-persisted dentry bytes.
+#[test]
+fn crash_oracle_rediscovers_missing_fence() {
+    let mut o = opts(Config::arckfs());
+    o.crash_oracle = true;
+    // The pending-store space of a mid-create park includes unrelated
+    // lines (inode init, tail slot), so it can exceed the quick-mode
+    // exhaustive limit; a handful of samples can then miss the one fatal
+    // combination. This test is about the oracle's *verdict*, not its
+    // budget — raise the bounds so coverage of the space is certain.
+    o.crash_exhaustive_limit = 4096;
+    o.crash_samples = 64;
+    let report = explore(&[Op::Create], &o);
+    assert!(
+        report
+            .failures
+            .iter()
+            .any(|f| f.kind == FailureKind::CrashInconsistent),
+        "crash oracle must flag the §4.2 window: {:?}",
+        report.failures
+    );
+
+    let mut o = opts(Config::arckfs().with_fix("4.2", true));
+    o.crash_oracle = true;
+    o.crash_exhaustive_limit = 4096;
+    o.crash_samples = 64;
+    let report = explore(&[Op::Create], &o);
+    assert!(report.is_clean(), "{:?}", report.failures);
+    assert!(report.crash_states_checked > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Exonerations: suspected windows the explorer covered and cleared
+// ---------------------------------------------------------------------------
+
+/// Suspect: a dcache fill (`lookup_child` publishing `dir/name → ino`)
+/// racing a rename of that very name could publish a stale entry that
+/// *lies* (resolves a name `readdir` no longer lists). The explorer drives
+/// every bound-2 interleaving through `dcache.fill.publish` against the
+/// rename and the coherence probe finds no lie: a stale entry can only
+/// miss (generation check) — never resolve wrongly.
+#[test]
+fn dcache_fill_vs_rename_exonerated() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.dcache = true; // force on even under ARCKFS_DCACHE=0 CI runs
+    let report = explore(&[Op::OpenAt, Op::Rename], &opts(cfg));
+    assert!(!report.truncated);
+    assert!(
+        report.points_hit.get("dcache.fill.publish").copied() >= Some(1),
+        "the suspected window must actually be scheduled through: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+/// Suspect: §4.3's revival path (`revive_inode` rebuilding auxiliary
+/// state) racing a voluntary release of the same directory. Covered
+/// clean under the patched config.
+#[test]
+fn release_vs_revive_window_exonerated() {
+    let report = explore(&[Op::Release, Op::Revive], &opts(Config::arckfs_plus()));
+    assert!(!report.truncated);
+    assert!(
+        report.points_hit.get("libfs.revive.rebuild").copied() >= Some(1),
+        "revival window must be scheduled through: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+// ---------------------------------------------------------------------------
+// Found by the crashmc sweep: delegated writes and the completion fence
+// ---------------------------------------------------------------------------
+
+/// `Ticket::wait` returning means the delegated bytes are durable — the
+/// workers fence before dropping the completion count. Checked at the
+/// pool level because the caller issues *no* fence of its own here: on a
+/// tracked device a missing worker fence leaves the ntstores pending and
+/// the crash-state count above 1.
+#[test]
+fn delegated_write_is_durable_when_wait_returns() {
+    let dev = PmemDevice::new_tracked(4 << 20);
+    let reg = Arc::new(MappingRegistry::new());
+    let m = Mapping::new(dev.clone(), reg, 0, 4 << 20);
+    let pool = DelegationPool::new(2);
+
+    let data = vec![0xabu8; 600 * 1024]; // > 2 chunks: exercises both workers
+    pool.submit(&m, 4096, &data).unwrap().wait().unwrap();
+    // Deliberately NO m.sfence() here.
+
+    assert_eq!(
+        dev.crash_state_count().unwrap(),
+        1,
+        "delegated stores must be fenced by the workers themselves"
+    );
+    let img = dev.persistent_image().unwrap();
+    assert!(
+        img[4096..4096 + data.len()].iter().all(|b| *b == 0xab),
+        "payload must be in the persistent image, not just the volatile one"
+    );
+}
+
+/// Lost-wakeup audit for the completion protocol, pinned as a schedule:
+/// park the worker *between* finishing its chunk and decrementing the
+/// count, let the waiter observe `remaining == 1` and block on the
+/// condvar, then release the worker. The notify happens under the condvar
+/// lock, so the waiter must wake.
+#[test]
+fn completion_notify_cannot_be_lost() {
+    let dev = PmemDevice::new(1 << 20);
+    let reg = Arc::new(MappingRegistry::new());
+    let m = Mapping::new(dev, reg, 0, 1 << 20);
+    let pool = DelegationPool::new(1);
+
+    let gate = inject::arm("delegate.complete.pre_finish");
+    let ticket = pool.submit(&m, 0, &vec![7u8; 16 * 1024]).unwrap();
+    assert!(
+        gate.wait_reached(Duration::from_secs(5)),
+        "worker must reach the pre-decrement window"
+    );
+
+    let waiter = std::thread::spawn(move || ticket.wait());
+    // Give the waiter time to check `remaining` and park on the condvar —
+    // the historical lost-wakeup shape.
+    std::thread::sleep(Duration::from_millis(50));
+    gate.release();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !waiter.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "waiter never woke: completion notify was lost"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    waiter.join().unwrap().unwrap();
+}
