@@ -5,9 +5,13 @@
 # stand-ins under vendor/ (the build environment cannot reach crates.io),
 # so no pre-warmed registry is required. Run from the repository root.
 #
-# The test suite runs twice: once with the dentry cache enabled (the
-# default) and once with ARCKFS_DCACHE=0, so the lock-free resolution
-# path and the plain locked walk both stay green.
+# The test suite runs three times: once with the dentry cache enabled
+# (the default), once with ARCKFS_DCACHE=0 so the lock-free resolution
+# path and the plain locked walk both stay green, and once with
+# ARCKFS_BATCH=1 so group durability (fence-coalescing batch commit,
+# DESIGN.md §8) is exercised by the whole suite, not just its own tests.
+# The batch_sweep smoke pins the fence-coalescing win itself: the binary
+# asserts the >= 4x create-path sfence reduction at batch size 8.
 #
 # The schedmc step exhaustively explores every 2-op interleaving of the
 # explorer vocabulary at preemption bound 2 (seeded, time-budgeted,
@@ -19,6 +23,8 @@ set -eux
 cargo build --release
 ARCKFS_DCACHE=1 cargo test -q --workspace
 ARCKFS_DCACHE=0 cargo test -q --workspace
+ARCKFS_BATCH=1 cargo test -q --workspace
+BENCH_ITERS=2000 cargo run --release -q -p bench --bin batch_sweep
 ARCKFS_SCHEDMC_DEEP=0 cargo run --release -q -p schedmc
 if [ "${ARCKFS_SCHEDMC_DEEP:-0}" = "1" ]; then
     ARCKFS_SCHEDMC_DEEP=1 cargo run --release -q -p schedmc

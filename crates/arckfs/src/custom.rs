@@ -147,6 +147,10 @@ impl FileSystem for PathCacheFs {
         self.inner.fsync(fd)
     }
 
+    fn sync(&self) -> FsResult<()> {
+        self.inner.sync()
+    }
+
     fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
         self.inner.truncate(fd, size)
     }
@@ -403,6 +407,15 @@ impl FileSystem for AppendBufferFs {
         // THE commit point: everything buffered becomes durable here.
         self.flush_fd(fd)?;
         self.inner.fsync(fd)
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        // Drain every descriptor's buffer, then the inner barrier.
+        let fds: Vec<u64> = self.buffers.lock().keys().copied().collect();
+        for fd in fds {
+            self.flush_fd(Fd(fd))?;
+        }
+        self.inner.sync()
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {

@@ -263,6 +263,10 @@ impl LibFs {
         data: &[u8],
         offset: u64,
     ) -> FsResult<usize> {
+        // Delegation submit is a visibility event for group durability
+        // (DESIGN.md §8): the worker threads observe and persist state on
+        // this LibFS's behalf, so every open commit batch closes first.
+        self.flush_all_batches();
         let mut tickets = Vec::new();
         let mut done = 0usize;
         while done < data.len() {

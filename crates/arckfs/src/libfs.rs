@@ -42,6 +42,10 @@ struct DirScan {
     stale: Vec<u64>,
     /// Offsets of tombstoned slots available for reuse.
     reusable: Vec<u64>,
+    /// Offsets of records above a nonzero batch watermark: members of a
+    /// group-durability batch that never fenced (DESIGN.md §8). Recovery
+    /// erases them (and clears the watermark) before the index goes live.
+    gated: Vec<u64>,
     /// Per-tail append positions rebuilt from the page chains.
     tails: Vec<crate::inode::Tail>,
     /// Highest dentry sequence number observed in the log.
@@ -59,7 +63,7 @@ pub struct LibFs {
     pub(crate) base_mapping: Mapping,
     pub(crate) rcu: Arc<Rcu>,
     pub(crate) uid: u32,
-    inodes: RwLock<HashMap<u64, Arc<MemInode>>>,
+    pub(crate) inodes: RwLock<HashMap<u64, Arc<MemInode>>>,
     /// Serializes §4.3 re-acquisition ([`LibFs::revive_inode`]) so two
     /// threads racing to revive the same released inode cannot double-issue
     /// the kernel acquire or interleave their auxiliary-state rebuilds.
@@ -299,6 +303,12 @@ impl LibFs {
             // exclusive guards taken above.
             let scan = self.scan_dir_log(&raw)?;
             max_seq = scan.max_seq;
+            if raw.batch_seq != 0 {
+                // Defensive: a released directory's batch was closed by the
+                // release quiesce, so residue here means another LibFS (or
+                // a crash) left an open batch behind. Same repair as mount.
+                self.erase_batch_residue(&grant.mapping, mi.ino, &scan.gated)?;
+            }
             for off in &scan.stale {
                 self.tombstone_dentry_core(&grant.mapping, *off)?;
             }
@@ -325,7 +335,9 @@ impl LibFs {
                 live += 1;
             }
             ds.live.store(live, Ordering::SeqCst);
-            *ds.free_slots.lock() = scan.reusable;
+            let mut reusable = scan.reusable;
+            reusable.extend(&scan.gated);
+            *ds.free_slots.lock() = reusable;
             for (guard, rebuilt) in tails.iter_mut().zip(scan.tails) {
                 **guard = rebuilt;
             }
@@ -396,6 +408,12 @@ impl LibFs {
         let scan = self.scan_dir_log(raw)?;
 
         let mapping = &self.base_mapping;
+        if raw.batch_seq != 0 {
+            // Open-batch crash residue: erase the gated records and clear
+            // the watermark before this directory's index goes live.
+            self.erase_batch_residue(mapping, raw.marker, &scan.gated)?;
+            ds.free_slots.lock().extend(&scan.gated);
+        }
         for off in &scan.stale {
             self.tombstone_dentry_core(mapping, *off)?;
         }
@@ -427,44 +445,72 @@ impl LibFs {
     /// existing one under its exclusive guards.
     fn scan_dir_log(&self, raw: &format::RawInode) -> FsResult<DirScan> {
         let device = self.kernel.device();
-        let mut best: HashMap<String, (u64, u64, u64)> = HashMap::new(); // name -> (seq, ino, off)
+        // name -> (seq, ino, off, deleted). Resolution runs over *every*
+        // committed record, deletions included: a batched unlink/rename is
+        // a negative record whose in-place tombstone of the superseded
+        // entry may not have reached PM before a crash, so "live record"
+        // alone cannot be trusted — the highest sequence number per name
+        // decides, and a deleted winner means the name is dead.
+        let mut best: HashMap<String, (u64, u64, u64, bool)> = HashMap::new();
         let mut scan = DirScan {
             live: Vec::new(),
             stale: Vec::new(),
             reusable: Vec::new(),
+            gated: Vec::new(),
             tails: vec![crate::inode::Tail::default(); raw.ntails.max(1) as usize],
             max_seq: 0,
         };
+        let wm = raw.batch_seq;
         format::walk_dir_log(device, &self.geom, raw, |d| {
-            if d.marker != 0 {
-                scan.max_seq = scan.max_seq.max(d.seq);
+            if d.marker == 0 {
+                return;
             }
-            if !d.is_live() {
-                if d.marker != 0 {
-                    scan.reusable.push(d.offset);
-                }
+            scan.max_seq = scan.max_seq.max(d.seq);
+            if wm != 0 && d.seq > wm {
+                // Unfenced member of an open batch (DESIGN.md §8): crash
+                // residue, whatever its payload says.
+                scan.gated.push(d.offset);
                 return;
             }
             let name = match d.name_str() {
                 Some(n) => n.to_string(),
-                None => return, // recovery skips corrupt residue
+                None => {
+                    // Corrupt residue: recovery skips live records, and a
+                    // deleted record's slot is plainly reusable.
+                    if d.deleted {
+                        scan.reusable.push(d.offset);
+                    }
+                    return;
+                }
+            };
+            // The loser of a resolution keeps needing a repair tombstone
+            // if it is live; a deleted loser's slot is simply reusable.
+            let mut retire = |off: u64, deleted: bool| {
+                if deleted {
+                    scan.reusable.push(off);
+                } else {
+                    scan.stale.push(off);
+                }
             };
             match best.get(&name) {
-                Some(&(seq, _, off)) if d.seq > seq => {
-                    scan.stale.push(off);
-                    best.insert(name, (d.seq, d.ino, d.offset));
+                Some(&(seq, _, off, del)) if d.seq > seq => {
+                    retire(off, del);
+                    best.insert(name, (d.seq, d.ino, d.offset, d.deleted));
                 }
-                Some(_) => scan.stale.push(d.offset),
+                Some(_) => retire(d.offset, d.deleted),
                 None => {
-                    best.insert(name, (d.seq, d.ino, d.offset));
+                    best.insert(name, (d.seq, d.ino, d.offset, d.deleted));
                 }
             }
         })
         .map_err(FsError::Corrupted)?;
-        scan.live = best
-            .into_iter()
-            .map(|(name, (_, child, off))| (name, child, off))
-            .collect();
+        for (name, (_, child, off, deleted)) in best {
+            if deleted {
+                scan.reusable.push(off);
+            } else {
+                scan.live.push((name, child, off));
+            }
+        }
 
         // Tail append positions: last page of each chain and the slot
         // index one past the last committed record.
@@ -498,6 +544,27 @@ impl LibFs {
         Ok(scan)
     }
 
+    /// Erase the crash residue of an open group-durability batch
+    /// (DESIGN.md §8): zero the commit marker of every gated record, fence,
+    /// then clear the directory's watermark and fence again. The order
+    /// matters — a crash must never expose a cleared watermark while a
+    /// gated record still looks committed. The erased slots are holes
+    /// afterwards and are returned for reuse by the caller.
+    fn erase_batch_residue(&self, mapping: &Mapping, ino: u64, gated: &[u64]) -> FsResult<()> {
+        for &off in gated {
+            mapping
+                .write_u16(off + format::D_MARKER, 0)
+                .map_err(crate::dir::map_fault)?;
+            mapping.clwb(off, 2).map_err(crate::dir::map_fault)?;
+        }
+        mapping.sfence();
+        let field = self.geom.inode_offset(ino) + format::I_BATCH_SEQ;
+        mapping.write_u64(field, 0).map_err(crate::dir::map_fault)?;
+        mapping.clwb(field, 8).map_err(crate::dir::map_fault)?;
+        mapping.sfence();
+        Ok(())
+    }
+
     // ---- path resolution -----------------------------------------------------
 
     /// Look up one path component under `dir`, consulting the lock-free
@@ -506,6 +573,11 @@ impl LibFs {
     /// lookup; every other outcome falls back to it and (when still
     /// fresh) publishes the translation for the next walk.
     pub(crate) fn lookup_child(&self, dir: &Arc<MemInode>, name: &str) -> FsResult<Option<u64>> {
+        // Group-durability visibility barrier (DESIGN.md §8): an entry must
+        // not become observable through a lookup while the batch that wrote
+        // it could still roll it back on crash. The lock-free `is_open`
+        // probe inside keeps the quiescent cost at one atomic load.
+        self.close_batch_if_open(dir);
         if self.config.dcache {
             if let Some(child) = self.dcache.lookup(dir, name) {
                 return Ok(Some(child));
@@ -654,6 +726,10 @@ impl LibFs {
         // newly registered child so later commits/releases of it work.
         let mut to_commit = cur;
         while let Some(child) = chain.pop() {
+            // The verifier parses the directory's committed log view, so an
+            // open batch (whose deferred tombstones have not run yet) must
+            // close before the kernel looks.
+            self.close_batch_if_open(&to_commit);
             self.kernel.commit(self.id, to_commit.ino)?;
             to_commit = child;
         }
@@ -674,8 +750,10 @@ impl LibFs {
                 // The new parent itself may still be unknown to the kernel
                 // (created this session): connect it first (Rule (1)), then
                 // commit it (Rule (2)).
-                if let Some(mi) = self.inodes.read().get(&new_parent).cloned() {
+                let mi = self.inodes.read().get(&new_parent).cloned();
+                if let Some(mi) = mi {
                     self.ensure_connected(&mi)?;
+                    self.close_batch_if_open(&mi);
                 }
                 self.kernel.commit(self.id, new_parent)?;
             }
@@ -712,8 +790,10 @@ impl LibFs {
             // Rule (1): connect via the parent before releasing the child.
             let parent_ino = mi.parent.load(Ordering::SeqCst);
             if parent_ino != 0 {
-                if let Some(parent) = self.inodes.read().get(&parent_ino).cloned() {
+                let parent = self.inodes.read().get(&parent_ino).cloned();
+                if let Some(parent) = parent {
                     self.ensure_connected(&parent)?;
+                    self.close_batch_if_open(&parent);
                     self.kernel.commit(self.id, parent_ino)?;
                 }
             }
@@ -739,6 +819,11 @@ impl LibFs {
                 }
             }
             let _m = mi.meta.lock();
+            // Close the directory's commit batch while the mapping is still
+            // valid and every member is quiesced (we hold the bucket table
+            // exclusively). After this, a racing standalone closer finds
+            // the batch already closed and backs off.
+            self.close_batch_quiesced(&mi);
             mi.mark_released();
             // Cached translations under a released directory must stop
             // validating: another LibFS may mutate it while released, and
@@ -789,6 +874,7 @@ impl LibFs {
         if self.config.fix_rename {
             self.ensure_connected(&mi)?;
         }
+        self.close_batch_if_open(&mi);
         self.kernel.commit(self.id, mi.ino)
     }
 
@@ -803,6 +889,9 @@ impl LibFs {
     /// the kernel does not yet know the children (Rule (1) ordering), then
     /// unregister.
     pub fn unmount(&self) -> FsResult<()> {
+        // Unmount is a global visibility event: every batched metadata
+        // operation becomes durable before any inode is handed back.
+        self.flush_all_batches();
         // Hand unused grants back first so they are not force-released.
         let inos: Vec<u64> = self.ino_pool.lock().drain(..).map(|(i, _)| i).collect();
         if !inos.is_empty() {
@@ -926,6 +1015,7 @@ impl LibFs {
                 // Rule (3): commit the new parent *before* the rename (this
                 // also connects a newly created new parent — Figure 2).
                 self.ensure_connected(&to_parent)?;
+                self.close_batch_if_open(&to_parent);
                 self.kernel.commit(self.id, to_parent.ino)?;
             }
 
@@ -934,6 +1024,14 @@ impl LibFs {
             // The actual relocation in core + auxiliary state: commit the
             // new dentry, then tombstone the old.
             self.dir_insert(&to_parent, to_name, meta.ino, |_| Ok(()))?;
+            // Cross-directory durability order: the new name must be
+            // committed before the old one is removed. Were the insert
+            // still sitting in an open batch when the removal's batch
+            // closed, a crash could roll back just the insert — losing the
+            // file, a state the inline configuration can never reach.
+            if self.config.batch_active() {
+                self.close_batch_if_open(&to_parent);
+            }
             // Once the insert has landed the operation is past the point of
             // no return: replaying the whole rename would find the new name
             // already present. So a §4.3 release of the old parent is
@@ -1194,6 +1292,55 @@ impl LibFs {
             (meta.ino, itype)
         };
 
+        // Group durability (DESIGN.md §8): a batched removal defers the
+        // teardown to its batch close. Until the negative dentry record is
+        // committed, a crash rolls the removal back — and the revived name
+        // must not point at a freed inode, a dangling state the inline
+        // configuration can never expose.
+        if self.config.batch_active() {
+            if itype == InodeType::Directory {
+                // Drain the removed directory's own batch (post actions
+                // included) before its core state can be torn down. The
+                // map guard must drop before the close: its post actions
+                // take the map lock exclusively.
+                let child = self.inodes.read().get(&child_ino).cloned();
+                if let Some(child) = child {
+                    self.close_batch_if_open(&child);
+                }
+            }
+            let pushed = self.batch_push_post(
+                parent,
+                Box::new(move |fs, d| {
+                    let _ = fs.teardown_removed_inode(d, child_ino, itype);
+                    Vec::new()
+                }),
+            );
+            if pushed {
+                return Ok(());
+            }
+            // No batch open: the removal itself crossed a close threshold,
+            // so the negative record is already durable and the inline
+            // teardown below is safe.
+        }
+        self.teardown_removed_inode(parent, child_ino, itype)?;
+
+        if self.config.verify_every_op {
+            self.ensure_connected(parent)?;
+            self.kernel.commit(self.id, parent.ino)?;
+        }
+        Ok(())
+    }
+
+    /// Free an inode whose dentry has been removed: collect and recycle its
+    /// pages, clear its commit marker, hand it back to the kernel, and drop
+    /// the auxiliary state. Runs inline after an unbatched removal, or as a
+    /// batch post action once the removal's negative record has committed.
+    pub(crate) fn teardown_removed_inode(
+        &self,
+        parent: &MemInode,
+        child_ino: u64,
+        itype: InodeType,
+    ) -> FsResult<()> {
         let pm = parent.mapping_handle();
         let ibase = self.geom.inode_offset(child_ino);
         let mut pages = if itype == InodeType::Regular {
@@ -1235,11 +1382,6 @@ impl LibFs {
         // not revoke it (fresh inodes); a revoked one is remapped lazily.
         let mapping = removed.map(|mi| mi.mapping_handle());
         self.recycle_ino(child_ino, mapping);
-
-        if self.config.verify_every_op {
-            self.ensure_connected(parent)?;
-            self.kernel.commit(self.id, parent.ino)?;
-        }
         Ok(())
     }
 
@@ -1417,8 +1559,17 @@ impl FileSystem for LibFs {
 
     fn fsync(&self, _fd: Fd) -> FsResult<()> {
         let _span = obs::span(obs::OpKind::Fsync, self.kernel.device().stats());
-        // §2.2: every operation persists synchronously; fsync returns
-        // immediately.
+        // §2.2: data writes persist synchronously. With group durability
+        // active (DESIGN.md §8), metadata operations may still sit in open
+        // commit batches — fsync is the explicit durability point that
+        // closes them all; otherwise it returns immediately.
+        self.flush_all_batches();
+        Ok(())
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Fsync, self.kernel.device().stats());
+        self.flush_batch();
         Ok(())
     }
 
@@ -1469,6 +1620,9 @@ impl FileSystem for LibFs {
         if mi.itype != InodeType::Directory {
             return Err(FsError::NotADirectory);
         }
+        // Visibility barrier (DESIGN.md §8): enumerating a directory makes
+        // every entry observable, so its open batch must commit first.
+        self.close_batch_if_open(&mi);
         let metas = self.dir_iterate(&mi)?;
         let mut out = Vec::with_capacity(metas.len());
         for m in metas {

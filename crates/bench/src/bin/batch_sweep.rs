@@ -1,0 +1,194 @@
+//! Group-durability sweep: fence cost of the create path as the commit
+//! batch grows (not a paper figure; pins ISSUE 4's acceptance bar).
+//!
+//! Creates files in one directory on otherwise-identical ArckFS+
+//! instances — batching off, then batch sizes 1..=64 — and reports
+//! device-level sfences/op alongside the obs create-row attribution.
+//! With batching on, every create still issues its `clwb`s inline but
+//! the `sfence`s coalesce to three per batch cycle (watermark open +
+//! the close pair), so sfences/op should fall roughly as 3/batch. The
+//! headline is the batch-8 column: it must need at most a quarter of
+//! the fences the inline run pays.
+//!
+//! The off and batch-8 rows are also fed through
+//! [`bench::calibrate_measured`] so the reduced PM-serial fraction
+//! shows up in the USL profile's modelled 48-thread throughput.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use arckfs::{Config, LibFs};
+use bench::{calibrate_measured, per_op, pm_serial_fraction, record_json, FsKind};
+use pmem::{LatencyModel, PmemDevice};
+use vfs::{FileSystem, FsExt};
+
+const DEV: usize = 256 << 20;
+const SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn iters() -> u64 {
+    std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+/// One ArckFS+ instance on an Optane-priced device; `batch_ops` of
+/// `None` runs the inline (batching off) baseline.
+fn build_fs(batch_ops: Option<usize>) -> Arc<LibFs> {
+    let mut config = Config::arckfs_plus();
+    match batch_ops {
+        Some(n) => {
+            config.batch = true;
+            config.batch_ops = n;
+        }
+        None => config.batch = false,
+    }
+    let device = PmemDevice::with_latency(DEV, LatencyModel::optane());
+    let fs = arckfs::new_fs_on(device, config).expect("format").1;
+    fs.mkdir_all("/bench").expect("dir");
+    fs
+}
+
+/// One measured cell: a create loop in `/bench`.
+struct Cell {
+    ns_per_op: f64,
+    sfences: f64,
+    syscalls: f64,
+    lock_acqs: f64,
+    row: Option<obs::KindReport>,
+}
+
+fn create_cell(fs: &Arc<LibFs>) -> Cell {
+    let n = iters();
+    for i in 0..16 {
+        let fd = fs.create(&format!("/bench/warm{i}")).expect("warm");
+        fs.close(fd).expect("close");
+    }
+    // Quiesce the warmup's batch so the measured delta starts clean.
+    fs.sync().expect("sync");
+    obs::reset();
+    let before = fs.stats();
+    let start = Instant::now();
+    for i in 0..n {
+        let fd = fs.create(&format!("/bench/f{i}")).expect("create");
+        fs.close(fd).expect("close");
+    }
+    // Workers (here: this thread) are done; drain the trailing open
+    // batch so the after snapshot covers every create's durability.
+    fs.sync().expect("sync");
+    let ns_per_op = start.elapsed().as_secs_f64() * 1e9 / n as f64;
+    let after = fs.stats();
+    let per = per_op(&after, &before, n);
+    Cell {
+        ns_per_op,
+        sfences: per.fences,
+        syscalls: per.syscalls,
+        lock_acqs: per.lock_acqs,
+        row: obs::report().kind(obs::OpKind::Create).cloned(),
+    }
+}
+
+fn main() {
+    obs::enable();
+    println!(
+        "# Group-durability sweep (create loop, ArckFS+, {} iters/cell)",
+        iters()
+    );
+    println!(
+        "{:>9}  {:>12} {:>12} {:>12} {:>12}  {:>10}",
+        "batch", "ns/op", "sfences/op", "obs sf/op", "proto sf/op", "reduction"
+    );
+
+    let off = create_cell(&build_fs(None));
+    println!(
+        "{:>9}  {:>12.1} {:>12.3} {:>12.3} {:>12}  {:>10}",
+        "off",
+        off.ns_per_op,
+        off.sfences,
+        off.row.as_ref().map_or(0.0, |r| r.sfences_per_op()),
+        "-",
+        "-"
+    );
+    record_json(
+        "batch_sweep",
+        serde_json::json!({
+            "batch": "off", "ns_per_op": off.ns_per_op,
+            "sfences_per_op": off.sfences,
+        }),
+    );
+
+    let mut at8: Option<Cell> = None;
+    for size in SIZES {
+        let cell = create_cell(&build_fs(Some(size)));
+        let reduction = off.sfences / cell.sfences.max(f64::MIN_POSITIVE);
+        // The protocol's fences per cycle: watermark open + close pair.
+        // Measured columns sit this much above zero plus a constant
+        // residual from fences outside the batched create path.
+        let proto = model::amortized_fences(3.0, size);
+        println!(
+            "{size:>9}  {:>12.1} {:>12.3} {:>12.3} {:>12.3}  {:>9.2}x",
+            cell.ns_per_op,
+            cell.sfences,
+            cell.row.as_ref().map_or(0.0, |r| r.sfences_per_op()),
+            proto,
+            reduction
+        );
+        record_json(
+            "batch_sweep",
+            serde_json::json!({
+                "batch": size, "ns_per_op": cell.ns_per_op,
+                "sfences_per_op": cell.sfences,
+                "sfence_reduction": reduction,
+            }),
+        );
+        if size == 8 {
+            at8 = Some(cell);
+        }
+    }
+
+    // Batch-8 verdict (the acceptance bar) and the calibrated USL view.
+    let on = at8.expect("batch 8 measured");
+    let reduction = off.sfences / on.sfences.max(f64::MIN_POSITIVE);
+    println!(
+        "\nbatch-8 create: {:.3} -> {:.3} sfences/op ({reduction:.2}x, need >= 4x): {}",
+        off.sfences,
+        on.sfences,
+        if reduction >= 4.0 { "PASS" } else { "FAIL" }
+    );
+
+    let lat = LatencyModel::optane();
+    for (mode, cell) in [("off", &off), ("batch8", &on)] {
+        let Some(row) = &cell.row else { continue };
+        let sf = pm_serial_fraction(row, &lat);
+        let profile = calibrate_measured(
+            FsKind::ArckFsPlus,
+            fxmark::Workload::MWCM,
+            cell.ns_per_op / 1e3,
+            row,
+            cell.syscalls,
+            cell.lock_acqs,
+            &lat,
+        );
+        println!(
+            "create USL (batch {mode}): t1 {:.3} µs  pm-serial {:.4}  σ {:.5}  modelled x48 {:.0} kops/s",
+            profile.t1_us,
+            sf,
+            profile.sigma,
+            profile.throughput(48) / 1e3,
+        );
+        record_json(
+            "batch_sweep",
+            serde_json::json!({
+                "calibration": {"mode": mode, "t1_us": profile.t1_us,
+                                "pm_serial_fraction": sf, "sigma": profile.sigma,
+                                "kappa": profile.kappa,
+                                "modelled_x48_ops": profile.throughput(48)},
+            }),
+        );
+    }
+
+    assert!(
+        reduction >= 4.0,
+        "batch-8 sfence reduction {reduction:.2}x below the 4x bar"
+    );
+}

@@ -26,6 +26,10 @@ pub struct PmemStats {
     pub ntstores: AtomicU64,
     /// Store fences issued (`sfence`).
     pub sfences: AtomicU64,
+    /// Group-durability batch closes (one per coalesced fence pair).
+    pub batch_closes: AtomicU64,
+    /// Metadata operations committed through a batch instead of inline.
+    pub batched_ops: AtomicU64,
 }
 
 /// A plain-data snapshot of [`PmemStats`].
@@ -45,6 +49,10 @@ pub struct StatsSnapshot {
     pub ntstores: u64,
     /// Store fences.
     pub sfences: u64,
+    /// Group-durability batch closes.
+    pub batch_closes: u64,
+    /// Metadata operations committed through a batch.
+    pub batched_ops: u64,
 }
 
 impl PmemStats {
@@ -58,6 +66,8 @@ impl PmemStats {
             clwb: self.clwb.load(Ordering::Relaxed),
             ntstores: self.ntstores.load(Ordering::Relaxed),
             sfences: self.sfences.load(Ordering::Relaxed),
+            batch_closes: self.batch_closes.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -70,6 +80,8 @@ impl PmemStats {
         self.clwb.store(0, Ordering::Relaxed);
         self.ntstores.store(0, Ordering::Relaxed);
         self.sfences.store(0, Ordering::Relaxed);
+        self.batch_closes.store(0, Ordering::Relaxed);
+        self.batched_ops.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn count_store(&self, bytes: usize) {
@@ -97,6 +109,17 @@ impl PmemStats {
     pub(crate) fn count_sfence(&self) {
         self.sfences.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Record one group-durability batch close. Called by the LibFS batch
+    /// layer (it has no store/flush of its own to piggyback on).
+    pub fn count_batch_close(&self) {
+        self.batch_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one metadata operation committed via a batch.
+    pub fn count_batched_op(&self) {
+        self.batched_ops.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl StatsSnapshot {
@@ -106,6 +129,11 @@ impl StatsSnapshot {
     /// benchmark thread, leaving `earlier` ahead of `self` on some counter;
     /// a wrapping subtraction would then report ~2^64 fences per op.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        debug_assert!(
+            self.dominates(earlier),
+            "delta end snapshot does not dominate start: end={self:?} start={earlier:?} \
+             (snapshot taken before worker threads joined, or across a reset?)"
+        );
         StatsSnapshot {
             stores: self.stores.saturating_sub(earlier.stores),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
@@ -114,7 +142,24 @@ impl StatsSnapshot {
             clwb: self.clwb.saturating_sub(earlier.clwb),
             ntstores: self.ntstores.saturating_sub(earlier.ntstores),
             sfences: self.sfences.saturating_sub(earlier.sfences),
+            batch_closes: self.batch_closes.saturating_sub(earlier.batch_closes),
+            batched_ops: self.batched_ops.saturating_sub(earlier.batched_ops),
         }
+    }
+
+    /// `true` when every counter in `self` is ≥ its counterpart in `other`
+    /// — i.e. `self` was taken after `other` with no reset in between and
+    /// no counting still in flight on unjoined threads.
+    pub fn dominates(&self, other: &StatsSnapshot) -> bool {
+        self.stores >= other.stores
+            && self.bytes_written >= other.bytes_written
+            && self.loads >= other.loads
+            && self.bytes_read >= other.bytes_read
+            && self.clwb >= other.clwb
+            && self.ntstores >= other.ntstores
+            && self.sfences >= other.sfences
+            && self.batch_closes >= other.batch_closes
+            && self.batched_ops >= other.batched_ops
     }
 
     /// Alias for [`StatsSnapshot::delta`] kept for existing call sites.
@@ -162,7 +207,26 @@ mod tests {
         assert_eq!(d.bytes_written, 8);
     }
 
+    /// A non-dominating pair (reset between snapshots) is a measurement
+    /// bug; debug builds fail fast on it instead of silently saturating.
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dominate")]
+    fn delta_asserts_dominance_in_debug() {
+        let s = PmemStats::default();
+        s.count_store(8);
+        s.count_sfence();
+        let before = s.snapshot();
+        s.reset(); // e.g. a concurrent reset between two benchmark snapshots
+        s.count_sfence();
+        let after = s.snapshot();
+        let _ = after.delta(&before);
+    }
+
+    /// Release builds keep the defensive saturation: a racy reset must not
+    /// wrap a counter to ~2^64 and poison a whole benchmark report.
+    #[test]
+    #[cfg(not(debug_assertions))]
     fn delta_saturates_instead_of_wrapping() {
         let s = PmemStats::default();
         s.count_store(8);
@@ -175,5 +239,22 @@ mod tests {
         assert_eq!(d.stores, 0, "must saturate, not wrap to 2^64-1");
         assert_eq!(d.sfences, 0);
         assert_eq!(d.bytes_written, 0);
+    }
+
+    #[test]
+    fn dominates_is_componentwise() {
+        let s = PmemStats::default();
+        s.count_store(8);
+        let a = s.snapshot();
+        s.count_sfence();
+        s.count_batch_close();
+        s.count_batched_op();
+        let b = s.snapshot();
+        assert!(b.dominates(&a));
+        assert!(b.dominates(&b));
+        assert!(!a.dominates(&b));
+        let d = b.delta(&a);
+        assert_eq!(d.batch_closes, 1);
+        assert_eq!(d.batched_ops, 1);
     }
 }

@@ -95,11 +95,18 @@ pub enum Op {
     OpenAt,
     /// `O_APPEND` open of `/d/f0` + `append` of a tid-tagged payload.
     Append,
+    /// `flush_batch()` — the explicit group-durability close (ISSUE 4).
+    /// A no-op unless the config under test enables batching.
+    FlushBatch,
+    /// `create("/d/nb")` — a create on its own name, meant to ride an
+    /// open commit batch and race the ops that force its close.
+    CreateBatched,
 }
 
 impl Op {
-    /// The whole vocabulary, in a fixed order.
-    pub const ALL: [Op; 7] = [
+    /// The whole vocabulary, in a fixed order. The batch ops come last
+    /// so budget truncation of a sweep sheds the newest pairs first.
+    pub const ALL: [Op; 9] = [
         Op::Create,
         Op::Unlink,
         Op::Rename,
@@ -107,7 +114,13 @@ impl Op {
         Op::Revive,
         Op::OpenAt,
         Op::Append,
+        Op::FlushBatch,
+        Op::CreateBatched,
     ];
+
+    /// The ops that drive a batch close: the explicit flush and the
+    /// batched create whose visibility other ops can force.
+    pub const BATCH: [Op; 2] = [Op::FlushBatch, Op::CreateBatched];
 
     /// Short name (participant label, report rows).
     pub fn name(self) -> &'static str {
@@ -119,6 +132,8 @@ impl Op {
             Op::Revive => "revive",
             Op::OpenAt => "open_at",
             Op::Append => "append",
+            Op::FlushBatch => "flush_batch",
+            Op::CreateBatched => "create_batched",
         }
     }
 
@@ -156,6 +171,14 @@ impl Op {
                 let c = fs.close(fd);
                 r.and(c)
             }
+            Op::FlushBatch => {
+                fs.flush_batch();
+                Ok(())
+            }
+            Op::CreateBatched => {
+                let fd = fs.create("/d/nb")?;
+                fs.close(fd)
+            }
         }
     }
 }
@@ -169,7 +192,10 @@ pub fn setup(fs: &LibFs) -> FsResult<()> {
         let fd = fs.create(name)?;
         fs.close(fd)?;
     }
-    Ok(())
+    // Quiesce any open commit batch: the racing ops start from a
+    // known-durable baseline (the crash oracle persists it wholesale),
+    // and only *their* batches can be open mid-schedule.
+    fs.sync()
 }
 
 // ---- options ---------------------------------------------------------------
@@ -521,7 +547,7 @@ fn coherence_probe(fs: &LibFs) -> Result<(), String> {
         .into_iter()
         .map(|e| e.name)
         .collect();
-    for name in ["n", "u0", "old", "new", "rv", "f0"] {
+    for name in ["n", "u0", "old", "new", "rv", "f0", "nb"] {
         let path = format!("/d/{name}");
         let via_stat = match fs.stat(&path) {
             Ok(_) => true,
@@ -917,6 +943,32 @@ pub fn explore_vocabulary(opts: &ExploreOpts) -> ExploreReport {
 /// Explore every unordered triple from [`Op::ALL`] — the deep sweep.
 pub fn explore_vocabulary_triples(opts: &ExploreOpts) -> ExploreReport {
     explore_combos(opts, 3)
+}
+
+/// Explore every unordered pair involving a batch-close driver
+/// ([`Op::BATCH`]) under a **batch-enabled** copy of `opts.config` —
+/// the vocabulary sweep alone never schedules a real close because the
+/// default config leaves group durability off. Same preemption bound
+/// and budget semantics as [`explore_vocabulary`].
+pub fn explore_batch_pairs(opts: &ExploreOpts) -> ExploreReport {
+    let mut opts = opts.clone();
+    opts.config.batch = true;
+    let deadline = opts.budget.map(|b| Instant::now() + b);
+    let mut report = ExploreReport::default();
+    let first_batch = Op::ALL.len() - Op::BATCH.len();
+    for i in 0..Op::ALL.len() {
+        for j in i..Op::ALL.len() {
+            if i < first_batch && j < first_batch {
+                continue;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                report.truncated = true;
+                return report;
+            }
+            report.merge(explore_inner(&[Op::ALL[i], Op::ALL[j]], &opts, deadline));
+        }
+    }
+    report
 }
 
 fn explore_combos(opts: &ExploreOpts, arity: usize) -> ExploreReport {

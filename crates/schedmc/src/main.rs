@@ -21,11 +21,15 @@ fn main() {
         opts.preemption_bound, opts.seed
     );
 
-    let report = if deep {
+    let mut report = if deep {
         schedmc::explore_vocabulary_triples(&opts)
     } else {
         schedmc::explore_vocabulary(&opts)
     };
+    // Every pair involving a batch close, re-swept with group durability
+    // enabled (the default config leaves it off, so the sweep above
+    // never schedules a real close).
+    report.merge(schedmc::explore_batch_pairs(&opts));
 
     eprintln!(
         "schedmc: {} schedules, {} distinct points hit, {} crash states checked (max space {}){}",

@@ -319,9 +319,22 @@ impl Kernel {
                     .map_err(fs_err)?;
             }
             let mut children = HashMap::new();
-            let mut pending: Vec<(String, u64, InodeType, u32, u32)> = Vec::new();
+            // Per name, keep the committed record with the highest sequence
+            // number — deletions included. With the group-durability batch
+            // layer (DESIGN.md §8) an unlink is a *negative* log record and
+            // the superseded positive is only tombstoned in place after the
+            // batch fences, so recovery must resolve names by sequence
+            // rather than trust `is_live` alone. A nonzero batch watermark
+            // marks every record above it as an unfenced batch member:
+            // crash residue, skipped wholesale.
+            let wm = inode.batch_seq;
+            let mut best: std::collections::BTreeMap<String, (u64, bool, u64)> =
+                std::collections::BTreeMap::new();
             let walk = format::walk_dir_log(&device, &geom, &inode, |d| {
-                if !d.is_live() || d.name_has_nul() {
+                if d.marker == 0 || d.name_has_nul() {
+                    return;
+                }
+                if wm != 0 && d.seq > wm {
                     return;
                 }
                 let name = match d.name_str() {
@@ -331,16 +344,28 @@ impl Kernel {
                 if d.ino == 0 || d.ino > geom.max_inodes {
                     return;
                 }
-                if let Ok(child) = format::read_inode(&device, &geom, d.ino) {
-                    if child.is_committed(d.ino) {
-                        if let Some(t) = child.inode_type() {
-                            pending.push((name, d.ino, t, child.mode, child.uid));
-                        }
+                match best.get(&name) {
+                    Some(&(seq, _, _)) if seq >= d.seq => {}
+                    _ => {
+                        best.insert(name, (d.seq, d.deleted, d.ino));
                     }
                 }
             });
             if walk.is_err() {
                 continue;
+            }
+            let mut pending: Vec<(String, u64, InodeType, u32, u32)> = Vec::new();
+            for (name, (_, deleted, ino)) in best {
+                if deleted {
+                    continue;
+                }
+                if let Ok(child) = format::read_inode(&device, &geom, ino) {
+                    if child.is_committed(ino) {
+                        if let Some(t) = child.inode_type() {
+                            pending.push((name, ino, t, child.mode, child.uid));
+                        }
+                    }
+                }
             }
             for (name, child, itype, mode_bits, uid) in pending {
                 if !seen.insert(child) {

@@ -22,6 +22,7 @@
 //! | 48 | `direct[16]: u64` | files: direct data pages; dirs: tail head pages |
 //! | 176 | `indirect: u64` | single-indirect page (512 pointers) |
 //! | 184 | `dindirect: u64` | double-indirect page |
+//! | 192 | `batch_seq: u64` | directories: group-durability watermark — 0 when quiescent; a batch's open sequence `S0` while a commit batch is in flight (records with `seq > S0` are uncommitted until the batch fences; see DESIGN.md §8) |
 //!
 //! ## Dentry (128 bytes, two cache lines)
 //!
@@ -90,6 +91,9 @@ pub const I_DIRECT: u64 = 48;
 pub const I_INDIRECT: u64 = 176;
 /// Inode field offset.
 pub const I_DINDIRECT: u64 = 184;
+/// Inode field offset: the group-durability watermark (own cache line —
+/// `192 = 3 × 64` — so persisting it never drags neighbouring fields).
+pub const I_BATCH_SEQ: u64 = 192;
 
 // Dentry field offsets.
 /// Dentry field offset.
@@ -294,6 +298,8 @@ pub struct RawInode {
     pub indirect: u64,
     /// Double-indirect page.
     pub dindirect: u64,
+    /// Group-durability watermark (directories; 0 when no batch is open).
+    pub batch_seq: u64,
 }
 
 impl RawInode {
@@ -340,6 +346,7 @@ pub fn decode_inode(rec: &[u8; INODE_SIZE as usize]) -> RawInode {
         direct,
         indirect: u64_at(I_INDIRECT),
         dindirect: u64_at(I_DINDIRECT),
+        batch_seq: u64_at(I_BATCH_SEQ),
     }
 }
 

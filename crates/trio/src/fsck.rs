@@ -17,7 +17,13 @@
 //!
 //! **Benign** findings are expected crash residue that recovery simply
 //! cleans up: committed inodes no dentry references (the create crashed
-//! before the dentry's marker persisted) and stale directory size fields.
+//! before the dentry's marker persisted), stale directory size fields,
+//! and — with group durability (DESIGN.md §8) — records above a
+//! directory's persisted batch watermark (the open batch rolls back
+//! wholesale) or live records a newer *negative* record supersedes (a
+//! batched unlink whose deferred tombstone did not persist). Liveness is
+//! therefore decided by per-name sequence resolution over committed
+//! records below the watermark, the same rule recovery applies.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -107,6 +113,25 @@ pub enum FsckIssue {
         /// Counted live entries.
         actual: u64,
     },
+    /// Dentry records above the directory's persisted group-durability
+    /// watermark: an open commit batch was in flight at the crash
+    /// (DESIGN.md §8). Recovery rolls the whole batch back. Benign.
+    BatchResidue {
+        /// The directory.
+        dir: u64,
+        /// The persisted watermark (`batch_seq`).
+        watermark: u64,
+    },
+    /// A live dentry superseded by a newer *negative* (deleted) record
+    /// with the same name and inode — residue of a batched unlink or
+    /// rename whose deferred in-place tombstone did not persist. Recovery
+    /// resolves by sequence number; the name is dead. Benign.
+    UnlinkResidue {
+        /// The directory.
+        dir: u64,
+        /// The superseded name.
+        name: String,
+    },
 }
 
 impl FsckIssue {
@@ -118,6 +143,8 @@ impl FsckIssue {
             FsckIssue::OrphanInode { .. }
                 | FsckIssue::SizeMismatch { .. }
                 | FsckIssue::RenameResidue { .. }
+                | FsckIssue::BatchResidue { .. }
+                | FsckIssue::UnlinkResidue { .. }
         )
     }
 }
@@ -253,8 +280,9 @@ pub fn fsck_with_geometry(device: &Arc<PmemDevice>, geom: &Geometry) -> FsckRepo
 fn dir_children(device: &Arc<PmemDevice>, geom: &Geometry, dir: u64) -> Vec<u64> {
     let mut out = Vec::new();
     if let Ok(inode) = format::read_inode(device, geom, dir) {
+        let wm = inode.batch_seq;
         let _ = format::walk_dir_log(device, geom, &inode, |d| {
-            if d.is_live() && d.ino != 0 && d.ino <= geom.max_inodes {
+            if d.is_live() && d.ino != 0 && d.ino <= geom.max_inodes && (wm == 0 || d.seq <= wm) {
                 out.push(d.ino);
             }
         });
@@ -288,63 +316,50 @@ fn walk_dir(
         }
     };
 
-    let mut live: HashMap<String, u64> = HashMap::new();
-    // ino -> (name, seq) of the newest record seen, for same-directory
-    // rename residue resolution.
-    let mut by_ino: HashMap<u64, (String, u64)> = HashMap::new();
+    // Group-durability watermark (DESIGN.md §8): records above it belong
+    // to the commit batch that was open at the crash and are uncommitted
+    // by definition — recovery erases them wholesale.
+    let wm = inode.batch_seq;
+    let mut batch_residue = false;
+    // Every committed record, deleted ones included: batched unlinks and
+    // renames append *negative* records, so a name's liveness is decided
+    // by per-name sequence resolution after the walk.
+    let mut recs: Vec<(String, u64, u64, bool)> = Vec::new(); // (name, seq, ino, deleted)
     let walk = format::walk_dir_log(device, geom, &inode, |d| {
-        if !d.is_live() {
+        if d.marker == 0 {
             return;
         }
-        if d.marker as usize > format::DENTRY_NAME_CAP || d.name_has_nul() {
-            report.issues.push(FsckIssue::PartialDentry {
-                dir,
-                offset: d.offset,
-            });
+        if wm != 0 && d.seq > wm {
+            batch_residue = true;
             return;
         }
-        let name = match d.name_str() {
+        let torn = d.marker as usize > format::DENTRY_NAME_CAP || d.name_has_nul();
+        let name = if torn { None } else { d.name_str() };
+        let name = match name {
             Some(n) => n.to_string(),
             None => {
-                report.issues.push(FsckIssue::PartialDentry {
-                    dir,
-                    offset: d.offset,
-                });
+                // Tombstoned records were never payload-checked; a torn
+                // name only violates §4.2 on a record claiming to be live.
+                if !d.deleted {
+                    report.issues.push(FsckIssue::PartialDentry {
+                        dir,
+                        offset: d.offset,
+                    });
+                }
                 return;
             }
         };
         if d.ino == 0 || d.ino > geom.max_inodes {
-            report.issues.push(FsckIssue::DanglingDentry {
-                dir,
-                child: d.ino,
-                name,
-            });
+            if !d.deleted {
+                report.issues.push(FsckIssue::DanglingDentry {
+                    dir,
+                    child: d.ino,
+                    name,
+                });
+            }
             return;
         }
-        match by_ino.get(&d.ino) {
-            Some((old_name, old_seq)) => {
-                // Same inode named twice in one directory: a same-dir
-                // rename whose tombstone did not persist. Keep the newer
-                // record (recovery does the same).
-                report
-                    .issues
-                    .push(FsckIssue::RenameResidue { dir, ino: d.ino });
-                if d.seq > *old_seq {
-                    live.remove(old_name);
-                    by_ino.insert(d.ino, (name.clone(), d.seq));
-                    if live.insert(name.clone(), d.ino).is_some() {
-                        report.issues.push(FsckIssue::DuplicateName { dir, name });
-                    }
-                }
-                return;
-            }
-            None => {
-                by_ino.insert(d.ino, (name.clone(), d.seq));
-            }
-        }
-        if live.insert(name.clone(), d.ino).is_some() {
-            report.issues.push(FsckIssue::DuplicateName { dir, name });
-        }
+        recs.push((name, d.seq, d.ino, d.deleted));
     });
     if let Err(e) = walk {
         report.issues.push(FsckIssue::Structural {
@@ -352,6 +367,76 @@ fn walk_dir(
             detail: e,
         });
         return;
+    }
+    if batch_residue {
+        report.issues.push(FsckIssue::BatchResidue {
+            dir,
+            watermark: wm,
+        });
+    }
+
+    // Per-name sequence resolution (the rule recovery applies). A live
+    // record below the winner is benign only when a newer negative record
+    // for the same inode explicitly killed it; any other live loser is a
+    // genuine duplicate.
+    // Per-name record tuples: (seq, ino, deleted).
+    type NameRecs = Vec<(u64, u64, bool)>;
+    let mut by_name: HashMap<String, NameRecs> = HashMap::new();
+    for (name, seq, ino, deleted) in recs {
+        by_name.entry(name).or_default().push((seq, ino, deleted));
+    }
+    let mut live: HashMap<String, u64> = HashMap::new();
+    let mut live_seq: HashMap<String, u64> = HashMap::new();
+    let mut resolved: Vec<(String, NameRecs)> = by_name.into_iter().collect();
+    resolved.sort(); // deterministic issue order across identical images
+    for (name, mut v) in resolved {
+        v.sort_unstable();
+        let &(winner_seq, winner_ino, winner_deleted) = v.last().expect("non-empty");
+        for &(seq, ino, deleted) in &v[..v.len() - 1] {
+            if deleted {
+                continue;
+            }
+            let killed = v.iter().any(|&(s2, i2, d2)| s2 > seq && d2 && i2 == ino);
+            if killed {
+                report.issues.push(FsckIssue::UnlinkResidue {
+                    dir,
+                    name: name.clone(),
+                });
+            } else {
+                report.issues.push(FsckIssue::DuplicateName {
+                    dir,
+                    name: name.clone(),
+                });
+            }
+        }
+        if !winner_deleted {
+            live.insert(name.clone(), winner_ino);
+            live_seq.insert(name, winner_seq);
+        }
+    }
+
+    // Same inode live under two names: same-directory rename residue (the
+    // old name's tombstone did not persist). Keep the newer record, as
+    // recovery does.
+    let mut by_ino: HashMap<u64, (String, u64)> = HashMap::new();
+    let mut sorted_live: Vec<(String, u64)> = live.iter().map(|(n, i)| (n.clone(), *i)).collect();
+    sorted_live.sort();
+    for (name, ino) in sorted_live {
+        let seq = live_seq[&name];
+        match by_ino.get(&ino) {
+            Some((old_name, old_seq)) => {
+                report.issues.push(FsckIssue::RenameResidue { dir, ino });
+                if seq > *old_seq {
+                    live.remove(old_name);
+                    by_ino.insert(ino, (name, seq));
+                } else {
+                    live.remove(&name);
+                }
+            }
+            None => {
+                by_ino.insert(ino, (name, seq));
+            }
+        }
     }
 
     if inode.size != live.len() as u64 {
@@ -501,6 +586,64 @@ pub fn repair(device: &Arc<PmemDevice>) -> Result<FsckReport, String> {
                 let base = geom.inode_offset(*ino);
                 device.write_u64(base, 0).map_err(|e| e.to_string())?;
                 device.persist(base, 8).map_err(|e| e.to_string())?;
+            }
+            FsckIssue::BatchResidue { dir, watermark } => {
+                // Roll the open batch back: erase every gated record's
+                // marker, persist, then clear the watermark — in that
+                // order, so a crash mid-repair never exposes a cleared
+                // watermark with a gated record still looking committed.
+                let inode = format::read_inode(device, &geom, *dir).map_err(|e| e.to_string())?;
+                let mut gated: Vec<u64> = Vec::new();
+                format::walk_dir_log(device, &geom, &inode, |d| {
+                    if d.marker != 0 && d.seq > *watermark {
+                        gated.push(d.offset);
+                    }
+                })?;
+                for off in gated {
+                    device
+                        .write(off + format::D_MARKER, &[0, 0])
+                        .map_err(|e| e.to_string())?;
+                    device
+                        .persist(off + format::D_MARKER, 2)
+                        .map_err(|e| e.to_string())?;
+                }
+                let base = geom.inode_offset(*dir);
+                device
+                    .write_u64(base + format::I_BATCH_SEQ, 0)
+                    .map_err(|e| e.to_string())?;
+                device
+                    .persist(base + format::I_BATCH_SEQ, 8)
+                    .map_err(|e| e.to_string())?;
+            }
+            FsckIssue::UnlinkResidue { dir, name } => {
+                // Persist the deferred tombstone: mark deleted every live
+                // record for `name` that a newer negative record for the
+                // same inode supersedes.
+                let inode = format::read_inode(device, &geom, *dir).map_err(|e| e.to_string())?;
+                let wm = inode.batch_seq;
+                let mut recs: Vec<(u64, u64, bool, u64)> = Vec::new(); // (seq, ino, deleted, off)
+                format::walk_dir_log(device, &geom, &inode, |d| {
+                    if d.marker == 0 || (wm != 0 && d.seq > wm) {
+                        return;
+                    }
+                    if d.name_str() == Some(name.as_str()) {
+                        recs.push((d.seq, d.ino, d.deleted, d.offset));
+                    }
+                })?;
+                for &(seq, ino, deleted, off) in &recs {
+                    if deleted {
+                        continue;
+                    }
+                    let killed = recs.iter().any(|&(s2, i2, d2, _)| s2 > seq && d2 && i2 == ino);
+                    if killed {
+                        device
+                            .write(off + format::D_DELETED, &[1])
+                            .map_err(|e| e.to_string())?;
+                        device
+                            .persist(off + format::D_DELETED, 1)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
             }
             _ => {} // fatal issues are reported, not repaired
         }

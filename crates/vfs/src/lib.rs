@@ -268,6 +268,15 @@ pub trait FileSystem: Send + Sync {
     /// operation synchronously, so this returns immediately for them.
     fn fsync(&self, fd: Fd) -> FsResult<()>;
 
+    /// Make every completed operation durable, file-system-wide — the
+    /// handle-less durability barrier. File systems that persist
+    /// synchronously need nothing here (the default); ones that batch
+    /// metadata commits (ArckFS group durability) override it to close
+    /// their open commit batches.
+    fn sync(&self) -> FsResult<()> {
+        Ok(())
+    }
+
     /// Truncate (or extend with zeroes) an open file to `size` bytes.
     fn truncate(&self, fd: Fd, size: u64) -> FsResult<()>;
 

@@ -1,0 +1,266 @@
+//! Differential crash-equivalence for group durability (ISSUE 4).
+//!
+//! The batch commit layer coalesces the per-op `sfence`s of metadata
+//! operations into one watermark-guarded fence pair per batch. Its
+//! safety claim: batching changes *when* states become durable, never
+//! *which* states a crash can expose. These tests pin that claim two
+//! ways:
+//!
+//! 1. **Subset equivalence**: for every valid Table-1 op sequence up to
+//!    length 4 (create / unlink / rename / mkdir over one directory),
+//!    sample the crash states reachable with batching on and off,
+//!    recover each through the real kernel + LibFs mount, and assert
+//!    the batched run's post-recovery namespaces are a subset of the
+//!    inline run's. Inline recovery only ever lands on a whole-prefix
+//!    state of the sequence (earlier ops are fenced before the next
+//!    starts), so the inline set is seeded with every prefix replay —
+//!    states trivially inline-reachable by crashing after a quiesce.
+//! 2. **Whole-prefix closure**: park the batch close at its two
+//!    schedule points and show a crash there recovers to the pre-batch
+//!    namespace (before the close fence pair) or the full batch
+//!    (after), with every sampled image fsck-consistent in between.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use arckfs::{Config, LibFs};
+use pmem::PmemDevice;
+use trio::{Kernel, KernelConfig};
+use vfs::{FileSystem, FsExt};
+
+const DEV: usize = 8 << 20;
+
+fn samples() -> u64 {
+    std::env::var("BATCH_CRASH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+fn config(batch: bool) -> Config {
+    let mut config = Config::arckfs_plus();
+    config.batch = batch;
+    // Larger than any swept sequence: batches close on visibility
+    // events and crash recovery, never on the op-count threshold, so
+    // the whole sequence rides one open batch unless an op observes it.
+    config.batch_ops = 8;
+    config
+}
+
+/// The Table-1 metadata vocabulary over one shared directory. Each op
+/// has a fixed operand so sequence validity is a tiny state machine
+/// over which names exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// `create /d/a`
+    Create,
+    /// `unlink /d/a`
+    Unlink,
+    /// `rename /d/a -> /d/r`
+    Rename,
+    /// `mkdir /d/m`
+    Mkdir,
+}
+
+impl Op {
+    const ALL: [Op; 4] = [Op::Create, Op::Unlink, Op::Rename, Op::Mkdir];
+
+    /// Apply to the (a, r, m) existence vector; `None` when invalid.
+    fn step(self, (a, r, m): (bool, bool, bool)) -> Option<(bool, bool, bool)> {
+        match self {
+            Op::Create if !a => Some((true, r, m)),
+            Op::Unlink if a => Some((false, r, m)),
+            Op::Rename if a && !r => Some((false, true, m)),
+            Op::Mkdir if !m => Some((a, r, true)),
+            _ => None,
+        }
+    }
+
+    fn apply(self, fs: &LibFs) {
+        match self {
+            Op::Create => {
+                let fd = fs.create("/d/a").unwrap();
+                fs.close(fd).unwrap();
+            }
+            Op::Unlink => fs.unlink("/d/a").unwrap(),
+            Op::Rename => fs.rename("/d/a", "/d/r").unwrap(),
+            Op::Mkdir => fs.mkdir("/d/m").unwrap(),
+        }
+    }
+}
+
+/// Every valid op sequence of length 1..=4 from the vocabulary.
+fn table1_sequences() -> Vec<Vec<Op>> {
+    let mut out = Vec::new();
+    let mut frontier = vec![(Vec::new(), (false, false, false))];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for (seq, state) in frontier {
+            for op in Op::ALL {
+                if let Some(after) = op.step(state) {
+                    let mut s = seq.clone();
+                    s.push(op);
+                    out.push(s.clone());
+                    next.push((s, after));
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Canonical namespace fingerprint of `/d`: sorted `name:type` pairs.
+fn fingerprint(fs: &LibFs) -> String {
+    let mut entries: Vec<String> = fs
+        .readdir("/d")
+        .unwrap()
+        .into_iter()
+        .map(|e| format!("{}:{:?}", e.name, e.file_type))
+        .collect();
+    entries.sort();
+    entries.join(",")
+}
+
+/// Recover one sampled crash image through the full stack and
+/// fingerprint what a user would see after remount.
+fn recovered_fingerprint(device: &Arc<PmemDevice>, seed: u64) -> String {
+    let recovered = crashmc::recover_one(device, seed).unwrap();
+    let kernel = Kernel::recover(recovered, KernelConfig::arckfs_plus()).unwrap();
+    let fs = LibFs::mount(kernel, config(false), 0).unwrap();
+    fingerprint(&fs)
+}
+
+/// Run `seq` on a fresh tracked FS and collect the post-recovery
+/// namespaces of sampled end-of-sequence crash states.
+fn crash_states(seq: &[Op], batch: bool, seed_base: u64) -> BTreeSet<String> {
+    let device = PmemDevice::new_tracked(DEV);
+    let (_k, fs) = arckfs::new_fs_on(device.clone(), config(batch)).unwrap();
+    fs.mkdir("/d").unwrap();
+    // Quiesce the setup so crash states differ only by the sequence.
+    fs.sync().unwrap();
+    device.persist_all();
+    for op in seq {
+        op.apply(&fs);
+    }
+    // The WITCHER-style oracle first: no sampled state may be fatal.
+    let report = crashmc::check_bounded(&device, 64, samples() as usize, seed_base).unwrap();
+    assert!(
+        report.is_consistent(),
+        "{seq:?} batch={batch}: {report:?}"
+    );
+    (0..samples())
+        .map(|s| recovered_fingerprint(&device, seed_base ^ s))
+        .collect()
+}
+
+/// Fingerprints of every whole-prefix state of `seq` — each is
+/// inline-reachable by definition (crash after the prefix quiesced).
+fn prefix_states(seq: &[Op]) -> BTreeSet<String> {
+    (0..=seq.len())
+        .map(|k| {
+            let (_k, fs) = arckfs::new_fs(DEV, config(false)).unwrap();
+            fs.mkdir("/d").unwrap();
+            for op in &seq[..k] {
+                op.apply(&fs);
+            }
+            fingerprint(&fs)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_crash_states_are_a_subset_of_inline_states() {
+    let sequences = table1_sequences();
+    // The vocabulary's validity machine admits exactly these counts per
+    // length (2, 4, 8, 11) — pin it so the sweep can't silently shrink.
+    assert_eq!(sequences.len(), 25);
+    for (si, seq) in sequences.iter().enumerate() {
+        let seed = (si as u64 + 1) << 16;
+        let inline: BTreeSet<String> = crash_states(seq, false, seed)
+            .union(&prefix_states(seq))
+            .cloned()
+            .collect();
+        let batched = crash_states(seq, true, seed.wrapping_add(0x9e37));
+        let novel: Vec<&String> = batched.difference(&inline).collect();
+        assert!(
+            novel.is_empty(),
+            "{seq:?}: batching exposed post-recovery states {novel:?} \
+             unreachable inline (inline set {inline:?})"
+        );
+    }
+}
+
+/// Build a batched FS with a durable baseline file and three batched
+/// creates parked inside `flush_batch` at the given schedule point.
+/// Returns (device, gate, worker) — the worker owns the parked close.
+fn parked_close(
+    point: &str,
+) -> (
+    Arc<PmemDevice>,
+    arckfs::inject::Gate,
+    std::thread::JoinHandle<()>,
+    Arc<LibFs>,
+) {
+    let device = PmemDevice::new_tracked(DEV);
+    let (_k, fs) = arckfs::new_fs_on(device.clone(), config(true)).unwrap();
+    fs.mkdir("/d").unwrap();
+    fs.write_file("/d/base", b"durable").unwrap();
+    fs.sync().unwrap();
+    device.persist_all();
+    for name in ["/d/a", "/d/b", "/d/c"] {
+        let fd = fs.create(name).unwrap();
+        fs.close(fd).unwrap();
+    }
+    let gate = arckfs::inject::arm(point);
+    let fs2 = fs.clone();
+    let worker = std::thread::spawn(move || fs2.flush_batch());
+    assert!(gate.wait_reached(Duration::from_secs(10)));
+    (device, gate, worker, fs)
+}
+
+#[test]
+fn crash_before_close_fence_recovers_to_the_pre_batch_prefix() {
+    let (device, gate, worker, fs) = parked_close("batch.close.pre_fence");
+    // Before the close's first fence the watermark still gates every
+    // member record: each sampled crash image is consistent and every
+    // recovery lands on the whole prefix *before* the batch.
+    let report = crashmc::check_sampled(&device, 100, 0xbc1).unwrap();
+    assert!(report.is_consistent(), "{report:?}");
+    for seed in 0..8 {
+        assert_eq!(
+            recovered_fingerprint(&device, 0xfeed + seed),
+            "base:Regular",
+            "a crash before the close fence must hide the whole batch"
+        );
+    }
+    gate.release();
+    worker.join().unwrap();
+    // The close made the batch durable: now every state shows all of it.
+    device.persist_all();
+    assert_eq!(
+        recovered_fingerprint(&device, 1),
+        "a:Regular,b:Regular,base:Regular,c:Regular"
+    );
+    drop(fs);
+}
+
+#[test]
+fn crash_after_close_fence_recovers_to_the_whole_batch() {
+    let (device, gate, worker, fs) = parked_close("batch.close.post_fence");
+    // After the close's second fence the watermark is cleared and every
+    // member record is durable: recovery sees the whole batch, always.
+    let report = crashmc::check_sampled(&device, 100, 0xbc2).unwrap();
+    assert!(report.is_consistent(), "{report:?}");
+    for seed in 0..8 {
+        assert_eq!(
+            recovered_fingerprint(&device, 0xbeef + seed),
+            "a:Regular,b:Regular,base:Regular,c:Regular",
+            "a crash after the close fence must expose the whole batch"
+        );
+    }
+    gate.release();
+    worker.join().unwrap();
+    drop(fs);
+}

@@ -56,6 +56,9 @@ fn remount_recovers_the_tree_after_crash() {
     fs.write_file("/docs/report.txt", b"durable content").unwrap();
     fs.mkdir("/docs/sub").unwrap();
     fs.write_file("/docs/sub/deep.txt", &vec![0x7Au8; 10_000]).unwrap();
+    // Commit any open batch (ARCKFS_BATCH=1 runs): the tree below is the
+    // durable state the recovered kernel must reproduce.
+    fs.sync().unwrap();
 
     // Crash: take a sampled crash image and bring up a whole new kernel
     // on the recovered device.
@@ -97,6 +100,7 @@ fn recovery_reclaims_orphans_and_recomputes_sizes() {
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
     fs.write_file("/real.txt", b"visible").unwrap();
+    fs.sync().unwrap(); // commit the create's batch under ARCKFS_BATCH=1
     let geom = trio::format::read_superblock(&device).unwrap();
     // Orphan: commit inode 50 with no dentry anywhere.
     let base = geom.inode_offset(50);
@@ -123,6 +127,7 @@ fn rename_crash_window_is_benign_residue_at_worst() {
     let device = PmemDevice::new_tracked(DEV);
     let (_k, fs) = arckfs::new_fs_on(device.clone(), Config::arckfs_plus()).unwrap();
     fs.write_file("/before", b"payload").unwrap();
+    fs.sync().unwrap(); // close any open batch: "/before" must be committed
     device.persist_all(); // quiesce: the create is fully durable
 
     fs.rename("/before", "/after").unwrap();

@@ -181,6 +181,53 @@ fn release_vs_revive_window_exonerated() {
 }
 
 // ---------------------------------------------------------------------------
+// Group durability: the visibility barrier, pinned as a schedule
+// ---------------------------------------------------------------------------
+
+/// The minimized schedule for the batch visibility rule (ISSUE 4):
+/// `[0]` runs the batched create to completion (its records ride an
+/// open batch — the creator pays no close), then the other thread's
+/// `open_at` walks the same directory. The lookup must close the batch
+/// *before* the open observes the entry, so the close's fence pair
+/// lands on the opener's thread, and every oracle stays clean.
+#[test]
+fn open_after_batched_create_forces_the_close() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.batch = true;
+    let outcome = replay(&[Op::CreateBatched, Op::OpenAt], &[0], &opts(cfg));
+    assert!(!outcome.diverged_from_schedule);
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
+    let closes: Vec<usize> = outcome
+        .trace
+        .iter()
+        .filter(|(_, p)| p.starts_with("batch.close."))
+        .map(|(tid, _)| *tid)
+        .collect();
+    assert!(
+        closes.iter().all(|&tid| tid == 1) && !closes.is_empty(),
+        "the opener (tid 1), never the creator, must pay the batch \
+         close; close points hit by tids {closes:?} in {:?}",
+        outcome.trace
+    );
+}
+
+/// The whole bound-2 pair space around that window, swept clean with
+/// the batch config — and the close window really is scheduled through.
+#[test]
+fn batched_create_vs_open_space_is_clean() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.batch = true;
+    let report = explore(&[Op::CreateBatched, Op::OpenAt], &opts(cfg));
+    assert!(!report.truncated);
+    assert!(
+        report.points_hit.get("batch.close.pre_fence").copied() >= Some(1),
+        "the close window must be scheduled through: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+// ---------------------------------------------------------------------------
 // Found by the crashmc sweep: delegated writes and the completion fence
 // ---------------------------------------------------------------------------
 
