@@ -49,6 +49,16 @@ pub struct Config {
     pub ino_batch: usize,
     /// How many pages to request from the kernel per grant.
     pub page_batch: usize,
+    /// Low watermark (total items) for the LibFS resource pools: a pool
+    /// slot drained for surplus release keeps this many items (divided
+    /// across slots). The preset constructors honor `ARCKFS_POOL_LOW`.
+    pub pool_low: usize,
+    /// High watermark (total items) for the LibFS resource pools: a
+    /// recycle that leaves a slot above its share of this limit releases
+    /// the surplus back to the kernel, so unlink storms no longer grow the
+    /// pools without bound. The preset constructors honor
+    /// `ARCKFS_POOL_HIGH`.
+    pub pool_high: usize,
     /// Data writes of at least this many bytes go through the delegation
     /// path (non-temporal stores), as in OdinFS-style I/O delegation.
     pub ntstore_threshold: usize,
@@ -119,6 +129,8 @@ impl Config {
             dir_buckets: 128,
             ino_batch: 64,
             page_batch: 256,
+            pool_low: batch_usize_env("ARCKFS_POOL_LOW", 64),
+            pool_high: batch_usize_env("ARCKFS_POOL_HIGH", 1024),
             ntstore_threshold: 4096,
             delegation_threads: 0,
             delegation_min: 512 * 1024,

@@ -74,6 +74,19 @@ struct Registry {
     cv: Condvar,
 }
 
+/// Route pmem-internal schedule points (the `alloc.shard.*` sites inside
+/// the sharded allocator) into this registry, so gates and the controller
+/// can schedule allocator internals exactly like LibFS-level points. The
+/// hook slot in pmem is a `OnceLock`, so repeated installs are no-ops; it
+/// is installed lazily from [`arm`] and [`Controller::new`] (never from
+/// `point`, which must stay a single relaxed load when unarmed).
+fn install_pmem_hook() {
+    fn forward(name: &'static str) {
+        point(name);
+    }
+    pmem::set_schedule_hook(forward);
+}
+
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
@@ -135,6 +148,7 @@ pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 /// elevated until the zombie gate finally drops), so the collision is
 /// rejected up front.
 pub fn arm(name: &str) -> Gate {
+    install_pmem_hook();
     let reg = registry();
     let mut gates = reg.gates.lock();
     let g = gates.entry(name.to_string()).or_default();
@@ -375,6 +389,7 @@ impl Controller {
     /// coexist (participants are bound to theirs through the thread-local),
     /// so concurrently running exploration tests cannot collide.
     pub fn new() -> Controller {
+        install_pmem_hook();
         ARMED.fetch_add(1, Ordering::SeqCst);
         Controller {
             shared: Arc::new(CtlShared {

@@ -34,6 +34,7 @@ pub mod file;
 pub mod inject;
 pub mod inode;
 pub mod libfs;
+pub mod pool;
 
 pub use config::Config;
 pub use libfs::LibFs;

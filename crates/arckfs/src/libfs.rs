@@ -70,9 +70,10 @@ pub struct LibFs {
     /// Always taken with no other inode locks held.
     revive_lock: Mutex<()>,
     /// Pool of granted inode numbers with their (possibly already stale
-    /// after a release) mappings.
-    ino_pool: Mutex<Vec<(u64, Option<Mapping>)>>,
-    page_pool: Mutex<Vec<u64>>,
+    /// after a release) mappings. Sharded by thread with watermark release
+    /// back to the kernel (`crate::pool`).
+    ino_pool: crate::pool::ShardedPool<(u64, Option<Mapping>)>,
+    page_pool: crate::pool::ShardedPool<u64>,
     fds: RwLock<HashMap<u64, FdEntry>>,
     next_fd: AtomicU64,
     /// Rule (2) bookkeeping: old parent → new parents that must be
@@ -104,6 +105,11 @@ impl LibFs {
         let geom = *kernel.geometry();
         let label = format!("{}#{}", config.label(), id.0);
         let config_threads = config.delegation_threads;
+        let (pool_slots, pool_low, pool_high) = (
+            pmem::default_alloc_shards(),
+            config.pool_low,
+            config.pool_high,
+        );
         let rcu = Rcu::new();
         let dcache = crate::dcache::Dcache::new(config.dcache_slots, rcu.clone());
         Ok(Arc::new(LibFs {
@@ -116,8 +122,8 @@ impl LibFs {
             uid,
             inodes: RwLock::new(HashMap::new()),
             revive_lock: Mutex::new(()),
-            ino_pool: Mutex::new(Vec::new()),
-            page_pool: Mutex::new(Vec::new()),
+            ino_pool: crate::pool::ShardedPool::new(pool_slots, pool_low, pool_high),
+            page_pool: crate::pool::ShardedPool::new(pool_slots, pool_low, pool_high),
             fds: RwLock::new(HashMap::new()),
             next_fd: AtomicU64::new(3),
             pending_renames: Mutex::new(HashMap::new()),
@@ -171,15 +177,20 @@ impl LibFs {
     /// pool, refilling from the kernel in batches — the extent grants that
     /// keep the create fast path syscall-free.
     pub(crate) fn alloc_ino(&self) -> FsResult<(u64, Mapping)> {
-        let popped = {
-            let mut pool = self.ino_pool.lock();
-            if pool.is_empty() {
-                let batch = self
+        let popped = match self.ino_pool.take() {
+            Some(p) => p,
+            None => {
+                // Pool dry: grant a fresh extent, keep one, stock the rest.
+                // Two threads may race through here and both grant — the
+                // watermark trims any excess on the next recycle.
+                let mut batch = self
                     .kernel
                     .grant_inodes_mapped(self.id, self.config.ino_batch)?;
-                pool.extend(batch.into_iter().map(|(i, m)| (i, Some(m))));
+                let (ino, m) = batch.pop().ok_or(FsError::NoSpace)?;
+                self.ino_pool
+                    .fill(batch.into_iter().map(|(i, m)| (i, Some(m))));
+                (ino, Some(m))
             }
-            pool.pop().ok_or(FsError::NoSpace)?
         };
         match popped {
             (ino, Some(m)) if m.is_live() => Ok((ino, m)),
@@ -190,23 +201,41 @@ impl LibFs {
 
     /// Allocate a data/log page from the local pool.
     pub(crate) fn alloc_page(&self) -> FsResult<u64> {
-        let mut pool = self.page_pool.lock();
-        if pool.is_empty() {
-            let batch = self.kernel.grant_pages(self.id, self.config.page_batch)?;
-            pool.extend(batch);
+        if let Some(p) = self.page_pool.take() {
+            return Ok(p);
         }
-        pool.pop().ok_or(FsError::NoSpace)
+        let mut batch = self.kernel.grant_pages(self.id, self.config.page_batch)?;
+        let page = batch.pop().ok_or(FsError::NoSpace)?;
+        self.page_pool.fill(batch);
+        Ok(page)
     }
 
-    /// Return pages to the local pool.
+    /// Return pages to the local pool; surplus above the high watermark
+    /// goes back to the kernel (callers durably unlink pages before
+    /// recycling them — `teardown_removed_inode` clears the owner's commit
+    /// marker and fences — so the kernel clearing the bitmap bits here
+    /// never breaks the linked⇒allocated invariant fsck audits).
     pub(crate) fn recycle_pages(&self, pages: Vec<u64>) {
-        self.page_pool.lock().extend(pages);
+        let surplus = self.page_pool.put_many(pages);
+        if !surplus.is_empty() {
+            let _ = self.kernel.return_pages(self.id, &surplus);
+        }
     }
 
     /// Return an inode number (with its mapping, when still held) to the
-    /// local pool.
+    /// local pool; surplus numbers re-enter kernel circulation.
     pub(crate) fn recycle_ino(&self, ino: u64, mapping: Option<Mapping>) {
-        self.ino_pool.lock().push((ino, mapping));
+        let surplus = self.ino_pool.put((ino, mapping));
+        if !surplus.is_empty() {
+            self.kernel
+                .return_inodes(self.id, surplus.into_iter().map(|(i, _)| i).collect());
+        }
+    }
+
+    /// Current pool occupancy `(inode numbers, pages)` — observability for
+    /// the watermark tests and the `alloc_scale` bench.
+    pub fn pool_sizes(&self) -> (usize, usize) {
+        (self.ino_pool.len(), self.page_pool.len())
     }
 
     // ---- inode cache / acquisition ------------------------------------------
@@ -893,11 +922,16 @@ impl LibFs {
         // operation becomes durable before any inode is handed back.
         self.flush_all_batches();
         // Hand unused grants back first so they are not force-released.
-        let inos: Vec<u64> = self.ino_pool.lock().drain(..).map(|(i, _)| i).collect();
+        let inos: Vec<u64> = self
+            .ino_pool
+            .drain_all()
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         if !inos.is_empty() {
             self.kernel.return_inodes(self.id, inos);
         }
-        let pages: Vec<u64> = self.page_pool.lock().drain(..).collect();
+        let pages: Vec<u64> = self.page_pool.drain_all();
         if !pages.is_empty() {
             self.kernel.return_pages(self.id, &pages)?;
         }
@@ -1415,6 +1449,8 @@ impl LibFs {
     fn gather_stats(&self) -> FsStats {
         let dev = self.kernel.device().stats().snapshot();
         let ks = self.kernel.stats().snapshot();
+        let page_alloc = self.kernel.allocator().stats();
+        let ino_alloc = self.kernel.ino_provider().stats();
         FsStats {
             flushes: dev.clwb,
             fences: dev.sfences,
@@ -1425,6 +1461,12 @@ impl LibFs {
             dcache_hits: self.dcache.hits(),
             dcache_misses: self.dcache.misses(),
             dcache_invalidations: self.dcache.invalidations(),
+            pool_refills: self.ino_pool.refills() + self.page_pool.refills(),
+            pool_releases: self.ino_pool.releases() + self.page_pool.releases(),
+            alloc_steals: page_alloc.alloc_steals
+                + ino_alloc.alloc_steals
+                + self.ino_pool.steals()
+                + self.page_pool.steals(),
         }
     }
 }

@@ -1,0 +1,224 @@
+//! Sharded, watermark-bounded resource pools for the LibFS fast path.
+//!
+//! The LibFS keeps locally granted inode numbers and pages in pools so the
+//! steady state needs no kernel crossing. Two things were wrong with the
+//! old `Mutex<Vec>` pools: every thread serialized on one lock (the
+//! scalability ceiling the paper's Fig. 4 is about), and `recycle_pages`
+//! grew the pool without bound after unlink storms (grants never returned
+//! to the kernel). [`ShardedPool`] fixes both: takes and puts go to a
+//! per-thread home slot (hash of the thread id, stealing from the other
+//! slots only when the home slot runs dry), and each slot enforces a high
+//! watermark — a put that overfills its slot drains the surplus down to
+//! the low watermark and hands it back to the caller for release to the
+//! kernel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Cached per-thread home-slot hint (hash of the thread id) — the same
+/// scheme the kernel's sharded allocator uses, so a thread's pool slot and
+/// allocator shard stay stable across calls.
+fn thread_hint() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    HINT.with(|h| {
+        if h.get() == usize::MAX {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut hasher);
+            h.set((hasher.finish() as usize) & (usize::MAX >> 1));
+        }
+        h.get()
+    })
+}
+
+/// A sharded pool of granted resources with per-slot watermarks.
+#[derive(Debug)]
+pub struct ShardedPool<T> {
+    slots: Box<[Mutex<Vec<T>>]>,
+    /// A slot drained for surplus release stops at this many items.
+    low_s: usize,
+    /// A put that leaves its slot above this many items triggers a drain.
+    high_s: usize,
+    refills: AtomicU64,
+    releases: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl<T> ShardedPool<T> {
+    /// A pool with `slots` slots and *total* low/high watermarks `low` and
+    /// `high` (divided across the slots; each slot keeps at least a couple
+    /// of items so the fast path survives small watermarks).
+    pub fn new(slots: usize, low: usize, high: usize) -> Self {
+        let slots = slots.max(1);
+        let high_s = (high / slots).max(2);
+        let low_s = (low / slots).clamp(1, high_s - 1);
+        ShardedPool {
+            slots: (0..slots).map(|_| Mutex::new(Vec::new())).collect(),
+            low_s,
+            high_s,
+            refills: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Take one item: home slot first, then the other slots in ring order
+    /// (counted as steals).
+    pub fn take(&self) -> Option<T> {
+        let n = self.slots.len();
+        let home = thread_hint() % n;
+        for k in 0..n {
+            if let Some(item) = self.slots[(home + k) % n].lock().pop() {
+                if k > 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Return one item to the home slot. Anything above the slot's high
+    /// watermark is drained (down to the low watermark) and returned —
+    /// the caller releases that surplus back to the kernel.
+    pub fn put(&self, item: T) -> Vec<T> {
+        self.put_many(std::iter::once(item))
+    }
+
+    /// Return a batch of items to the home slot, with the same watermark
+    /// behaviour as [`ShardedPool::put`].
+    pub fn put_many(&self, items: impl IntoIterator<Item = T>) -> Vec<T> {
+        let n = self.slots.len();
+        let mut slot = self.slots[thread_hint() % n].lock();
+        slot.extend(items);
+        if slot.len() <= self.high_s {
+            return Vec::new();
+        }
+        let surplus: Vec<T> = slot.drain(self.low_s..).collect();
+        self.releases
+            .fetch_add(surplus.len() as u64, Ordering::Relaxed);
+        surplus
+    }
+
+    /// Stock the pool with a fresh kernel grant, dealt round-robin across
+    /// all slots (the grantee's thread fills its own slot first). No
+    /// watermark check: grants are batch-sized below the high watermark.
+    pub fn fill(&self, items: impl IntoIterator<Item = T>) {
+        self.refills.fetch_add(1, Ordering::Relaxed);
+        let n = self.slots.len();
+        let home = thread_hint() % n;
+        let items: Vec<T> = items.into_iter().collect();
+        let per = items.len().div_ceil(n).max(1);
+        let mut items = items.into_iter();
+        for k in 0..n {
+            let chunk: Vec<T> = items.by_ref().take(per).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            self.slots[(home + k) % n].lock().extend(chunk);
+        }
+    }
+
+    /// Empty every slot (unmount: hand everything back to the kernel).
+    pub fn drain_all(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            out.append(&mut slot.lock());
+        }
+        out
+    }
+
+    /// Items currently pooled across all slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Kernel grants stocked via [`ShardedPool::fill`].
+    pub fn refills(&self) -> u64 {
+        self.refills.load(Ordering::Relaxed)
+    }
+
+    /// Items drained as watermark surplus.
+    pub fn releases(&self) -> u64 {
+        self.releases.load(Ordering::Relaxed)
+    }
+
+    /// Takes served from a non-home slot.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_round_trip() {
+        let pool: ShardedPool<u64> = ShardedPool::new(4, 8, 64);
+        assert!(pool.take().is_none());
+        pool.fill(0..10);
+        assert_eq!(pool.len(), 10);
+        assert_eq!(pool.refills(), 1);
+        let mut got = Vec::new();
+        while let Some(v) = pool.take() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn put_over_watermark_returns_surplus() {
+        // 1 slot: high_s = 8, low_s = 2.
+        let pool: ShardedPool<u64> = ShardedPool::new(1, 2, 8);
+        let mut surplus = Vec::new();
+        for v in 0..20 {
+            surplus.extend(pool.put(v));
+        }
+        assert!(pool.len() <= 8, "pool len {} over watermark", pool.len());
+        assert_eq!(pool.len() + surplus.len(), 20, "nothing lost");
+        assert_eq!(pool.releases() as usize, surplus.len());
+    }
+
+    #[test]
+    fn steals_drain_foreign_slots() {
+        let pool: ShardedPool<u64> = ShardedPool::new(8, 8, 64);
+        // Fill every slot directly (bypassing the home-slot hash).
+        for (i, slot) in pool.slots.iter().enumerate() {
+            slot.lock().push(i as u64);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = pool.take() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 8);
+        assert!(pool.steals() >= 7, "steals: {}", pool.steals());
+    }
+
+    #[test]
+    fn small_watermarks_stay_ordered() {
+        // high/slots rounds to 0 — the pool must still keep low < high.
+        let pool: ShardedPool<u64> = ShardedPool::new(8, 0, 4);
+        assert!(pool.low_s < pool.high_s);
+        assert!(pool.high_s >= 2);
+        let _ = pool.put_many(0..32);
+    }
+
+    #[test]
+    fn drain_all_empties_every_slot() {
+        let pool: ShardedPool<u64> = ShardedPool::new(4, 8, 64);
+        pool.fill(0..32);
+        let all = pool.drain_all();
+        assert_eq!(all.len(), 32);
+        assert!(pool.is_empty());
+    }
+}

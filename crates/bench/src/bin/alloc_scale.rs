@@ -1,0 +1,282 @@
+//! Allocator-sharding sweep: lock contention of the page allocator as the
+//! shard count grows (not a paper figure; pins ISSUE 5's acceptance bar).
+//!
+//! Phase A drives the raw [`pmem::ShardedPageAllocator`] from 8 threads,
+//! each pinned to its home shard through the allocation hint, at shard
+//! counts 1, 2, 4 and 8. The contention metric is deterministic — not a
+//! timing: every alloc/free pair takes each shard lock a fixed number of
+//! times, so the busiest shard's `lock_acqs` per op
+//! ([`pmem::AllocStatsSnapshot::max_shard_lock_acqs`]) *must* fall by the
+//! shard count when the threads spread perfectly (and `alloc_steals` must
+//! stay zero, proving they did). The headline is the 8-shard column: the
+//! busiest-shard acquisitions per op must be at least 4x below the
+//! single-shard (old global-lock) figure.
+//!
+//! Phase B mounts a full ArckFS+ instance at shard counts 1 and 8 and runs
+//! a multi-threaded create/unlink storm, reporting the kernel-side shard
+//! counters together with the LibFS pool counters (`pool_refills`,
+//! `pool_releases`, `alloc_steals`) the sharded pools export, writing the
+//! obs report with an `alloc` extension block, and feeding the measured
+//! PM-serial fraction through [`model::OpProfile::estimate_measured`] with
+//! [`model::LockStructure::Partitioned`] so the modelled 48-thread
+//! throughput reflects the allocator partitioning.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use arckfs::{Config, LibFs};
+use bench::{per_op, pm_serial_fraction, record_json};
+use model::{LockStructure, OpProfile, SharingLevel};
+use pmem::{LatencyModel, PmemDevice, ShardedPageAllocator};
+use trio::{Geometry, Kernel, KernelConfig};
+use vfs::{FileSystem, FsExt};
+
+const THREADS: usize = 8;
+const PAGES_PER_OP: usize = 4;
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn iters() -> u64 {
+    std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// One raw-allocator cell: 8 threads, each looping `alloc_extent_hinted`
+/// (hint = thread index, so thread t's home shard is t mod shards) and
+/// `free_extent` on what it got.
+struct RawCell {
+    shards: usize,
+    ns_per_op: f64,
+    /// Busiest-shard lock acquisitions per alloc/free pair.
+    max_per_op: f64,
+    /// Total lock acquisitions per alloc/free pair (sanity: constant).
+    total_per_op: f64,
+    steals: u64,
+}
+
+fn run_raw(shards: usize) -> RawCell {
+    // Page contents are never touched: the allocator only needs its bitmap
+    // region, so size the device for the bitmap alone (the same scratch
+    // trick the kernel's inode-number pool uses).
+    let page_count: u64 = 4096;
+    let scratch = (ShardedPageAllocator::bitmap_bytes(page_count) as usize).div_ceil(8) * 8;
+    let device = PmemDevice::new(scratch);
+    let alloc = Arc::new(
+        ShardedPageAllocator::format_with_shards(device, 0, 0, page_count, shards)
+            .expect("scratch allocator formats"),
+    );
+    let n = iters();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let alloc = Arc::clone(&alloc);
+            s.spawn(move || {
+                for _ in 0..n {
+                    let pages = alloc
+                        .alloc_extent_hinted(t, PAGES_PER_OP)
+                        .expect("raw sweep never exhausts a shard");
+                    alloc.free_extent(&pages).expect("free");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = alloc.stats();
+    let ops = (THREADS as u64 * n) as f64;
+    RawCell {
+        shards,
+        ns_per_op: elapsed.as_secs_f64() * 1e9 / ops,
+        max_per_op: stats.max_shard_lock_acqs() as f64 / ops,
+        total_per_op: stats.lock_acqs() as f64 / ops,
+        steals: stats.alloc_steals,
+    }
+}
+
+/// One FS-level cell: an ArckFS+ kernel formatted with `shards` allocator
+/// shards, 8 threads each growing a private directory (forcing pool
+/// refills through the kernel grant path) and then unlinking everything
+/// (driving the pools over their high watermark so surplus is released
+/// back to the kernel). The allocator and the grant path are the shared
+/// resource; the pool counters prove both watermark directions fired.
+struct FsCell {
+    shards: usize,
+    ns_per_op: f64,
+    kernel_max_per_op: f64,
+    pool_refills: u64,
+    pool_releases: u64,
+    alloc_steals: u64,
+    row: Option<obs::KindReport>,
+    stats: model::OpStats,
+}
+
+fn run_fs(shards: usize) -> FsCell {
+    let device = PmemDevice::with_latency(256 << 20, LatencyModel::optane());
+    let geom = Geometry::for_device(device.len());
+    let kconfig = KernelConfig::arckfs_plus().with_alloc_shards(shards);
+    let kernel = Kernel::format(device, geom, kconfig).expect("format");
+    let fs: Arc<LibFs> = LibFs::mount(kernel.clone(), Config::arckfs_plus(), 0).expect("mount");
+    for t in 0..THREADS {
+        fs.mkdir_all(&format!("/t{t}")).expect("dir");
+    }
+    let n = iters() / 10; // FS ops are ~2 orders slower than raw allocs
+    obs::reset();
+    kernel.allocator().reset_stats();
+    let before = fs.stats();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let fs = Arc::clone(&fs);
+            s.spawn(move || {
+                let payload = vec![0xa5u8; 8192];
+                for i in 0..n {
+                    fs.write_file(&format!("/t{t}/f{i}"), &payload).expect("write");
+                }
+                for i in 0..n {
+                    fs.unlink(&format!("/t{t}/f{i}")).expect("unlink");
+                }
+            });
+        }
+    });
+    let ops = THREADS as u64 * n * 2;
+    let ns_per_op = start.elapsed().as_secs_f64() * 1e9 / ops as f64;
+    let after = fs.stats();
+    let kstats = kernel.allocator().stats();
+    FsCell {
+        shards,
+        ns_per_op,
+        kernel_max_per_op: kstats.max_shard_lock_acqs() as f64 / ops as f64,
+        pool_refills: after.pool_refills - before.pool_refills,
+        pool_releases: after.pool_releases - before.pool_releases,
+        alloc_steals: after.alloc_steals - before.alloc_steals,
+        row: obs::report().kind(obs::OpKind::Write).cloned(),
+        stats: per_op(&after, &before, ops),
+    }
+}
+
+fn main() {
+    obs::enable();
+    println!(
+        "# Allocator sharding sweep ({THREADS} threads, {} iters/thread, \
+         {PAGES_PER_OP} pages/op)",
+        iters()
+    );
+
+    // ---- Phase A: raw allocator, deterministic contention metric --------
+    println!(
+        "\n{:>7}  {:>10} {:>14} {:>14} {:>8}  {:>10}",
+        "shards", "ns/op", "max-shard/op", "total/op", "steals", "reduction"
+    );
+    let mut base: Option<RawCell> = None;
+    let mut at8: Option<RawCell> = None;
+    for shards in SHARD_SWEEP {
+        let cell = run_raw(shards);
+        let reduction = base
+            .as_ref()
+            .map(|b| b.max_per_op / cell.max_per_op.max(f64::MIN_POSITIVE));
+        println!(
+            "{:>7}  {:>10.1} {:>14.3} {:>14.3} {:>8}  {:>9}",
+            cell.shards,
+            cell.ns_per_op,
+            cell.max_per_op,
+            cell.total_per_op,
+            cell.steals,
+            reduction.map_or("-".to_string(), |r| format!("{r:.2}x")),
+        );
+        record_json(
+            "alloc_scale",
+            serde_json::json!({
+                "phase": "raw", "shards": cell.shards,
+                "ns_per_op": cell.ns_per_op,
+                "max_shard_lock_acqs_per_op": cell.max_per_op,
+                "lock_acqs_per_op": cell.total_per_op,
+                "alloc_steals": cell.steals,
+            }),
+        );
+        if shards == 1 {
+            base = Some(cell);
+        } else if shards == 8 {
+            at8 = Some(cell);
+        }
+    }
+    let (base, at8) = (base.expect("1-shard cell"), at8.expect("8-shard cell"));
+    let reduction = base.max_per_op / at8.max_per_op.max(f64::MIN_POSITIVE);
+    println!(
+        "\n8-shard busiest-shard acqs/op: {:.3} -> {:.3} ({reduction:.2}x, need >= 4x): {}",
+        base.max_per_op,
+        at8.max_per_op,
+        if reduction >= 4.0 { "PASS" } else { "FAIL" }
+    );
+
+    // ---- Phase B: FS-level storm + obs/model integration ----------------
+    println!(
+        "\n{:>7}  {:>10} {:>16} {:>9} {:>10} {:>8}",
+        "shards", "ns/op", "kern max-sh/op", "refills", "releases", "steals"
+    );
+    let lat = LatencyModel::optane();
+    for shards in [1, 8] {
+        let cell = run_fs(shards);
+        println!(
+            "{:>7}  {:>10.1} {:>16.4} {:>9} {:>10} {:>8}",
+            cell.shards,
+            cell.ns_per_op,
+            cell.kernel_max_per_op,
+            cell.pool_refills,
+            cell.pool_releases,
+            cell.alloc_steals,
+        );
+        let alloc_block = serde_json::json!({
+            "shards": cell.shards,
+            "kernel_max_shard_lock_acqs_per_op": cell.kernel_max_per_op,
+            "pool_refills": cell.pool_refills,
+            "pool_releases": cell.pool_releases,
+            "alloc_steals": cell.alloc_steals,
+        });
+        if let Some(row) = &cell.row {
+            let sf = pm_serial_fraction(row, &lat);
+            let profile = OpProfile::estimate_measured(
+                cell.ns_per_op / 1e3,
+                SharingLevel::SharedDir,
+                LockStructure::Partitioned {
+                    partitions: cell.shards,
+                    covered_fraction: 0.3,
+                },
+                cell.stats,
+                sf,
+            );
+            println!(
+                "  USL ({} shards): t1 {:.3} µs  pm-serial {:.4}  σ {:.5}  \
+                 modelled x48 {:.0} kops/s",
+                cell.shards,
+                profile.t1_us,
+                sf,
+                profile.sigma,
+                profile.throughput(48) / 1e3,
+            );
+            record_json(
+                "alloc_scale",
+                serde_json::json!({
+                    "phase": "fs", "shards": cell.shards,
+                    "ns_per_op": cell.ns_per_op,
+                    "alloc": alloc_block.clone(),
+                    "pm_serial_fraction": sf,
+                    "sigma": profile.sigma,
+                    "modelled_x48_ops": profile.throughput(48),
+                }),
+            );
+        }
+        if cell.shards == 8 {
+            let _ = obs::report().write_json_ext("alloc_scale", &[("alloc", alloc_block)]);
+        }
+    }
+
+    assert_eq!(
+        base.steals + at8.steals,
+        0,
+        "hint-pinned threads must never steal"
+    );
+    assert!(
+        reduction >= 4.0,
+        "8-shard busiest-shard reduction {reduction:.2}x below the 4x bar"
+    );
+}

@@ -25,7 +25,8 @@
 //!
 //! The crate also provides [`mapping`] (generation-tagged inode mappings —
 //! access after unmap is a detected bus error, modelling the §4.3 SIGBUS)
-//! and [`alloc`] (a persistent page allocator with a durable bitmap).
+//! and [`alloc`] (a sharded persistent page allocator with a durable bitmap
+//! updated by atomic word read-modify-writes).
 
 pub mod alloc;
 pub mod device;
@@ -34,11 +35,36 @@ pub mod mapping;
 pub mod stats;
 pub mod tracker;
 
-pub use alloc::PageAllocator;
+pub use alloc::{
+    default_alloc_shards, AllocShardSnapshot, AllocStatsSnapshot, PageAllocator,
+    ShardedPageAllocator,
+};
 pub use device::{Mode, PmemDevice, PmemError, PmemResult};
 pub use latency::LatencyModel;
 pub use mapping::{MapError, Mapping, MappingRegistry};
 pub use stats::{PmemStats, StatsSnapshot};
+
+/// Optional schedule-point hook, installed by concurrency-testing harnesses.
+///
+/// `pmem` sits below the crate that owns the inject-point machinery
+/// (`arckfs::inject`), so it cannot call `inject::point` directly. Instead
+/// the allocator fires named points through this process-global hook; the
+/// harness installs a forwarder once (idempotent — the first installation
+/// wins) and the uninstrumented cost stays one relaxed atomic load.
+static SCHED_HOOK: std::sync::OnceLock<fn(&'static str)> = std::sync::OnceLock::new();
+
+/// Install the schedule-point forwarder. Later installations are ignored.
+pub fn set_schedule_hook(hook: fn(&'static str)) {
+    let _ = SCHED_HOOK.set(hook);
+}
+
+/// Fire a named schedule point through the installed hook, if any.
+#[inline]
+pub(crate) fn sched_point(name: &'static str) {
+    if let Some(hook) = SCHED_HOOK.get() {
+        hook(name);
+    }
+}
 
 /// Cache-line size in bytes, matching x86.
 pub const CACHE_LINE: usize = 64;

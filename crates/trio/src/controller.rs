@@ -18,11 +18,13 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use pmem::{LatencyModel, Mapping, MappingRegistry, PageAllocator, PmemDevice};
+use pmem::{default_alloc_shards, LatencyModel, Mapping, MappingRegistry, PmemDevice};
+use pmem::ShardedPageAllocator;
 use vfs::{FsError, FsResult};
 
 use crate::format::{self, Geometry, InodeType};
 use crate::lease::{LeaseGrant, RenameLease};
+use crate::provider::{self, ResourceProvider};
 use crate::shadow::{ShadowEntry, ShadowTable};
 use crate::verifier::{self, Snapshot};
 use crate::ROOT_INO;
@@ -46,6 +48,10 @@ pub struct KernelConfig {
     /// Injected cost per kernel crossing (0 in tests; benchmarks model a
     /// syscall at a few hundred ns).
     pub syscall_cost: Duration,
+    /// Shard count for the page allocator and the inode-number pool.
+    /// `0` means "auto": `ARCKFS_ALLOC_SHARDS` if set, else
+    /// `min(cores, 8)` (see [`pmem::default_alloc_shards`]).
+    pub alloc_shards: usize,
 }
 
 impl KernelConfig {
@@ -57,6 +63,7 @@ impl KernelConfig {
             require_rename_lease: false,
             lease_timeout: Duration::from_secs(2),
             syscall_cost: Duration::ZERO,
+            alloc_shards: 0,
         }
     }
 
@@ -67,6 +74,7 @@ impl KernelConfig {
             require_rename_lease: true,
             lease_timeout: Duration::from_secs(2),
             syscall_cost: Duration::ZERO,
+            alloc_shards: 0,
         }
     }
 
@@ -74,6 +82,21 @@ impl KernelConfig {
     pub fn with_syscall_cost(mut self, cost: Duration) -> Self {
         self.syscall_cost = cost;
         self
+    }
+
+    /// Pin the allocator shard count (`0` restores auto selection).
+    pub fn with_alloc_shards(mut self, shards: usize) -> Self {
+        self.alloc_shards = shards;
+        self
+    }
+
+    /// The shard count this configuration resolves to.
+    pub fn effective_alloc_shards(&self) -> usize {
+        if self.alloc_shards == 0 {
+            default_alloc_shards()
+        } else {
+            self.alloc_shards
+        }
     }
 }
 
@@ -166,8 +189,6 @@ pub(crate) struct KState {
     /// Mapping registries for live grants, keyed by (ino, libfs).
     pub registries: HashMap<(u64, u64), Arc<MappingRegistry>>,
     pub libfs: HashMap<u64, LibFsInfo>,
-    /// Unallocated inode numbers.
-    pub free_inos: Vec<u64>,
     /// Inodes released inside a trust group without verification:
     /// ino → (group id, snapshot for the eventual boundary verification).
     pub dirty_in_group: HashMap<u64, (u64, Snapshot)>,
@@ -179,7 +200,13 @@ pub struct Kernel {
     device: Arc<PmemDevice>,
     geom: Geometry,
     config: KernelConfig,
-    allocator: PageAllocator,
+    /// Data-page provider: a [`ShardedPageAllocator`] over the durable
+    /// bitmap region.
+    allocator: Box<dyn ResourceProvider>,
+    /// Inode-number provider: the same engine over a volatile scratch
+    /// bitmap (the durable truth for inode occupancy is the inode table's
+    /// commit markers, re-scanned by [`Kernel::recover`]).
+    inos: Box<dyn ResourceProvider>,
     lease: RenameLease,
     pub(crate) state: Mutex<KState>,
     stats: KernelStats,
@@ -205,11 +232,13 @@ impl Kernel {
         config: KernelConfig,
     ) -> FsResult<Arc<Kernel>> {
         format::write_superblock(&device, &geom).map_err(fs_err)?;
-        let allocator = PageAllocator::format(
+        let shards = config.effective_alloc_shards();
+        let allocator = ShardedPageAllocator::format_with_shards(
             device.clone(),
             geom.bitmap_offset(),
             geom.data_start_page,
             geom.data_pages(),
+            shards,
         )
         .map_err(fs_err)?;
 
@@ -253,13 +282,14 @@ impl Kernel {
             })
             .map_err(fs_err)?;
 
-        let free_inos: Vec<u64> = (2..=geom.max_inodes).rev().collect();
+        let inos = provider::volatile_pool(2, geom.max_inodes - 1, shards);
         let lease = RenameLease::new(config.lease_timeout);
         Ok(Arc::new(Kernel {
             device,
             geom,
             config,
-            allocator,
+            allocator: Box::new(allocator),
+            inos: Box::new(inos),
             lease,
             state: Mutex::new(KState {
                 shadow,
@@ -267,7 +297,6 @@ impl Kernel {
                 snapshots: HashMap::new(),
                 registries: HashMap::new(),
                 libfs: HashMap::new(),
-                free_inos,
                 dirty_in_group: HashMap::new(),
                 next_group: 1,
             }),
@@ -284,13 +313,32 @@ impl Kernel {
     /// the inode table's commit markers.
     pub fn recover(device: Arc<PmemDevice>, config: KernelConfig) -> FsResult<Arc<Kernel>> {
         let geom = format::read_superblock(&device).map_err(FsError::Corrupted)?;
-        let allocator = PageAllocator::recover(
+        let shards = config.effective_alloc_shards();
+        let allocator = ShardedPageAllocator::recover_with_shards(
             device.clone(),
             geom.bitmap_offset(),
             geom.data_start_page,
             geom.data_pages(),
+            shards,
         )
         .map_err(fs_err)?;
+
+        // Reclaim leaked pages: bits that are durably set but not reachable
+        // from any committed inode. These are extents that were granted to
+        // a LibFS (allocate-then-link: the bit persists before the page is
+        // linked) and lost to the crash before linking — exactly the benign
+        // `PageLeak` class fsck reports. Clearing them here keeps leaks
+        // from accumulating across crash/recover cycles.
+        let referenced = crate::fsck::referenced_pages(&device, &geom).map_err(fs_err)?;
+        let mut leaked = Vec::new();
+        for page in geom.data_start_page..geom.data_start_page + geom.data_pages() {
+            if !referenced.contains(&page) && allocator.is_allocated(page).map_err(fs_err)? {
+                leaked.push(page);
+            }
+        }
+        if !leaked.is_empty() {
+            allocator.free_extent(&leaked).map_err(fs_err)?;
+        }
         let mut shadow = ShadowTable::recover(device.clone(), geom).map_err(fs_err)?;
 
         // Walk the tree from the root, registering every reachable,
@@ -387,19 +435,25 @@ impl Kernel {
             }
             shadow.set_children(dir, children);
         }
-        let mut free_inos = Vec::new();
-        for ino in (2..=geom.max_inodes).rev() {
+        // Rebuild the inode-number pool from the table's commit markers —
+        // the durable truth for inode occupancy.
+        let mut used = vec![false; geom.max_inodes as usize + 1];
+        for ino in 2..=geom.max_inodes {
             let marker = device.read_u64(geom.inode_offset(ino)).map_err(fs_err)?;
-            if marker != ino {
-                free_inos.push(ino);
-            }
+            used[ino as usize] = marker == ino;
         }
+        let inos =
+            provider::volatile_pool_from_used(2, geom.max_inodes - 1, shards, |ino| {
+                used[ino as usize]
+            })
+            .map_err(fs_err)?;
         let lease = RenameLease::new(config.lease_timeout);
         Ok(Arc::new(Kernel {
             device,
             geom,
             config,
-            allocator,
+            allocator: Box::new(allocator),
+            inos: Box::new(inos),
             lease,
             state: Mutex::new(KState {
                 shadow,
@@ -407,7 +461,6 @@ impl Kernel {
                 snapshots: HashMap::new(),
                 registries: HashMap::new(),
                 libfs: HashMap::new(),
-                free_inos,
                 dirty_in_group: HashMap::new(),
                 next_group: 1,
             }),
@@ -499,12 +552,11 @@ impl Kernel {
     /// directory referencing them is verified.
     pub fn grant_inodes(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
         self.syscall();
+        // Take the numbers from the sharded pool *before* entering the
+        // kernel lock — allocation contention stays on the pool's shard
+        // locks, not the global kernel state.
+        let inos = self.inos.alloc_extent(n).map_err(provider::provider_err)?;
         let mut st = self.state.lock();
-        if st.free_inos.len() < n {
-            return Err(FsError::NoSpace);
-        }
-        let at = st.free_inos.len() - n;
-        let inos = st.free_inos.split_off(at);
         // The grantee owns the fresh inodes: it may commit/release them
         // (subject to Rule (1) — they verify only once connected).
         for &ino in &inos {
@@ -519,12 +571,8 @@ impl Kernel {
     /// acquire-time mapping.
     pub fn grant_inodes_mapped(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<(u64, Mapping)>> {
         self.syscall();
+        let inos = self.inos.alloc_extent(n).map_err(provider::provider_err)?;
         let mut st = self.state.lock();
-        if st.free_inos.len() < n {
-            return Err(FsError::NoSpace);
-        }
-        let at = st.free_inos.len() - n;
-        let inos = st.free_inos.split_off(at);
         let mut out = Vec::with_capacity(n);
         for ino in inos {
             st.owners.entry(ino).or_default().insert(libfs.0);
@@ -542,23 +590,30 @@ impl Kernel {
     /// mapping is invalidated, and the numbers re-enter circulation.
     pub fn return_inodes(&self, libfs: LibFsId, inos: Vec<u64>) {
         self.syscall();
-        let mut st = self.state.lock();
-        for &ino in &inos {
-            if let Some(owners) = st.owners.get_mut(&ino) {
-                owners.remove(&libfs.0);
+        {
+            let mut st = self.state.lock();
+            for &ino in &inos {
+                if let Some(owners) = st.owners.get_mut(&ino) {
+                    owners.remove(&libfs.0);
+                }
+                if let Some(reg) = st.registries.remove(&(ino, libfs.0)) {
+                    reg.unmap();
+                }
+                st.snapshots.remove(&(ino, libfs.0));
             }
-            if let Some(reg) = st.registries.remove(&(ino, libfs.0)) {
-                reg.unmap();
-            }
-            st.snapshots.remove(&(ino, libfs.0));
         }
-        st.free_inos.extend(inos);
+        // A misbehaving LibFS returning numbers it never held must not
+        // poison the pool; the error (double free) is dropped, matching
+        // the old free-list's silent acceptance.
+        let _ = self.inos.free_extent(&inos);
     }
 
     /// Grant a page extent to the LibFS.
     pub fn grant_pages(&self, _libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
         self.syscall();
-        self.allocator.alloc_extent(n).map_err(|_| FsError::NoSpace)
+        self.allocator
+            .alloc_extent(n)
+            .map_err(provider::provider_err)
     }
 
     /// Return a page extent.
@@ -567,9 +622,15 @@ impl Kernel {
         self.allocator.free_extent(pages).map_err(fs_err)
     }
 
-    /// The page allocator (exposed for fsck cross-checks in tests).
-    pub fn allocator(&self) -> &PageAllocator {
-        &self.allocator
+    /// The page provider (exposed for fsck cross-checks and the obs
+    /// `alloc` block).
+    pub fn allocator(&self) -> &dyn ResourceProvider {
+        self.allocator.as_ref()
+    }
+
+    /// The inode-number provider (counters feed the obs `alloc` block).
+    pub fn ino_provider(&self) -> &dyn ResourceProvider {
+        self.inos.as_ref()
     }
 
     /// Map a freshly granted (not yet committed) inode for `libfs`. The

@@ -132,6 +132,36 @@ pub enum FsckIssue {
         /// The superseded name.
         name: String,
     },
+    /// A page whose bitmap bit is durably set but which no committed inode
+    /// references — residue of an extent granted to a LibFS (allocate-
+    /// then-link persists the bit first) and lost to a crash before
+    /// linking. Recovery clears the bit. Benign.
+    PageLeak {
+        /// The allocator shard owning the page's range.
+        shard: usize,
+        /// The leaked page.
+        page: u64,
+    },
+    /// A page referenced by a reachable inode whose bitmap bit is clear:
+    /// the allocator could hand it out again — a double allocation waiting
+    /// to happen. Violates the allocate-then-link ordering contract.
+    /// **Fatal.**
+    PageNotAllocated {
+        /// The page.
+        page: u64,
+        /// The referencing inode.
+        ino: u64,
+    },
+    /// A page referenced by two distinct reachable inodes: a double
+    /// allocation has already happened. **Fatal.**
+    PageDoubleUse {
+        /// The page.
+        page: u64,
+        /// The second referencing inode.
+        ino: u64,
+        /// The first referencing inode.
+        other: u64,
+    },
 }
 
 impl FsckIssue {
@@ -145,6 +175,7 @@ impl FsckIssue {
                 | FsckIssue::RenameResidue { .. }
                 | FsckIssue::BatchResidue { .. }
                 | FsckIssue::UnlinkResidue { .. }
+                | FsckIssue::PageLeak { .. }
         )
     }
 }
@@ -271,8 +302,168 @@ pub fn fsck_with_geometry(device: &Arc<PmemDevice>, geom: &Geometry) -> FsckRepo
         }
     }
 
+    audit_pages(device, geom, &visited, &mut report);
+
     report.reachable = visited.len() as u64 + 1; // + root
     report
+}
+
+/// Every data page referenced by one committed inode: directory log chains
+/// (per tail, following `DP_NEXT`), file direct pointers, and the indirect
+/// and double-indirect trees (pointer pages included). Out-of-range
+/// pointers are skipped (the walk reports them as structural); chain hops
+/// are bounded so a log cycle cannot hang the scan.
+fn inode_pages(device: &Arc<PmemDevice>, geom: &Geometry, inode: &format::RawInode) -> Vec<u64> {
+    let in_range = |p: u64| p >= geom.data_start_page && p < geom.total_pages;
+    let read_ptr = |page: u64, slot: u64| {
+        device
+            .read_u64(geom.page_offset(page) + slot * 8)
+            .unwrap_or(0)
+    };
+    let mut out = Vec::new();
+    match inode.inode_type() {
+        Some(InodeType::Directory) => {
+            let ntails = (inode.ntails as usize).min(format::NDIRECT);
+            for tail in 0..ntails {
+                let mut page = inode.direct[tail];
+                let mut hops = 0u64;
+                while page != 0 && in_range(page) && hops <= geom.total_pages {
+                    hops += 1;
+                    out.push(page);
+                    page = read_ptr(page, format::DP_NEXT / 8);
+                }
+            }
+        }
+        Some(InodeType::Regular) => {
+            out.extend(inode.direct.iter().copied().filter(|&p| in_range(p)));
+            if in_range(inode.indirect) {
+                out.push(inode.indirect);
+                for i in 0..format::PTRS_PER_PAGE {
+                    let p = read_ptr(inode.indirect, i);
+                    if in_range(p) {
+                        out.push(p);
+                    }
+                }
+            }
+            if in_range(inode.dindirect) {
+                out.push(inode.dindirect);
+                for i in 0..format::PTRS_PER_PAGE {
+                    let l1 = read_ptr(inode.dindirect, i);
+                    if !in_range(l1) {
+                        continue;
+                    }
+                    out.push(l1);
+                    for j in 0..format::PTRS_PER_PAGE {
+                        let p = read_ptr(l1, j);
+                        if in_range(p) {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        None => {}
+    }
+    out
+}
+
+/// Every data page referenced by *any* committed inode — the reachable
+/// page set the bitmap is cross-checked against. Shared with
+/// [`crate::Kernel::recover`], which frees the set-but-unreferenced
+/// remainder (the leaked grants).
+pub(crate) fn referenced_pages(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+) -> Result<HashSet<u64>, String> {
+    let mut set = HashSet::new();
+    for ino in 1..=geom.max_inodes {
+        let inode = match format::read_inode(device, geom, ino) {
+            Ok(i) => i,
+            Err(e) => return Err(e.to_string()),
+        };
+        if inode.is_committed(ino) {
+            set.extend(inode_pages(device, geom, &inode));
+        }
+    }
+    Ok(set)
+}
+
+/// Per-shard page audit: cross-check the durable allocator bitmap against
+/// the page set referenced by committed inodes.
+///
+/// * referenced by a *reachable* inode, bit clear → [`FsckIssue::PageNotAllocated`]
+///   (fatal: the allocator would hand the page out again);
+/// * referenced by two reachable inodes → [`FsckIssue::PageDoubleUse`] (fatal);
+/// * bit set, referenced by nothing → [`FsckIssue::PageLeak`] (benign grant
+///   residue, attributed to the shard that owns the page's range).
+///
+/// Orphan (committed but unreachable) inodes keep their pages out of the
+/// leak class — an orphaned create is itself benign residue — but do not
+/// participate in the double-use check: a freed-and-reallocated page can
+/// legitimately appear under both an orphan and its reallocating owner.
+fn audit_pages(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    visited: &HashSet<u64>,
+    report: &mut FsckReport,
+) {
+    let mut owner: HashMap<u64, u64> = HashMap::new(); // page → reachable owner
+    let mut referenced: HashSet<u64> = HashSet::new();
+    for ino in 1..=geom.max_inodes {
+        let inode = match format::read_inode(device, geom, ino) {
+            Ok(i) => i,
+            Err(_) => return, // table unreadable: already reported
+        };
+        if !inode.is_committed(ino) {
+            continue;
+        }
+        let reachable = ino == ROOT_INO || visited.contains(&ino);
+        let mut mine: HashSet<u64> = HashSet::new();
+        for page in inode_pages(device, geom, &inode) {
+            referenced.insert(page);
+            if !reachable || !mine.insert(page) {
+                continue;
+            }
+            match owner.get(&page) {
+                Some(&other) if other != ino => {
+                    report.issues.push(FsckIssue::PageDoubleUse {
+                        page,
+                        ino,
+                        other,
+                    });
+                }
+                _ => {
+                    owner.insert(page, ino);
+                }
+            }
+        }
+    }
+
+    let nbytes = pmem::ShardedPageAllocator::bitmap_bytes(geom.data_pages()) as usize;
+    let mut bitmap = vec![0u8; nbytes];
+    if device.read(geom.bitmap_offset(), &mut bitmap).is_err() {
+        return;
+    }
+    let ranges = pmem::ShardedPageAllocator::shard_ranges_for(
+        geom.data_start_page,
+        geom.data_pages(),
+        pmem::default_alloc_shards(),
+    );
+    for page in geom.data_start_page..geom.total_pages {
+        let idx = page - geom.data_start_page;
+        let bit = bitmap[(idx / 8) as usize] & (1 << (idx % 8)) != 0;
+        if let Some(&ino) = owner.get(&page) {
+            if !bit {
+                report.issues.push(FsckIssue::PageNotAllocated { page, ino });
+            }
+        } else if bit && !referenced.contains(&page) {
+            let shard = ranges
+                .iter()
+                .position(|&(first, count)| page >= first && page < first + count)
+                .unwrap_or(0);
+            report.issues.push(FsckIssue::PageLeak { shard, page });
+        }
+    }
 }
 
 /// Child inode numbers of a directory's live dentries (best effort; used by
@@ -516,6 +707,133 @@ mod tests {
         assert!(fsck(&dev).is_err(), "no superblock must be an error");
     }
 
+    /// Durably set or clear one page's bitmap bit by hand.
+    fn poke_bit(dev: &Arc<PmemDevice>, geom: &Geometry, page: u64, value: bool) {
+        let idx = page - geom.data_start_page;
+        let off = geom.bitmap_offset() + idx / 8;
+        let b = dev.read_u8(off).unwrap();
+        let b = if value {
+            b | 1 << (idx % 8)
+        } else {
+            b & !(1 << (idx % 8))
+        };
+        dev.write_u8(off, b).unwrap();
+        dev.persist_all();
+    }
+
+    #[test]
+    fn leaked_page_is_benign_and_shard_attributed() {
+        let dev = fresh_device();
+        let geom = format::read_superblock(&dev).unwrap();
+        let page = geom.data_start_page + 3;
+        poke_bit(&dev, &geom, page, true);
+        let report = fsck(&dev).unwrap();
+        assert!(report.is_consistent(), "{:?}", report.issues);
+        let leak = report
+            .issues
+            .iter()
+            .find_map(|i| match i {
+                FsckIssue::PageLeak { shard, page: p } => Some((*shard, *p)),
+                _ => None,
+            })
+            .expect("leak reported");
+        assert_eq!(leak.1, page);
+        let ranges = pmem::ShardedPageAllocator::shard_ranges_for(
+            geom.data_start_page,
+            geom.data_pages(),
+            pmem::default_alloc_shards(),
+        );
+        let (first, count) = ranges[leak.0];
+        assert!(page >= first && page < first + count, "wrong shard");
+    }
+
+    #[test]
+    fn reachable_page_with_clear_bit_is_fatal() {
+        let dev = fresh_device();
+        let geom = format::read_superblock(&dev).unwrap();
+        // Link a dir-log page into the root but leave its bit clear.
+        let page = geom.data_start_page + 5;
+        let base = geom.inode_offset(crate::ROOT_INO);
+        dev.write_u64(base + format::I_DIRECT, page).unwrap();
+        dev.persist_all();
+        let report = fsck(&dev).unwrap();
+        assert!(!report.is_consistent());
+        assert!(report.issues.iter().any(|i| matches!(
+            i,
+            FsckIssue::PageNotAllocated { page: p, ino: 1 } if *p == page
+        )));
+    }
+
+    #[test]
+    fn doubly_referenced_page_is_fatal() {
+        let dev = fresh_device();
+        let geom = format::read_superblock(&dev).unwrap();
+        let page = geom.data_start_page + 7;
+        poke_bit(&dev, &geom, page, true);
+        // Root's dentry page holds one entry naming file 7; both the root
+        // log and file 7 then claim `page`.
+        let dirp = geom.data_start_page + 8;
+        poke_bit(&dev, &geom, dirp, true);
+        let root_base = geom.inode_offset(crate::ROOT_INO);
+        dev.write_u64(root_base + format::I_DIRECT, dirp).unwrap();
+        dev.write_u64(root_base + format::I_SIZE, 1).unwrap();
+        let rec = geom.page_offset(dirp) + format::DIRPAGE_FIRST_DENTRY;
+        dev.write_u64(rec + format::D_INO, 7).unwrap();
+        dev.write_u64(rec + format::D_SEQ, 1).unwrap();
+        dev.write(rec + format::D_NAME, b"f").unwrap();
+        dev.write_u16(rec + format::D_MARKER, 1).unwrap();
+        let f_base = geom.inode_offset(7);
+        dev.write_u32(f_base + format::I_TYPE, InodeType::Regular.to_raw())
+            .unwrap();
+        dev.write_u64(f_base + format::I_DIRECT, page).unwrap();
+        dev.write_u64(f_base, 7).unwrap();
+        // A second committed file 8 claiming the same page, orphaned (no
+        // dentry): orphans are excluded from the double-use check.
+        let g_base = geom.inode_offset(8);
+        dev.write_u32(g_base + format::I_TYPE, InodeType::Regular.to_raw())
+            .unwrap();
+        dev.write_u64(g_base + format::I_DIRECT, page).unwrap();
+        dev.write_u64(g_base, 8).unwrap();
+        dev.persist_all();
+        let report = fsck(&dev).unwrap();
+        assert!(report.is_consistent(), "{:?}", report.issues);
+
+        // Now link file 8 into the root as well: both owners reachable.
+        let rec2 = rec + format::DENTRY_SIZE;
+        dev.write_u64(rec2 + format::D_INO, 8).unwrap();
+        dev.write_u64(rec2 + format::D_SEQ, 2).unwrap();
+        dev.write(rec2 + format::D_NAME, b"g").unwrap();
+        dev.write_u16(rec2 + format::D_MARKER, 1).unwrap();
+        dev.write_u64(root_base + format::I_SIZE, 2).unwrap();
+        dev.persist_all();
+        let report = fsck(&dev).unwrap();
+        assert!(!report.is_consistent());
+        assert!(report.issues.iter().any(|i| matches!(
+            i,
+            FsckIssue::PageDoubleUse { page: p, .. } if *p == page
+        )));
+    }
+
+    #[test]
+    fn repair_clears_leaked_bits() {
+        let dev = fresh_device();
+        let geom = format::read_superblock(&dev).unwrap();
+        let page = geom.data_start_page + 11;
+        poke_bit(&dev, &geom, page, true);
+        let after = repair(&dev).unwrap();
+        assert!(
+            !after
+                .issues
+                .iter()
+                .any(|i| matches!(i, FsckIssue::PageLeak { .. })),
+            "{:?}",
+            after.issues
+        );
+        let idx = page - geom.data_start_page;
+        let b = dev.read_u8(geom.bitmap_offset() + idx / 8).unwrap();
+        assert_eq!(b & (1 << (idx % 8)), 0, "bit cleared");
+    }
+
     #[test]
     fn orphan_inode_is_benign() {
         let dev = fresh_device();
@@ -644,6 +962,18 @@ pub fn repair(device: &Arc<PmemDevice>) -> Result<FsckReport, String> {
                             .map_err(|e| e.to_string())?;
                     }
                 }
+            }
+            FsckIssue::PageLeak { page, .. } => {
+                // Clear the leaked bit so the allocator's next recovery
+                // returns the page to circulation. Repair is offline and
+                // single-threaded: a plain read-modify-write is safe here.
+                let idx = page - geom.data_start_page;
+                let off = geom.bitmap_offset() + idx / 8;
+                let b = device.read_u8(off).map_err(|e| e.to_string())?;
+                device
+                    .write_u8(off, b & !(1 << (idx % 8)))
+                    .map_err(|e| e.to_string())?;
+                device.persist(off, 1).map_err(|e| e.to_string())?;
             }
             _ => {} // fatal issues are reported, not repaired
         }

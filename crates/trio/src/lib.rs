@@ -27,6 +27,7 @@ pub mod controller;
 pub mod format;
 pub mod fsck;
 pub mod lease;
+pub mod provider;
 pub mod shadow;
 pub mod verifier;
 
@@ -34,6 +35,7 @@ pub use controller::{InodeGrant, Kernel, KernelConfig, KernelStats, LibFsId};
 pub use format::{Geometry, InodeType};
 pub use fsck::{FsckIssue, FsckReport};
 pub use lease::RenameLease;
+pub use provider::ResourceProvider;
 
 /// The well-known inode number of the root directory.
 pub const ROOT_INO: u64 = 1;

@@ -1,0 +1,233 @@
+//! The resource-provider abstraction behind the kernel's grants.
+//!
+//! The controller hands LibFSes *extents* of two resources: data pages and
+//! inode numbers. Both are "a set of integers with durable (or rebuildable)
+//! occupancy state, sharded for multicore scalability", so both are served
+//! by the same engine — [`pmem::ShardedPageAllocator`] — behind this trait.
+//! kernelfs, fsck's cross-checks, and the tests program against the trait,
+//! not the concrete allocator, which is what lets the inode-number pool be
+//! a second allocator instance over a tiny volatile scratch bitmap instead
+//! of a hand-rolled `Vec<u64>` free list under the kernel lock.
+
+use pmem::{AllocStatsSnapshot, PmemDevice, ShardedPageAllocator};
+use pmem::{PmemError, PmemResult};
+
+/// A sharded allocator of integer-identified resources (pages, inode
+/// numbers) with per-shard occupancy and contention counters.
+///
+/// Identifiers are absolute (page numbers, inode numbers), never
+/// shard-relative; implementations own a contiguous range
+/// `[first, first + count)` split into disjoint shards.
+pub trait ResourceProvider: Send + Sync + std::fmt::Debug {
+    /// Allocate `n` identifiers, home shard picked from the calling
+    /// thread's identity. Fails with [`PmemError::NoSpace`] — leaving the
+    /// provider unchanged — when fewer than `n` are free.
+    fn alloc_extent(&self, n: usize) -> PmemResult<Vec<u64>>;
+
+    /// As [`ResourceProvider::alloc_extent`] with an explicit home-shard
+    /// hint (`hint % shard_count` is the home shard). Benches pin threads
+    /// to shards through this.
+    fn alloc_extent_hinted(&self, hint: usize, n: usize) -> PmemResult<Vec<u64>>;
+
+    /// Return identifiers to circulation. Freeing an id that is not
+    /// currently allocated is an error.
+    fn free_extent(&self, ids: &[u64]) -> PmemResult<()>;
+
+    /// Currently free identifiers across all shards.
+    fn free_count(&self) -> u64;
+
+    /// Currently allocated identifiers across all shards.
+    fn allocated_count(&self) -> u64;
+
+    /// Total identifiers managed (free + allocated).
+    fn capacity(&self) -> u64;
+
+    /// `(first, count)` of each shard's range, in shard order.
+    fn shard_ranges(&self) -> Vec<(u64, u64)>;
+
+    /// Is `id` currently allocated?
+    fn is_allocated(&self, id: u64) -> PmemResult<bool>;
+
+    /// Contention and occupancy counters since creation or the last
+    /// [`ResourceProvider::reset_stats`].
+    fn stats(&self) -> AllocStatsSnapshot;
+
+    /// Zero the contention counters (occupancy is preserved).
+    fn reset_stats(&self);
+}
+
+impl ResourceProvider for ShardedPageAllocator {
+    fn alloc_extent(&self, n: usize) -> PmemResult<Vec<u64>> {
+        ShardedPageAllocator::alloc_extent(self, n)
+    }
+
+    fn alloc_extent_hinted(&self, hint: usize, n: usize) -> PmemResult<Vec<u64>> {
+        ShardedPageAllocator::alloc_extent_hinted(self, hint, n)
+    }
+
+    fn free_extent(&self, ids: &[u64]) -> PmemResult<()> {
+        ShardedPageAllocator::free_extent(self, ids)
+    }
+
+    fn free_count(&self) -> u64 {
+        ShardedPageAllocator::free_count(self)
+    }
+
+    fn allocated_count(&self) -> u64 {
+        ShardedPageAllocator::allocated_count(self)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.page_count()
+    }
+
+    fn shard_ranges(&self) -> Vec<(u64, u64)> {
+        ShardedPageAllocator::shard_ranges(self)
+    }
+
+    fn is_allocated(&self, id: u64) -> PmemResult<bool> {
+        ShardedPageAllocator::is_allocated(self, id)
+    }
+
+    fn stats(&self) -> AllocStatsSnapshot {
+        ShardedPageAllocator::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        ShardedPageAllocator::reset_stats(self)
+    }
+}
+
+/// Length (bytes) of the scratch device backing a volatile pool over
+/// `count` identifiers: the bitmap rounded up to whole words so the
+/// allocator's atomic word RMWs stay in bounds.
+fn scratch_len(count: u64) -> usize {
+    (ShardedPageAllocator::bitmap_bytes(count) as usize).div_ceil(8) * 8
+}
+
+/// A sharded **volatile** pool over `[first, first + count)`, all free.
+///
+/// The pool is a [`ShardedPageAllocator`] whose "device" is a private
+/// in-memory scratch buffer holding nothing but the occupancy bitmap
+/// (bitmap offset 0). Persistence of that bitmap is meaningless — the
+/// scratch device is dropped with the pool — which is exactly right for
+/// inode numbers: their durable truth is the inode table's commit markers,
+/// re-scanned on every recovery.
+pub fn volatile_pool(first: u64, count: u64, shards: usize) -> ShardedPageAllocator {
+    let device = PmemDevice::new(scratch_len(count));
+    ShardedPageAllocator::format_with_shards(device, 0, first, count, shards)
+        .expect("scratch bitmap formats in bounds")
+}
+
+/// A sharded volatile pool over `[first, first + count)` with the ids for
+/// which `used` returns true pre-allocated — the recovery-time constructor
+/// (the caller derives `used` from the inode table's commit markers).
+pub fn volatile_pool_from_used(
+    first: u64,
+    count: u64,
+    shards: usize,
+    used: impl Fn(u64) -> bool,
+) -> PmemResult<ShardedPageAllocator> {
+    let device = PmemDevice::new(scratch_len(count));
+    for id in first..first + count {
+        if used(id) {
+            let idx = id - first;
+            let off = idx / 8;
+            let byte = device.read_u8(off)?;
+            device.write_u8(off, byte | 1 << (idx % 8))?;
+        }
+    }
+    device.persist_all();
+    ShardedPageAllocator::recover_with_shards(device, 0, first, count, shards)
+}
+
+/// Map an allocator failure to the matching [`vfs::FsError`]:
+/// [`PmemError::NoSpace`] means exactly that; anything else is an internal
+/// fault (out-of-bounds bitmap access, poisoned device).
+pub fn provider_err(e: PmemError) -> vfs::FsError {
+    match e {
+        PmemError::NoSpace { .. } => vfs::FsError::NoSpace,
+        other => vfs::FsError::Internal(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_allocator(shards: usize) -> ShardedPageAllocator {
+        let device = PmemDevice::new(64 * pmem::PAGE_SIZE);
+        ShardedPageAllocator::format_with_shards(device, 0, 4, 32, shards).unwrap()
+    }
+
+    #[test]
+    fn trait_object_round_trip() {
+        let provider: Box<dyn ResourceProvider> = Box::new(data_allocator(4));
+        assert_eq!(provider.capacity(), 32);
+        assert_eq!(provider.free_count(), 32);
+        let got = provider.alloc_extent(5).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(provider.allocated_count(), 5);
+        for &p in &got {
+            assert!(provider.is_allocated(p).unwrap());
+        }
+        provider.free_extent(&got).unwrap();
+        assert_eq!(provider.free_count(), 32);
+        assert_eq!(provider.shard_ranges().len(), 4);
+        assert!(provider.stats().lock_acqs() > 0);
+        provider.reset_stats();
+        assert_eq!(provider.stats().lock_acqs(), 0);
+    }
+
+    #[test]
+    fn volatile_pool_serves_whole_range() {
+        let pool = volatile_pool(2, 10, 2);
+        let mut all = Vec::new();
+        for _ in 0..10 {
+            all.push(ResourceProvider::alloc_extent(&pool, 1).unwrap()[0]);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (2..12).collect::<Vec<u64>>());
+        match ResourceProvider::alloc_extent(&pool, 1) {
+            Err(PmemError::NoSpace { requested, free }) => {
+                assert_eq!((requested, free), (1, 0));
+            }
+            other => panic!("expected NoSpace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn volatile_pool_from_used_preallocates() {
+        let pool = volatile_pool_from_used(2, 10, 4, |id| id % 3 == 0).unwrap();
+        // 3, 6, 9 used out of 2..=11.
+        assert_eq!(pool.allocated_count(), 3);
+        for id in 2..12u64 {
+            assert_eq!(ResourceProvider::is_allocated(&pool, id).unwrap(), id % 3 == 0);
+        }
+        // Every remaining id is allocatable exactly once.
+        let got = ResourceProvider::alloc_extent(&pool, 7).unwrap();
+        let mut got: Vec<u64> = got;
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 4, 5, 7, 8, 10, 11]);
+        assert!(ResourceProvider::alloc_extent(&pool, 1).is_err());
+    }
+
+    #[test]
+    fn provider_err_maps_no_space() {
+        assert!(matches!(
+            provider_err(PmemError::NoSpace {
+                requested: 4,
+                free: 1
+            }),
+            vfs::FsError::NoSpace
+        ));
+        assert!(matches!(
+            provider_err(PmemError::OutOfBounds {
+                offset: 0,
+                len: 1,
+                size: 0
+            }),
+            vfs::FsError::Internal(_)
+        ));
+    }
+}

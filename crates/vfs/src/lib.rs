@@ -225,6 +225,15 @@ pub struct FsStats {
     /// Per-directory generation bumps published by namespace writers; each
     /// bump invalidates every cached entry of that directory at once.
     pub dcache_invalidations: u64,
+    /// Kernel extent grants used to restock the LibFS resource pools.
+    pub pool_refills: u64,
+    /// Items released back to the kernel when a pool slot crossed its high
+    /// watermark.
+    pub pool_releases: u64,
+    /// Cross-shard fallbacks across the allocation stack: kernel allocator
+    /// and inode-pool shard steals plus LibFS pool slot steals. Zero means
+    /// every thread stayed on its home shard.
+    pub alloc_steals: u64,
 }
 
 /// The common file-system interface.

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use arckfs::delegate::DelegationPool;
 use arckfs::{inject, Config};
-use pmem::{Mapping, MappingRegistry, PmemDevice};
+use pmem::{Mapping, MappingRegistry, PmemDevice, ShardedPageAllocator};
 use schedmc::{explore, replay, ExploreOpts, FailureKind, Op};
 
 /// Small deterministic options for in-test exploration: no wall-clock
@@ -225,6 +225,72 @@ fn batched_create_vs_open_space_is_clean() {
         report.points_hit
     );
     assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded allocator: the grant and steal windows, covered by the explorer
+// ---------------------------------------------------------------------------
+
+/// Sweep the kernel grant path of the sharded allocator (ISSUE 5): with
+/// the grant batches forced to 1 the LibFS pools never hold a spare, so
+/// every create crosses into the kernel grant path, and the
+/// allocator-internal `alloc.shard.bit_persist` window (bits set and
+/// clwb'd, fence not yet issued) becomes a schedule point the explorer
+/// preempts at — the pmem hook forwards it into the inject registry and
+/// the participants park there. The whole bound-2 space — including
+/// interleavings that stop one thread mid-grant while the other operates
+/// on the same allocator — is clean.
+#[test]
+fn allocator_grant_window_swept_clean() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.ino_batch = 1;
+    cfg.page_batch = 1;
+    let report = explore(&[Op::Create, Op::Unlink], &opts(cfg));
+    assert!(!report.truncated);
+    assert!(
+        report.points_hit.get("alloc.shard.bit_persist").copied() >= Some(1),
+        "the grant window must actually be scheduled through: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+/// The work-stealing fallback, pinned with a gate: drain a thread's home
+/// shard, park the next allocation on `alloc.shard.steal` (it reaches the
+/// point *before* touching the foreign shard — steals counter still zero),
+/// then release it and watch it complete from the neighbour's range.
+#[test]
+fn allocator_steal_window_parks_before_the_foreign_shard() {
+    let dev = PmemDevice::new(4096);
+    let alloc = Arc::new(ShardedPageAllocator::format_with_shards(dev, 0, 4, 32, 2).unwrap());
+    let (first0, count0) = alloc.shard_ranges()[0];
+    let (first1, count1) = alloc.shard_ranges()[1];
+    let drained = alloc.alloc_extent_hinted(0, count0 as usize).unwrap();
+    assert!(
+        drained.iter().all(|&p| (first0..first0 + count0).contains(&p)),
+        "a full-shard take must not spill into the neighbour"
+    );
+
+    let gate = inject::arm("alloc.shard.steal");
+    let a2 = Arc::clone(&alloc);
+    let victim = std::thread::spawn(move || a2.alloc_extent_hinted(0, 1).unwrap());
+    assert!(
+        gate.wait_reached(Duration::from_secs(5)),
+        "a dry home shard must route the victim through the steal point"
+    );
+    assert_eq!(
+        alloc.stats().alloc_steals,
+        0,
+        "parked before stealing: nothing taken yet"
+    );
+    gate.release();
+    let pages = victim.join().unwrap();
+    assert!(
+        (first1..first1 + count1).contains(&pages[0]),
+        "the steal must come from the neighbour's range, got page {}",
+        pages[0]
+    );
+    assert_eq!(alloc.stats().alloc_steals, 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -260,3 +260,62 @@ fn index_resizes_under_concurrent_load() {
     assert_eq!(kernel.stats().snapshot().verify_failures, 0);
     assert!(fsck(kernel.device()).unwrap().is_consistent());
 }
+
+#[test]
+fn unlink_storm_keeps_pools_under_the_high_watermark() {
+    // The pre-ISSUE-5 pools grew without bound: every unlink pushed its
+    // pages back into a Mutex<Vec> that nothing ever drained, so a 10k-file
+    // storm left thousands of pages stranded in the LibFS. The sharded
+    // pools enforce a high watermark — surplus above it goes back to the
+    // kernel — so after the storm both pools must sit at or below it.
+    let mut config = Config::arckfs_plus();
+    config.pool_low = 64;
+    config.pool_high = 512;
+    let pool_high = config.pool_high;
+    let (kernel, fs) = arckfs::new_fs(DEV, config).unwrap();
+    for t in 0..4u64 {
+        fs.mkdir(&format!("/s{t}")).unwrap();
+    }
+
+    // 4 threads x 4 waves x 625 files = 10_000 files created and unlinked;
+    // waves bound the live set so the device never fills.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let fs = fs.clone();
+            s.spawn(move || {
+                let payload = vec![0x5au8; 4096];
+                for wave in 0..4u64 {
+                    for i in 0..625u64 {
+                        let path = format!("/s{t}/w{wave}-{i}");
+                        fs.write_file(&path, &payload)
+                            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                    }
+                    for i in 0..625u64 {
+                        let path = format!("/s{t}/w{wave}-{i}");
+                        fs.unlink(&path).unwrap_or_else(|e| panic!("unlink {path}: {e}"));
+                    }
+                }
+            });
+        }
+    });
+
+    let (inos, pages) = fs.pool_sizes();
+    assert!(
+        inos <= pool_high,
+        "ino pool holds {inos} after the storm, watermark {pool_high}"
+    );
+    assert!(
+        pages <= pool_high,
+        "page pool holds {pages} after the storm, watermark {pool_high}"
+    );
+    let stats = fs.stats();
+    assert!(
+        stats.pool_releases > 0,
+        "a 10k-file storm must trip the release watermark at least once"
+    );
+    assert!(stats.pool_refills > 0, "grants must have refilled the pools");
+
+    fs.unmount().unwrap();
+    assert_eq!(kernel.stats().snapshot().verify_failures, 0);
+    assert!(fsck(kernel.device()).unwrap().is_consistent());
+}
