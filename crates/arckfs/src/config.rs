@@ -64,10 +64,20 @@ pub struct Config {
     pub ntstore_threshold: usize,
     /// Delegation worker threads streaming large writes to PM in the
     /// background (0 = inline non-temporal stores). Writes of at least
-    /// [`Config::delegation_min`] bytes are shipped to the pool.
+    /// [`Config::delegation_min`] bytes are shipped to the pool. Each
+    /// worker owns one submission ring (DESIGN.md §10); the preset
+    /// constructors honor `ARCKFS_DELEG_RINGS`.
     pub delegation_threads: usize,
     /// Minimum write size handed to the delegation pool.
     pub delegation_min: usize,
+    /// Slots per delegation submission ring; a full ring is backpressure
+    /// (the submitter yields), never unbounded growth. The preset
+    /// constructors honor `ARCKFS_DELEG_SQ_DEPTH`.
+    pub deleg_sq_depth: usize,
+    /// Jobs a delegation worker drains per batch — and thus how many
+    /// non-temporal store streams share one amortized `sfence`. The
+    /// preset constructors honor `ARCKFS_DELEG_BATCH`.
+    pub deleg_batch: usize,
 
     /// Group-durability (fence-coalescing) batch commit for metadata
     /// operations (`crate::batch`). When active, create/unlink/rename/mkdir
@@ -132,8 +142,16 @@ impl Config {
             pool_low: batch_usize_env("ARCKFS_POOL_LOW", 64),
             pool_high: batch_usize_env("ARCKFS_POOL_HIGH", 1024),
             ntstore_threshold: 4096,
-            delegation_threads: 0,
+            delegation_threads: batch_usize_env("ARCKFS_DELEG_RINGS", 0),
             delegation_min: 512 * 1024,
+            deleg_sq_depth: batch_usize_env(
+                "ARCKFS_DELEG_SQ_DEPTH",
+                crate::delegate::DelegationPool::DEFAULT_SQ_DEPTH,
+            ),
+            deleg_batch: batch_usize_env(
+                "ARCKFS_DELEG_BATCH",
+                crate::delegate::DelegationPool::DEFAULT_BATCH,
+            ),
             batch: batch_env_default(),
             batch_ops: batch_usize_env("ARCKFS_BATCH_OPS", 8),
             batch_bytes: batch_usize_env("ARCKFS_BATCH_BYTES", 16 * 1024),

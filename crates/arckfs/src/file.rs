@@ -236,6 +236,7 @@ impl LibFs {
                     .map_err(map_fault)?;
                 mapping.clwb(base + in_page as u64, n).map_err(map_fault)?;
             }
+            crate::inject::point("file.write.chunk");
             done += n;
         }
         mapping.sfence();
@@ -254,6 +255,28 @@ impl LibFs {
         Ok(data.len())
     }
 
+    /// Allocate (and zero, if fresh and partial) the backing page of one
+    /// chunk, then ship it to the delegation pool.
+    fn delegate_chunk(
+        &self,
+        file: &MemInode,
+        mapping: &Mapping,
+        idx: u64,
+        in_page: usize,
+        chunk: &[u8],
+    ) -> FsResult<crate::delegate::Ticket> {
+        let fresh_before = self.file_block_page(file.ino, mapping, idx, false)? == 0;
+        let page = self.file_block_page(file.ino, mapping, idx, true)?;
+        let base = page * PAGE_SIZE as u64;
+        if fresh_before && chunk.len() < PAGE_SIZE {
+            let zeroes = [0u8; 1024];
+            for i in 0..4 {
+                mapping.write(base + i * 1024, &zeroes).map_err(map_fault)?;
+            }
+        }
+        self.delegation.submit(mapping, base + in_page as u64, chunk)
+    }
+
     /// Delegated write path: allocate backing pages, ship contiguous
     /// same-page runs to the delegation pool, then join and fence.
     fn file_write_delegated(
@@ -268,30 +291,38 @@ impl LibFs {
         // this LibFS's behalf, so every open commit batch closes first.
         self.flush_all_batches();
         let mut tickets = Vec::new();
+        let mut first_err: Option<FsError> = None;
         let mut done = 0usize;
         while done < data.len() {
             let pos = offset + done as u64;
             let idx = pos / PAGE_SIZE as u64;
             let in_page = (pos % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(data.len() - done);
-            let fresh_before = self.file_block_page(file.ino, mapping, idx, false)? == 0;
-            let page = self.file_block_page(file.ino, mapping, idx, true)?;
-            let base = page * PAGE_SIZE as u64;
-            if fresh_before && n < PAGE_SIZE {
-                let zeroes = [0u8; 1024];
-                for i in 0..4 {
-                    mapping.write(base + i * 1024, &zeroes).map_err(map_fault)?;
+            // No early `?` once tickets exist: an error here must still
+            // drain every outstanding ticket below, or the workers would
+            // keep streaming into pages the caller believes failed (and
+            // the tickets would be dropped incomplete).
+            let prepared =
+                self.delegate_chunk(file, mapping, idx, in_page, &data[done..done + n]);
+            match prepared {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
                 }
             }
-            tickets.push(self.delegation.submit(
-                mapping,
-                base + in_page as u64,
-                &data[done..done + n],
-            )?);
             done += n;
         }
+        // Join *all* tickets, keeping the first error: an early return on
+        // the first failed wait used to drop the rest incomplete,
+        // discarding their faults along with the durability guarantee.
         for t in tickets {
-            t.wait()?;
+            if let Err(e) = t.wait() {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         mapping.sfence();
 

@@ -104,7 +104,11 @@ impl LibFs {
         let (id, base_mapping) = kernel.register_libfs(uid);
         let geom = *kernel.geometry();
         let label = format!("{}#{}", config.label(), id.0);
-        let config_threads = config.delegation_threads;
+        let (deleg_rings, deleg_sq_depth, deleg_batch) = (
+            config.delegation_threads,
+            config.deleg_sq_depth,
+            config.deleg_batch,
+        );
         let (pool_slots, pool_low, pool_high) = (
             pmem::default_alloc_shards(),
             config.pool_low,
@@ -129,7 +133,11 @@ impl LibFs {
             pending_renames: Mutex::new(HashMap::new()),
             shared_lock_acqs: AtomicU64::new(0),
             dcache,
-            delegation: crate::delegate::DelegationPool::new(config_threads),
+            delegation: crate::delegate::DelegationPool::with_opts(
+                deleg_rings,
+                deleg_sq_depth,
+                deleg_batch,
+            ),
             label,
         }))
     }
@@ -152,6 +160,11 @@ impl LibFs {
     /// Bytes shipped through the I/O delegation pool so far.
     pub fn delegated_bytes(&self) -> u64 {
         self.delegation.delegated_bytes()
+    }
+
+    /// Snapshot of the delegation runtime's ring/batch/wait counters.
+    pub fn delegation_snapshot(&self) -> crate::delegate::DelegSnapshot {
+        self.delegation.snapshot()
     }
 
     pub(crate) fn count_lock(&self) {
@@ -1451,6 +1464,7 @@ impl LibFs {
         let ks = self.kernel.stats().snapshot();
         let page_alloc = self.kernel.allocator().stats();
         let ino_alloc = self.kernel.ino_provider().stats();
+        let deleg = self.delegation.snapshot();
         FsStats {
             flushes: dev.clwb,
             fences: dev.sfences,
@@ -1467,6 +1481,14 @@ impl LibFs {
                 + ino_alloc.alloc_steals
                 + self.ino_pool.steals()
                 + self.page_pool.steals(),
+            deleg_bytes: deleg.delegated_bytes,
+            deleg_enqueued: deleg.enqueued,
+            deleg_backpressure: deleg.backpressure,
+            deleg_sq_depth_max: deleg.sq_depth_max,
+            deleg_batches: deleg.batches,
+            deleg_batch_fences: deleg.batch_fences,
+            deleg_polls: deleg.poll_waits,
+            deleg_parks: deleg.park_waits,
         }
     }
 }
@@ -1604,14 +1626,19 @@ impl FileSystem for LibFs {
         // §2.2: data writes persist synchronously. With group durability
         // active (DESIGN.md §8), metadata operations may still sit in open
         // commit batches — fsync is the explicit durability point that
-        // closes them all; otherwise it returns immediately.
+        // closes them all; otherwise it returns immediately. Delegated
+        // writes are quiesced too: every waited ticket is already durable,
+        // but open-loop submitters (`Ticket::try_complete`) may still have
+        // chunks in the rings.
         self.flush_all_batches();
+        self.delegation.drain();
         Ok(())
     }
 
     fn sync(&self) -> FsResult<()> {
         let _span = obs::span(obs::OpKind::Fsync, self.kernel.device().stats());
         self.flush_batch();
+        self.delegation.drain();
         Ok(())
     }
 

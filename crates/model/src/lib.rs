@@ -195,6 +195,42 @@ impl OpProfile {
         p
     }
 
+    /// Profile for a **delegated data operation** (§2.2/§5.2's I/O
+    /// delegation), so the 48-thread USL projection covers the data path
+    /// and not just metadata.
+    ///
+    /// Structure: submitters contend only on the per-ring enqueue word, so
+    /// the data path behaves like a shared object partitioned over `rings`
+    /// submission queues, with `worker_fraction` the share of the op spent
+    /// in the serialized enqueue/complete protocol (measured as the
+    /// submit-side overhead divided by the whole op, typically small). The
+    /// fence column is the amortization rule applied to the drain batch:
+    /// `chunks_per_op` non-temporal store streams sharing one `sfence` per
+    /// `drain_batch` jobs, plus the caller's size-commit fence.
+    pub fn delegated_data(
+        t1_us: f64,
+        rings: usize,
+        chunks_per_op: f64,
+        drain_batch: usize,
+        worker_fraction: f64,
+    ) -> OpProfile {
+        let stats = OpStats {
+            flushes: 0.0,
+            fences: amortized_fences(chunks_per_op, drain_batch) + 1.0,
+            syscalls: 0.0,
+            lock_acqs: chunks_per_op,
+        };
+        OpProfile::estimate(
+            t1_us,
+            SharingLevel::SharedDir,
+            LockStructure::Partitioned {
+                partitions: rings.max(1),
+                covered_fraction: worker_fraction.clamp(0.0, 1.0),
+            },
+            stats,
+        )
+    }
+
     /// Modelled throughput at `threads`, in operations per second.
     pub fn throughput(&self, threads: usize) -> f64 {
         let n = threads as f64;
@@ -363,6 +399,25 @@ mod tests {
         );
         let ratio = plus.throughput(48) / arckfs.throughput(48);
         assert!((0.90..1.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn delegated_data_projection_rewards_rings_and_batch() {
+        // One ring, no drain batching: every chunk pays its own fence and
+        // all submitters funnel through one queue.
+        let narrow = OpProfile::delegated_data(50.0, 1, 16.0, 1, 0.4);
+        // Eight rings, drain batch 8: same work, amortized ordering.
+        let wide = OpProfile::delegated_data(50.0, 8, 16.0, 8, 0.4);
+        let x48_narrow = narrow.throughput(48);
+        let x48_wide = wide.throughput(48);
+        assert!(
+            x48_wide > 2.0 * x48_narrow,
+            "rings+batch must lift the 48-thread data projection: {x48_wide} vs {x48_narrow}"
+        );
+        // The fence column reflects the amortization rule exactly.
+        assert!(wide.kappa < narrow.kappa);
+        // Single-thread cost is untouched by the structure.
+        assert!((narrow.throughput(1) - wide.throughput(1)).abs() < 1.0);
     }
 
     #[test]

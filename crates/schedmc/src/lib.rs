@@ -95,6 +95,11 @@ pub enum Op {
     OpenAt,
     /// `O_APPEND` open of `/d/f0` + `append` of a tid-tagged payload.
     Append,
+    /// `write_file("/d/w", …)` of a tid-tagged multi-page payload, sized
+    /// to ride the delegation rings when the config under test enables
+    /// them ([`explore_delegate_pairs`]); inline non-temporal stores
+    /// otherwise.
+    WriteDelegated,
     /// `flush_batch()` — the explicit group-durability close (ISSUE 4).
     /// A no-op unless the config under test enables batching.
     FlushBatch,
@@ -106,7 +111,7 @@ pub enum Op {
 impl Op {
     /// The whole vocabulary, in a fixed order. The batch ops come last
     /// so budget truncation of a sweep sheds the newest pairs first.
-    pub const ALL: [Op; 9] = [
+    pub const ALL: [Op; 10] = [
         Op::Create,
         Op::Unlink,
         Op::Rename,
@@ -114,6 +119,7 @@ impl Op {
         Op::Revive,
         Op::OpenAt,
         Op::Append,
+        Op::WriteDelegated,
         Op::FlushBatch,
         Op::CreateBatched,
     ];
@@ -132,6 +138,7 @@ impl Op {
             Op::Revive => "revive",
             Op::OpenAt => "open_at",
             Op::Append => "append",
+            Op::WriteDelegated => "write_delegated",
             Op::FlushBatch => "flush_batch",
             Op::CreateBatched => "create_batched",
         }
@@ -140,6 +147,12 @@ impl Op {
     /// The payload `Op::Append` writes for participant `tid`.
     pub fn append_payload(tid: usize) -> Vec<u8> {
         vec![b'a' + (tid as u8 % 26); 24]
+    }
+
+    /// The payload `Op::WriteDelegated` writes for participant `tid`:
+    /// three pages, so the write spans several delegation chunks.
+    pub fn delegated_payload(tid: usize) -> Vec<u8> {
+        vec![b'0' + (tid as u8 % 10); 12 * 1024]
     }
 
     fn run(self, fs: &LibFs, tid: usize) -> FsResult<()> {
@@ -171,6 +184,7 @@ impl Op {
                 let c = fs.close(fd);
                 r.and(c)
             }
+            Op::WriteDelegated => fs.write_file("/d/w", &Op::delegated_payload(tid)),
             Op::FlushBatch => {
                 fs.flush_batch();
                 Ok(())
@@ -959,6 +973,38 @@ pub fn explore_batch_pairs(opts: &ExploreOpts) -> ExploreReport {
     for i in 0..Op::ALL.len() {
         for j in i..Op::ALL.len() {
             if i < first_batch && j < first_batch {
+                continue;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                report.truncated = true;
+                return report;
+            }
+            report.merge(explore_inner(&[Op::ALL[i], Op::ALL[j]], &opts, deadline));
+        }
+    }
+    report
+}
+
+/// Explore every unordered pair involving [`Op::WriteDelegated`] under a
+/// **ring-enabled** copy of `opts.config` (two delegation rings, the
+/// delegation floor dropped so the op's multi-page payload actually rides
+/// them) — the vocabulary sweep alone only exercises the inline store
+/// path, so the `delegate.sq.*` schedule points would never arbitrate.
+/// Same preemption bound and budget semantics as [`explore_vocabulary`].
+pub fn explore_delegate_pairs(opts: &ExploreOpts) -> ExploreReport {
+    let mut opts = opts.clone();
+    opts.config.delegation_threads = 2;
+    opts.config.delegation_min = 4096;
+    opts.config.deleg_batch = 2;
+    let deadline = opts.budget.map(|b| Instant::now() + b);
+    let mut report = ExploreReport::default();
+    let deleg = Op::ALL
+        .iter()
+        .position(|o| *o == Op::WriteDelegated)
+        .expect("WriteDelegated in the vocabulary");
+    for i in 0..Op::ALL.len() {
+        for j in i..Op::ALL.len() {
+            if i != deleg && j != deleg {
                 continue;
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {

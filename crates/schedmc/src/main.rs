@@ -30,6 +30,10 @@ fn main() {
     // enabled (the default config leaves it off, so the sweep above
     // never schedules a real close).
     report.merge(schedmc::explore_batch_pairs(&opts));
+    // Every pair involving a delegated write, re-swept with the
+    // delegation rings enabled (the default config writes inline, so the
+    // sweep above never arbitrates the `delegate.sq.*` points).
+    report.merge(schedmc::explore_delegate_pairs(&opts));
 
     eprintln!(
         "schedmc: {} schedules, {} distinct points hit, {} crash states checked (max space {}){}",

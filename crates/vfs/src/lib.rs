@@ -234,6 +234,23 @@ pub struct FsStats {
     /// and inode-pool shard steals plus LibFS pool slot steals. Zero means
     /// every thread stayed on its home shard.
     pub alloc_steals: u64,
+    /// Bytes whose delegated (I/O-delegation) store completed successfully.
+    pub deleg_bytes: u64,
+    /// Chunks enqueued into delegation submission rings.
+    pub deleg_enqueued: u64,
+    /// Delegation enqueue attempts that found a full ring (backpressure).
+    pub deleg_backpressure: u64,
+    /// High-water occupancy of any single delegation submission ring.
+    pub deleg_sq_depth_max: u64,
+    /// Delegation worker drain batches executed.
+    pub deleg_batches: u64,
+    /// Store fences issued by delegation drain batches; amortization means
+    /// this stays below the chunk count as the drain batch grows.
+    pub deleg_batch_fences: u64,
+    /// Delegation ticket completions observed in the polling (spin) phase.
+    pub deleg_polls: u64,
+    /// Delegation ticket completions that parked on the condvar.
+    pub deleg_parks: u64,
 }
 
 /// The common file-system interface.

@@ -6,7 +6,10 @@
 //! device-wide totals could never say which operation gained the fence.
 
 use arckfs_repro::obs;
-use arckfs_repro::{arckfs, vfs::FileSystem};
+use arckfs_repro::{
+    arckfs,
+    vfs::{FileSystem, FsExt},
+};
 
 /// Pin group durability off: the inline fence-count rows below assert
 /// exact per-op counts, which an `ARCKFS_BATCH=1` environment (the CI
@@ -111,6 +114,47 @@ fn group_durability_coalesces_create_fences() {
     // inactive batching changes nothing, to the fence.
     assert_eq!(gated.totals.sfences, plain.totals.sfences - N);
     assert!(gated.batched_fraction().abs() < 1e-9);
+}
+
+/// The ISSUE 6 accounting fix, observed at the FS level: `delegated_bytes`
+/// counts a chunk when its write *completes*, not when it is submitted, so
+/// a successful delegated write is attributed exactly once and the ring
+/// counters surface coherently through [`vfs::FsStats`].
+#[test]
+fn delegated_bytes_attributed_only_on_completion() {
+    let mut cfg = arckfs::Config::arckfs_plus();
+    cfg.delegation_threads = 2;
+    cfg.delegation_min = 8192;
+    let (_kernel, fs) = arckfs::new_fs(64 << 20, cfg).expect("format");
+    fs.mkdir("/d").expect("mkdir");
+
+    let payload = vec![0x5au8; 40 * 1024]; // 10 pages, one ring chunk each
+    fs.write_file("/d/big", &payload).expect("delegated write");
+    assert_eq!(
+        fs.delegated_bytes(),
+        payload.len() as u64,
+        "a completed delegated write is attributed exactly once"
+    );
+
+    let st = fs.stats();
+    assert_eq!(st.deleg_bytes, payload.len() as u64);
+    assert_eq!(st.deleg_enqueued, 10, "one SQ entry per 4 KiB page");
+    assert!(
+        (1..=st.deleg_enqueued).contains(&st.deleg_batch_fences),
+        "drain batches amortize the fence: {} fences over {} chunks",
+        st.deleg_batch_fences,
+        st.deleg_enqueued
+    );
+    assert_eq!(
+        st.deleg_polls + st.deleg_parks,
+        10,
+        "every ticket wait resolves by exactly one poll or park"
+    );
+
+    // A sub-threshold write stays inline and claims nothing.
+    fs.write_file("/d/small", &[0x11u8; 512]).expect("inline write");
+    assert_eq!(fs.delegated_bytes(), payload.len() as u64);
+    assert_eq!(fs.stats().deleg_enqueued, 10);
 }
 
 #[test]

@@ -11,9 +11,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use arckfs::delegate::DelegationPool;
-use arckfs::{inject, Config};
+use arckfs::{inject, Config, LibFs};
 use pmem::{Mapping, MappingRegistry, PmemDevice, ShardedPageAllocator};
 use schedmc::{explore, replay, ExploreOpts, FailureKind, Op};
+use trio::{Kernel, KernelConfig};
+use vfs::{FileSystem, FsError, FsExt};
 
 /// Small deterministic options for in-test exploration: no wall-clock
 /// budget (results must not depend on machine load), crash oracle off
@@ -359,4 +361,142 @@ fn completion_notify_cannot_be_lost() {
         std::thread::sleep(Duration::from_millis(5));
     }
     waiter.join().unwrap().unwrap();
+}
+
+/// The ISSUE 6 completion-leak, pinned: shut the pool down while a
+/// multi-chunk submit is parked between chunk enqueues. The old code
+/// preloaded the completion count with *all* chunks before the send
+/// loop, so an aborted submit left the count above zero forever and
+/// `Ticket::wait` hung. With per-chunk accounting the submitter backs
+/// its own increments out, surfaces the shutdown as an error, and the
+/// one chunk that did run is the only one attributed.
+#[test]
+fn shutdown_mid_submit_cannot_leak_the_completion() {
+    let dev = PmemDevice::new(4 << 20);
+    let reg = Arc::new(MappingRegistry::new());
+    let m = Mapping::new(dev, reg, 0, 4 << 20);
+    let pool = Arc::new(DelegationPool::new(1));
+
+    let gate = inject::arm("delegate.sq.enqueue");
+    let p2 = Arc::clone(&pool);
+    let m2 = m.clone();
+    let submitter = std::thread::spawn(move || {
+        let data = vec![0x5cu8; 3 * DelegationPool::CHUNK];
+        p2.submit(&m2, 0, &data).and_then(|t| t.wait())
+    });
+    assert!(
+        gate.wait_reached(Duration::from_secs(5)),
+        "submitter must park after publishing its first chunk"
+    );
+
+    // The worker is not gated: let it drain and complete chunk 0.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while pool.delegated_bytes() < DelegationPool::CHUNK as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never completed the published chunk"
+        );
+        std::thread::yield_now();
+    }
+
+    pool.shutdown();
+    gate.release();
+
+    let res = submitter.join().unwrap();
+    assert!(
+        matches!(res, Err(FsError::Internal(_))),
+        "an aborted submit must surface the shutdown, got {res:?}"
+    );
+    assert_eq!(
+        pool.delegated_bytes(),
+        DelegationPool::CHUNK as u64,
+        "only the chunk that actually ran may be attributed"
+    );
+}
+
+/// Mid-transfer crash differential for a multi-page write, run through
+/// both data paths: park the transfer after some chunk stores have been
+/// issued but before the size commit, and every sampled crash state must
+/// recover to prefix-or-nothing — the file is absent or empty, never a
+/// torn length. Returns the delegated-byte attribution for the caller to
+/// pin per path.
+fn torn_write_recovers_prefix_or_nothing(rings: usize, gate_point: &str) -> u64 {
+    let device = PmemDevice::new_tracked(8 << 20);
+    let mut cfg = Config::arckfs_plus();
+    cfg.delegation_threads = rings;
+    cfg.delegation_min = 8192;
+    cfg.deleg_batch = 2;
+    let (_k, fs) = arckfs::new_fs_on(device.clone(), cfg.clone()).unwrap();
+    fs.mkdir("/d").unwrap();
+    fs.sync().unwrap();
+    device.persist_all(); // the baseline tree is fully durable
+
+    let payload = vec![0xc7u8; 24 * 1024]; // 6 pages: a genuinely torn window
+    let gate = inject::arm(gate_point);
+    let fs2 = Arc::clone(&fs);
+    let p2 = payload.clone();
+    let writer = std::thread::spawn(move || fs2.write_file("/d/w", &p2));
+    assert!(
+        gate.wait_reached(Duration::from_secs(5)),
+        "the transfer must park mid-stream at {gate_point}"
+    );
+
+    // Chunk stores are in flight, the size word is not: every reachable
+    // crash image must still pass fsck...
+    let report = crashmc::check_sampled(&device, 40, 0x71).unwrap();
+    assert!(report.is_consistent(), "mid-transfer: {report:?}");
+
+    // ...and a remounted kernel must see the file absent or empty.
+    let recovered = crashmc::recover_one(&device, 99).unwrap();
+    let kernel = Kernel::recover(recovered, KernelConfig::arckfs_plus()).unwrap();
+    let fsr = LibFs::mount(kernel, cfg, 0).unwrap();
+    if let Ok(md) = fsr.stat("/d/w") {
+        assert_eq!(md.size, 0, "size must not be committed mid-transfer");
+        assert_eq!(fsr.read_file("/d/w").unwrap(), b"");
+    }
+
+    gate.release();
+    writer.join().unwrap().unwrap();
+    fs.sync().unwrap();
+    let report = crashmc::check_durable(&device).unwrap();
+    assert!(report.is_consistent(), "post-completion: {report:?}");
+    assert_eq!(fs.read_file("/d/w").unwrap(), payload);
+    fs.delegated_bytes()
+}
+
+#[test]
+fn torn_inline_write_recovers_prefix_or_nothing() {
+    let deleg = torn_write_recovers_prefix_or_nothing(0, "file.write.chunk");
+    assert_eq!(deleg, 0, "the inline path must not claim delegated bytes");
+}
+
+#[test]
+fn torn_delegated_write_recovers_prefix_or_nothing() {
+    let deleg = torn_write_recovers_prefix_or_nothing(2, "delegate.drain.batch_fence");
+    assert_eq!(
+        deleg,
+        24 * 1024,
+        "every delegated chunk must be attributed exactly once on completion"
+    );
+}
+
+/// The bound-2 pair space around the new SQ publish window, swept with
+/// the rings enabled: the explorer arbitrates `delegate.sq.enqueue`
+/// against a concurrent append and finds nothing. (Worker-side drain
+/// points pass through for non-participants by design, so only the
+/// submitter-side point shows up in the trace.)
+#[test]
+fn delegate_ring_points_are_swept() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.delegation_threads = 2;
+    cfg.delegation_min = 4096;
+    cfg.deleg_batch = 2;
+    let report = explore(&[Op::WriteDelegated, Op::Append], &opts(cfg));
+    assert!(!report.truncated);
+    assert!(
+        report.points_hit.get("delegate.sq.enqueue").copied() >= Some(1),
+        "the SQ publish window must actually be scheduled through: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
 }
