@@ -178,10 +178,17 @@ pub struct MemInode {
     pub cached_nlink: AtomicU64,
     /// In-DRAM mirror of the inode's sequence counter.
     pub seq: AtomicU64,
-    /// Content lock for regular files (readers-writer).
+    /// Content lock for regular files (readers-writer). With
+    /// [`crate::Config::range_locks`] the data path uses [`MemInode::ranges`]
+    /// instead; this lock is then only taken (in write mode) by the §4.3
+    /// release/revive quiesce.
     pub rw: RwLock<()>,
     /// Metadata update lock (size/seq/block-map fields in the PM inode).
     pub meta: Mutex<()>,
+    /// Byte-range lock table for the parallel data path (DESIGN.md §11).
+    pub ranges: crate::range_lock::RangeLockTable,
+    /// DRAM mirror of the file's extent chain (DESIGN.md §11).
+    pub extents: RwLock<crate::extent::ExtentCache>,
     /// Directory auxiliary state (None for regular files).
     pub dir: Option<DirState>,
     /// Workspace-unique id of this `MemInode` *instance*. Inode numbers are
@@ -233,6 +240,8 @@ impl MemInode {
             seq: AtomicU64::new(seq),
             rw: RwLock::new(()),
             meta: Mutex::new(()),
+            ranges: crate::range_lock::RangeLockTable::default(),
+            extents: RwLock::new(crate::extent::ExtentCache::default()),
             dir,
             uid: NEXT_MEM_INODE_UID.fetch_add(1, Ordering::Relaxed),
             dcache_gen: AtomicU64::new(0),
@@ -271,9 +280,12 @@ impl MemInode {
         self.released.store(true, Ordering::SeqCst);
     }
 
-    /// Mark re-acquired with a fresh mapping.
+    /// Mark re-acquired with a fresh mapping. The extent mirror is dropped:
+    /// another LibFS may have grown the file while this inode was released,
+    /// so the next data access reloads the chain from PM.
     pub fn mark_acquired(&self, mapping: Mapping) {
         *self.mapping.write() = mapping;
+        self.extents.write().invalidate();
         self.released.store(false, Ordering::SeqCst);
     }
 

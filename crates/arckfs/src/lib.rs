@@ -30,11 +30,13 @@ pub mod custom;
 pub mod dcache;
 pub mod delegate;
 pub mod dir;
+pub mod extent;
 pub mod file;
 pub mod inject;
 pub mod inode;
 pub mod libfs;
 pub mod pool;
+pub mod range_lock;
 
 pub use config::Config;
 pub use libfs::LibFs;

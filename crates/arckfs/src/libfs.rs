@@ -81,6 +81,13 @@ pub struct LibFs {
     pending_renames: Mutex<HashMap<u64, HashSet<u64>>>,
     /// Shared-state lock acquisitions (for the scalability model).
     shared_lock_acqs: AtomicU64,
+    /// Byte-range lock acquisitions (DESIGN.md §11); counted separately so
+    /// the model can watch per-file lock traffic fall as ranges take over.
+    range_lock_acqs: AtomicU64,
+    /// Extent records appended or coalesced into per-file chains.
+    extent_inserts: AtomicU64,
+    /// Copy-on-write tail remaps performed by range-locked appends.
+    cow_tail_copies: AtomicU64,
     /// Lock-free path-resolution cache (`crate::dcache`), consulted by
     /// [`LibFs::lookup_child`] when [`Config::dcache`] is on.
     pub(crate) dcache: crate::dcache::Dcache,
@@ -132,6 +139,9 @@ impl LibFs {
             next_fd: AtomicU64::new(3),
             pending_renames: Mutex::new(HashMap::new()),
             shared_lock_acqs: AtomicU64::new(0),
+            range_lock_acqs: AtomicU64::new(0),
+            extent_inserts: AtomicU64::new(0),
+            cow_tail_copies: AtomicU64::new(0),
             dcache,
             delegation: crate::delegate::DelegationPool::with_opts(
                 deleg_rings,
@@ -169,6 +179,18 @@ impl LibFs {
 
     pub(crate) fn count_lock(&self) {
         self.shared_lock_acqs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_range_lock(&self) {
+        self.range_lock_acqs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_extent_insert(&self) {
+        self.extent_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_cow_tail(&self) {
+        self.cow_tail_copies.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publish a namespace mutation of `dir` to the dentry cache: bump the
@@ -303,6 +325,17 @@ impl LibFs {
         if mi.state() == InodeState::Acquired {
             return Ok(mi.clone()); // another thread got here first
         }
+        // Range-mode data ops never touch `rw`, so the whole-file range is
+        // their quiesce point. Taken before the metadata lock — writers
+        // hold their range while publishing the size under `meta`, so the
+        // reverse order would deadlock (same order as the release quiesce).
+        let _ranges = self
+            .config
+            .range_locks
+            .then(|| {
+                self.count_range_lock();
+                mi.ranges.acquire_all()
+            });
         let _w = mi.rw.write();
         let mut table = mi.dir_state().map(|ds| {
             self.count_lock();
@@ -844,8 +877,18 @@ impl LibFs {
         if self.config.fix_release_sync {
             // §4.3 PATCH: quiesce the inode under all its locks, then
             // release; retain the auxiliary state. Lock order matches the
-            // operations' nesting (file lock, buckets, tails, metadata) so
-            // an in-flight create completes rather than deadlocking.
+            // operations' nesting (whole-file range, file lock, buckets,
+            // tails, metadata) so an in-flight create completes rather
+            // than deadlocking. Range-mode writers never take `rw`, so
+            // the whole-file range acquisition is what waits them out
+            // (DESIGN.md §11).
+            let _ranges = self
+                .config
+                .range_locks
+                .then(|| {
+                    self.count_range_lock();
+                    mi.ranges.acquire_all()
+                });
             let _w = mi.rw.write();
             let mut _table_guard = None;
             let mut tail_guards = Vec::new();
@@ -1489,6 +1532,9 @@ impl LibFs {
             deleg_batch_fences: deleg.batch_fences,
             deleg_polls: deleg.poll_waits,
             deleg_parks: deleg.park_waits,
+            range_lock_acqs: self.range_lock_acqs.load(Ordering::Relaxed),
+            extent_inserts: self.extent_inserts.load(Ordering::Relaxed),
+            cow_tail_copies: self.cow_tail_copies.load(Ordering::Relaxed),
         }
     }
 }
@@ -1618,6 +1664,43 @@ impl FileSystem for LibFs {
             inject::point("file.append.offset_read");
             self.file_write_at(&mi, buf, offset)?;
             Ok(offset)
+        })
+    }
+
+    fn write_vectored_at(&self, fd: Fd, bufs: &[&[u8]], offset: u64) -> FsResult<usize> {
+        let _span = obs::span(obs::OpKind::Write, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.write {
+                return Err(FsError::BadAccessMode);
+            }
+            if entry.flags.append {
+                let total: usize = bufs.iter().map(|b| b.len()).sum();
+                return self.file_append_vectored(&mi, bufs).map(|_| total);
+            }
+            self.file_write_vectored(&mi, bufs, offset)
+        })
+    }
+
+    fn read_vectored_at(&self, fd: Fd, bufs: &mut [&mut [u8]], offset: u64) -> FsResult<usize> {
+        let _span = obs::span(obs::OpKind::Read, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.read {
+                return Err(FsError::BadAccessMode);
+            }
+            self.file_read_vectored(&mi, bufs, offset)
+        })
+    }
+
+    fn fallocate(&self, fd: Fd, offset: u64, len: u64) -> FsResult<()> {
+        let _span = obs::span(obs::OpKind::Write, self.kernel.device().stats());
+        self.run_retrying(|| {
+            let (mi, entry) = self.file_inode(fd)?;
+            if !entry.flags.write {
+                return Err(FsError::BadAccessMode);
+            }
+            self.file_fallocate(&mi, offset, len)
         })
     }
 
@@ -1834,6 +1917,9 @@ impl FileSystem for LibFs {
     fn reset_stats(&self) {
         self.kernel.device().stats().reset();
         self.shared_lock_acqs.store(0, Ordering::Relaxed);
+        self.range_lock_acqs.store(0, Ordering::Relaxed);
+        self.extent_inserts.store(0, Ordering::Relaxed);
+        self.cow_tail_copies.store(0, Ordering::Relaxed);
         self.dcache.reset_counters();
     }
 }

@@ -1,0 +1,266 @@
+//! Byte-range locks for the regular-file data path (DESIGN.md §11).
+//!
+//! Each regular [`crate::inode::MemInode`] owns one [`RangeLockTable`]: an
+//! interval-keyed table of currently held byte ranges. A writer acquires
+//! exactly the ranges it touches in exclusive mode, a reader in shared
+//! mode, and truncate/release take the whole file ([`RangeLockTable::
+//! acquire_all`]) so the §4.3 quiesce discipline carries over unchanged:
+//! anything that invalidates the mapping first waits out every in-flight
+//! data operation.
+//!
+//! ## Deadlock freedom
+//!
+//! A multi-range acquisition (vectored I/O) is **atomic**: the requested
+//! ranges are sorted by start, merged, and then either *all* granted under
+//! one table lock or the requester waits — no acquisition ever holds one
+//! range while blocking on another, so no hold-and-wait cycle can form
+//! between two multi-range writers regardless of their range order.
+//!
+//! ## Fairness
+//!
+//! Grants are first-fit under a condvar broadcast. Writers to disjoint
+//! ranges never contend at all (the common fxmark-DWOM case); overlapping
+//! writers serialize in wakeup order, which is sufficient at file-system
+//! op granularity.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A half-open byte range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl Range {
+    /// The range covering `len` bytes at `offset` (empty input becomes a
+    /// one-byte range so the acquisition still orders against truncate).
+    pub fn of(offset: u64, len: usize) -> Range {
+        Range {
+            start: offset,
+            end: offset.saturating_add((len as u64).max(1)),
+        }
+    }
+
+    /// The whole-file range.
+    pub fn all() -> Range {
+        Range {
+            start: 0,
+            end: u64::MAX,
+        }
+    }
+
+    fn overlaps(&self, other: &HeldRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[derive(Debug)]
+struct HeldRange {
+    start: u64,
+    end: u64,
+    exclusive: bool,
+    owner: u64,
+}
+
+#[derive(Default)]
+struct TableState {
+    held: Vec<HeldRange>,
+    next_owner: u64,
+}
+
+/// Per-inode interval lock table. See the module docs.
+#[derive(Default)]
+pub struct RangeLockTable {
+    state: Mutex<TableState>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for RangeLockTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RangeLockTable")
+            .field("held", &self.state.lock().held.len())
+            .finish()
+    }
+}
+
+impl RangeLockTable {
+    /// Acquire one range. See [`RangeLockTable::acquire_ranges`].
+    pub fn acquire(&self, range: Range, exclusive: bool) -> RangeGuard<'_> {
+        self.acquire_ranges(vec![range], exclusive)
+    }
+
+    /// Acquire the whole file exclusively (truncate / release quiesce).
+    pub fn acquire_all(&self) -> RangeGuard<'_> {
+        self.acquire(Range::all(), true)
+    }
+
+    /// Atomically acquire a set of ranges (vectored I/O lands all its
+    /// iovecs in one acquisition). The ranges are sorted by start and
+    /// merged; the caller blocks until every merged range is grantable at
+    /// once. Shared acquisitions admit other shared holders; exclusive
+    /// ones admit nobody.
+    pub fn acquire_ranges(&self, mut ranges: Vec<Range>, exclusive: bool) -> RangeGuard<'_> {
+        // Lock-order by range start, then merge overlapping/adjacent
+        // ranges so the table stays minimal.
+        ranges.sort_by_key(|r| r.start);
+        let mut merged: Vec<Range> = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            if r.start >= r.end {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if r.start <= last.end => last.end = last.end.max(r.end),
+                _ => merged.push(r),
+            }
+        }
+        let mut state = self.state.lock();
+        let owner = state.next_owner;
+        state.next_owner += 1;
+        loop {
+            let conflict = state.held.iter().any(|h| {
+                (exclusive || h.exclusive) && merged.iter().any(|r| r.overlaps(h))
+            });
+            if !conflict {
+                break;
+            }
+            self.cv.wait(&mut state);
+        }
+        state.held.extend(merged.iter().map(|r| HeldRange {
+            start: r.start,
+            end: r.end,
+            exclusive,
+            owner,
+        }));
+        RangeGuard { table: self, owner }
+    }
+
+    /// Number of currently held ranges (test introspection).
+    pub fn held_ranges(&self) -> usize {
+        self.state.lock().held.len()
+    }
+}
+
+/// RAII guard over one acquisition; dropping it releases every range of
+/// the acquisition and wakes all waiters.
+#[must_use = "dropping the guard releases the ranges"]
+pub struct RangeGuard<'a> {
+    table: &'a RangeLockTable,
+    owner: u64,
+}
+
+impl Drop for RangeGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.table.state.lock();
+        state.held.retain(|h| h.owner != self.owner);
+        self.table.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn disjoint_exclusive_ranges_do_not_block() {
+        let t = Arc::new(RangeLockTable::default());
+        let g1 = t.acquire(Range::of(0, 4096), true);
+        let g2 = t.acquire(Range::of(4096, 4096), true);
+        assert_eq!(t.held_ranges(), 2);
+        drop(g1);
+        drop(g2);
+        assert_eq!(t.held_ranges(), 0);
+    }
+
+    #[test]
+    fn overlapping_exclusive_ranges_serialize() {
+        let t = Arc::new(RangeLockTable::default());
+        let g1 = t.acquire(Range::of(0, 8192), true);
+        let t2 = t.clone();
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let cs = in_cs.clone();
+        let h = std::thread::spawn(move || {
+            let _g = t2.acquire(Range::of(4096, 4096), true);
+            cs.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(in_cs.load(Ordering::SeqCst), 0, "must wait for overlap");
+        drop(g1);
+        h.join().unwrap();
+        assert_eq!(in_cs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shared_holders_admit_each_other_but_not_writers() {
+        let t = Arc::new(RangeLockTable::default());
+        let g1 = t.acquire(Range::of(0, 4096), false);
+        let g2 = t.acquire(Range::of(0, 4096), false);
+        let t2 = t.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        let h = std::thread::spawn(move || {
+            let _g = t2.acquire(Range::of(0, 4096), true);
+            d.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+        drop(g1);
+        drop(g2);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn whole_file_excludes_everything() {
+        let t = Arc::new(RangeLockTable::default());
+        let g = t.acquire_all();
+        let t2 = t.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        let h = std::thread::spawn(move || {
+            let _g = t2.acquire(Range::of(1 << 40, 1), false);
+            d.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn multi_range_acquisition_is_atomic_and_merged() {
+        let t = RangeLockTable::default();
+        // Out-of-order, overlapping input merges to two ranges.
+        let g = t.acquire_ranges(
+            vec![Range::of(8192, 4096), Range::of(0, 4096), Range::of(2048, 4096)],
+            true,
+        );
+        assert_eq!(t.held_ranges(), 2);
+        drop(g);
+        assert_eq!(t.held_ranges(), 0);
+    }
+
+    #[test]
+    fn opposite_order_multi_range_writers_cannot_deadlock() {
+        let t = Arc::new(RangeLockTable::default());
+        let mut handles = Vec::new();
+        for flip in [false, true] {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let (a, b) = (Range::of(0, 4096), Range::of(1 << 20, 4096));
+                    let ranges = if flip { vec![b, a] } else { vec![a, b] };
+                    let _g = t.acquire_ranges(ranges, true);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.held_ranges(), 0);
+    }
+}

@@ -181,8 +181,19 @@ pub fn run_data_workload(
                                 fs.append(fd, &buf)?;
                                 appended += BLOCK as u64;
                             }
-                            DataWorkload::DWOL | DataWorkload::DWOM => {
+                            DataWorkload::DWOL => {
                                 let b = rng.gen_range(0..blocks);
+                                fs.write_at(fd, &buf, b * BLOCK as u64)?;
+                            }
+                            DataWorkload::DWOM => {
+                                // FxMark's DWOM: every thread overwrites
+                                // its own disjoint region of the one
+                                // shared file — the contention under test
+                                // is the file-level structures (lock,
+                                // mapping), never the data blocks.
+                                let stripe = (blocks / threads as u64).max(1);
+                                let base = (t as u64 * stripe) % blocks;
+                                let b = base + rng.gen_range(0..stripe);
                                 fs.write_at(fd, &buf, b * BLOCK as u64)?;
                             }
                             DataWorkload::DRBL | DataWorkload::DRBM => {

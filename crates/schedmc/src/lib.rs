@@ -100,6 +100,15 @@ pub enum Op {
     /// them ([`explore_delegate_pairs`]); inline non-temporal stores
     /// otherwise.
     WriteDelegated,
+    /// `write_vectored_at` of a tid-tagged payload into `/d/f0` at a
+    /// tid-distinct block-aligned offset — two disjoint ranged writers on
+    /// one shared file, driving the `file.write.range_lock` and
+    /// `file.write.extent_insert` windows when the config under test
+    /// enables the ranged data path ([`explore_range_pairs`]).
+    WriteRanged,
+    /// `fallocate(fd, 1024, 2048)` on `/d/f0` — preallocation racing the
+    /// data ops; a no-op when the file system reports it unsupported.
+    Fallocate,
     /// `flush_batch()` — the explicit group-durability close (ISSUE 4).
     /// A no-op unless the config under test enables batching.
     FlushBatch,
@@ -111,7 +120,7 @@ pub enum Op {
 impl Op {
     /// The whole vocabulary, in a fixed order. The batch ops come last
     /// so budget truncation of a sweep sheds the newest pairs first.
-    pub const ALL: [Op; 10] = [
+    pub const ALL: [Op; 12] = [
         Op::Create,
         Op::Unlink,
         Op::Rename,
@@ -120,9 +129,15 @@ impl Op {
         Op::OpenAt,
         Op::Append,
         Op::WriteDelegated,
+        Op::WriteRanged,
+        Op::Fallocate,
         Op::FlushBatch,
         Op::CreateBatched,
     ];
+
+    /// The ops that exercise the ranged shared-file data path: the
+    /// disjoint vectored writer and the preallocator.
+    pub const RANGED: [Op; 2] = [Op::WriteRanged, Op::Fallocate];
 
     /// The ops that drive a batch close: the explicit flush and the
     /// batched create whose visibility other ops can force.
@@ -139,6 +154,8 @@ impl Op {
             Op::OpenAt => "open_at",
             Op::Append => "append",
             Op::WriteDelegated => "write_delegated",
+            Op::WriteRanged => "write_ranged",
+            Op::Fallocate => "fallocate",
             Op::FlushBatch => "flush_batch",
             Op::CreateBatched => "create_batched",
         }
@@ -153,6 +170,19 @@ impl Op {
     /// three pages, so the write spans several delegation chunks.
     pub fn delegated_payload(tid: usize) -> Vec<u8> {
         vec![b'0' + (tid as u8 % 10); 12 * 1024]
+    }
+
+    /// The payload `Op::WriteRanged` writes for participant `tid`.
+    pub fn ranged_payload(tid: usize) -> Vec<u8> {
+        vec![b'A' + (tid as u8 % 26); 1024]
+    }
+
+    /// The offset `Op::WriteRanged` writes at for participant `tid`:
+    /// block-aligned and tid-distinct, so two ranged writers touch
+    /// disjoint blocks of the shared `/d/f0` and every serial order
+    /// lands the same final image.
+    pub fn ranged_offset(tid: usize) -> u64 {
+        4096 * (tid as u64 + 1)
     }
 
     fn run(self, fs: &LibFs, tid: usize) -> FsResult<()> {
@@ -185,6 +215,25 @@ impl Op {
                 r.and(c)
             }
             Op::WriteDelegated => fs.write_file("/d/w", &Op::delegated_payload(tid)),
+            Op::WriteRanged => {
+                let fd = fs.open("/d/f0", OpenFlags::empty().write())?;
+                let payload = Op::ranged_payload(tid);
+                let (head, tail) = payload.split_at(payload.len() / 2);
+                let r = fs
+                    .write_vectored_at(fd, &[head, tail], Op::ranged_offset(tid))
+                    .map(|_| ());
+                let c = fs.close(fd);
+                r.and(c)
+            }
+            Op::Fallocate => {
+                let fd = fs.open("/d/f0", OpenFlags::empty().write())?;
+                let r = match fs.fallocate(fd, 1024, 2048) {
+                    Err(FsError::Unsupported(_)) => Ok(()),
+                    r => r,
+                };
+                let c = fs.close(fd);
+                r.and(c)
+            }
             Op::FlushBatch => {
                 fs.flush_batch();
                 Ok(())
@@ -1012,6 +1061,36 @@ pub fn explore_delegate_pairs(opts: &ExploreOpts) -> ExploreReport {
                 return report;
             }
             report.merge(explore_inner(&[Op::ALL[i], Op::ALL[j]], &opts, deadline));
+        }
+    }
+    report
+}
+
+/// Explore every unordered pair involving a ranged-data op
+/// ([`Op::RANGED`]: the disjoint vectored writer and the preallocator)
+/// twice: once with the extent mapping and range locks forced **on** (the
+/// `file.write.{range_lock,extent_insert,cow_tail}` points arbitrate) and
+/// once forced **off**, so the same pair space is re-checked on the legacy
+/// whole-file-lock path. Same preemption bound and budget semantics as
+/// [`explore_vocabulary`].
+pub fn explore_range_pairs(opts: &ExploreOpts) -> ExploreReport {
+    let deadline = opts.budget.map(|b| Instant::now() + b);
+    let mut report = ExploreReport::default();
+    for ranged_on in [true, false] {
+        let mut opts = opts.clone();
+        opts.config.range_locks = ranged_on;
+        opts.config.extent = ranged_on;
+        for i in 0..Op::ALL.len() {
+            for j in i..Op::ALL.len() {
+                if !Op::RANGED.contains(&Op::ALL[i]) && !Op::RANGED.contains(&Op::ALL[j]) {
+                    continue;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    report.truncated = true;
+                    return report;
+                }
+                report.merge(explore_inner(&[Op::ALL[i], Op::ALL[j]], &opts, deadline));
+            }
         }
     }
     report

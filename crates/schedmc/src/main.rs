@@ -34,6 +34,11 @@ fn main() {
     // delegation rings enabled (the default config writes inline, so the
     // sweep above never arbitrates the `delegate.sq.*` points).
     report.merge(schedmc::explore_delegate_pairs(&opts));
+    // Every pair involving a ranged-data op (disjoint vectored writer,
+    // preallocator), swept with the extent/range-lock path forced on and
+    // then again forced off, so the `file.write.*` windows arbitrate and
+    // the legacy whole-file-lock path is re-checked on the same pairs.
+    report.merge(schedmc::explore_range_pairs(&opts));
 
     eprintln!(
         "schedmc: {} schedules, {} distinct points hit, {} crash states checked (max space {}){}",

@@ -23,6 +23,22 @@
 //! | 176 | `indirect: u64` | single-indirect page (512 pointers) |
 //! | 184 | `dindirect: u64` | double-indirect page |
 //! | 192 | `batch_seq: u64` | directories: group-durability watermark — 0 when quiescent; a batch's open sequence `S0` while a commit batch is in flight (records with `seq > S0` are uncommitted until the batch fences; see DESIGN.md §8) |
+//! | 200 | `extent_root: u64` | regular files: head of the extent-leaf chain; 0 = legacy direct/indirect mapping (DESIGN.md §11) |
+//!
+//! ## Extent leaf (one page)
+//!
+//! | offset | field | notes |
+//! |---|---|---|
+//! | 0 | `next: u64` | next leaf page (0 = end of chain) |
+//! | 8 | reserved | |
+//! | 16 | records | [`EXTENTS_PER_PAGE`] × 24-byte records |
+//!
+//! Each 24-byte record is `(file_block_start: u64, page_start: u64,
+//! len: u64)` mapping `len` consecutive file blocks to `len` consecutive
+//! data pages. **`len` is the commit marker**: a record is written
+//! start/page first (persist), then `len` (persist), so a torn insert
+//! leaves `len == 0` — an invisible hole skipped by every reader, whose
+//! already-allocated pages surface as benign `PageLeak` fsck residue.
 //!
 //! ## Dentry (128 bytes, two cache lines)
 //!
@@ -94,6 +110,26 @@ pub const I_DINDIRECT: u64 = 184;
 /// Inode field offset: the group-durability watermark (own cache line —
 /// `192 = 3 × 64` — so persisting it never drags neighbouring fields).
 pub const I_BATCH_SEQ: u64 = 192;
+/// Inode field offset: extent-tree root (regular files; 0 = legacy
+/// direct/indirect block mapping).
+pub const I_EXTENT_ROOT: u64 = 200;
+
+// Extent-leaf page layout.
+/// Extent-leaf page header: next-leaf pointer.
+pub const EP_NEXT: u64 = 0;
+/// Offset of the first extent record in a leaf page.
+pub const EXTENT_FIRST_REC: u64 = 16;
+/// Extent record size in bytes.
+pub const EXTENT_REC_SIZE: u64 = 24;
+/// Extent record field offset: first file block covered.
+pub const E_FILE_BLOCK: u64 = 0;
+/// Extent record field offset: first data page of the run.
+pub const E_PAGE: u64 = 8;
+/// Extent record field offset: run length in blocks — the commit marker
+/// (0 = uncommitted/hole).
+pub const E_LEN: u64 = 16;
+/// Extent records per leaf page.
+pub const EXTENTS_PER_PAGE: u64 = (PAGE_SIZE as u64 - EXTENT_FIRST_REC) / EXTENT_REC_SIZE;
 
 // Dentry field offsets.
 /// Dentry field offset.
@@ -300,6 +336,8 @@ pub struct RawInode {
     pub dindirect: u64,
     /// Group-durability watermark (directories; 0 when no batch is open).
     pub batch_seq: u64,
+    /// Extent-tree root (regular files; 0 = legacy block mapping).
+    pub extent_root: u64,
 }
 
 impl RawInode {
@@ -347,7 +385,73 @@ pub fn decode_inode(rec: &[u8; INODE_SIZE as usize]) -> RawInode {
         indirect: u64_at(I_INDIRECT),
         dindirect: u64_at(I_DINDIRECT),
         batch_seq: u64_at(I_BATCH_SEQ),
+        extent_root: u64_at(I_EXTENT_ROOT),
     }
+}
+
+/// A decoded, committed extent record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawExtent {
+    /// First file block the run covers.
+    pub file_block: u64,
+    /// First data page of the run.
+    pub page: u64,
+    /// Run length in blocks (always > 0 for a committed record).
+    pub len: u64,
+}
+
+/// Walk a regular file's extent-leaf chain, calling `leaf` for every leaf
+/// page and `rec` for every **committed** record (`len != 0`; torn inserts
+/// are invisible holes). Returns an error string on structural corruption
+/// (leaf pointer out of the data region, pointer cycle, mapped run out of
+/// range).
+pub fn walk_extents(
+    dev: &Arc<PmemDevice>,
+    geom: &Geometry,
+    inode: &RawInode,
+    mut leaf: impl FnMut(u64),
+    mut rec: impl FnMut(RawExtent),
+) -> Result<(), String> {
+    let mut page = inode.extent_root;
+    let mut hops = 0u64;
+    while page != 0 {
+        if page < geom.data_start_page || page >= geom.total_pages {
+            return Err(format!("extent leaf page {page} out of data region"));
+        }
+        hops += 1;
+        if hops > geom.total_pages {
+            return Err("extent leaf chain cycle".to_string());
+        }
+        leaf(page);
+        let base = geom.page_offset(page);
+        let mut buf = [0u8; PAGE_SIZE];
+        dev.read(base, &mut buf).map_err(|e| e.to_string())?;
+        for slot in 0..EXTENTS_PER_PAGE {
+            let off = (EXTENT_FIRST_REC + slot * EXTENT_REC_SIZE) as usize;
+            let u64_at = |field: u64| {
+                let at = off + field as usize;
+                u64::from_le_bytes(buf[at..at + 8].try_into().expect("8"))
+            };
+            let len = u64_at(E_LEN);
+            if len == 0 {
+                continue; // uncommitted hole; later slots may be committed
+            }
+            let ext = RawExtent {
+                file_block: u64_at(E_FILE_BLOCK),
+                page: u64_at(E_PAGE),
+                len,
+            };
+            if ext.page < geom.data_start_page || ext.page + ext.len > geom.total_pages {
+                return Err(format!(
+                    "extent run [{}, +{}) out of data region",
+                    ext.page, ext.len
+                ));
+            }
+            rec(ext);
+        }
+        page = u64::from_le_bytes(buf[0..8].try_into().expect("8"));
+    }
+    Ok(())
 }
 
 /// A decoded dentry record.
@@ -602,6 +706,52 @@ mod tests {
             Some(InodeType::Directory)
         );
         assert_eq!(InodeType::from_raw(7), None);
+    }
+
+    #[test]
+    fn extent_walk_round_trip() {
+        let dev = PmemDevice::new(64 << 20);
+        let g = Geometry::new(64 << 20, 256);
+        let base = g.inode_offset(7);
+        dev.write_u64(base + I_MARKER, 7).unwrap();
+        dev.write_u32(base + I_TYPE, 1).unwrap();
+        let leaf = g.data_start_page;
+        dev.write_u64(base + I_EXTENT_ROOT, leaf).unwrap();
+        let leaf_base = g.page_offset(leaf);
+        // Slot 0: committed run [block 0 -> page data_start+1, len 2].
+        let s0 = leaf_base + EXTENT_FIRST_REC;
+        dev.write_u64(s0 + E_FILE_BLOCK, 0).unwrap();
+        dev.write_u64(s0 + E_PAGE, leaf + 1).unwrap();
+        dev.write_u64(s0 + E_LEN, 2).unwrap();
+        // Slot 1: torn insert — start/page persisted, len (marker) not.
+        let s1 = s0 + EXTENT_REC_SIZE;
+        dev.write_u64(s1 + E_FILE_BLOCK, 9).unwrap();
+        dev.write_u64(s1 + E_PAGE, leaf + 3).unwrap();
+        // Slot 2: committed after the hole.
+        let s2 = s1 + EXTENT_REC_SIZE;
+        dev.write_u64(s2 + E_FILE_BLOCK, 4).unwrap();
+        dev.write_u64(s2 + E_PAGE, leaf + 4).unwrap();
+        dev.write_u64(s2 + E_LEN, 1).unwrap();
+        let ino = read_inode(&dev, &g, 7).unwrap();
+        assert_eq!(ino.extent_root, leaf);
+        let (mut leaves, mut recs) = (Vec::new(), Vec::new());
+        walk_extents(&dev, &g, &ino, |p| leaves.push(p), |e| recs.push(e)).unwrap();
+        assert_eq!(leaves, vec![leaf]);
+        assert_eq!(
+            recs,
+            vec![
+                RawExtent { file_block: 0, page: leaf + 1, len: 2 },
+                RawExtent { file_block: 4, page: leaf + 4, len: 1 },
+            ],
+            "torn slot 1 must be invisible"
+        );
+    }
+
+    #[test]
+    fn extent_geometry_fits_page() {
+        assert!(EXTENT_FIRST_REC + EXTENTS_PER_PAGE * EXTENT_REC_SIZE <= PAGE_SIZE as u64);
+        assert_eq!(EXTENTS_PER_PAGE, 170);
+        const { assert!(I_EXTENT_ROOT + 8 <= INODE_SIZE) };
     }
 
     #[test]

@@ -335,6 +335,18 @@ fn inode_pages(device: &Arc<PmemDevice>, geom: &Geometry, inode: &format::RawIno
             }
         }
         Some(InodeType::Regular) => {
+            // Extent mapping (DESIGN.md §11): leaf pages plus every
+            // committed run's data pages. Torn records (len == 0) are
+            // invisible — their pages fall out as benign PageLeak residue.
+            let mut leaves = Vec::new();
+            let _ = format::walk_extents(
+                device,
+                geom,
+                inode,
+                |leaf| leaves.push(leaf),
+                |e| out.extend(e.page..e.page + e.len),
+            );
+            out.append(&mut leaves);
             out.extend(inode.direct.iter().copied().filter(|&p| in_range(p)));
             if in_range(inode.indirect) {
                 out.push(inode.indirect);

@@ -125,6 +125,14 @@ pub enum FsError {
     Corrupted(String),
     /// Name exceeds the maximum component length.
     NameTooLong,
+    /// A write, truncate, or preallocation would grow the file past the
+    /// mapping scheme's maximum size (`EFBIG`). Returned consistently by
+    /// `write_at`/`truncate`/`fallocate` so callers can distinguish "file
+    /// hit its format limit" from a generic invalid argument.
+    FileTooBig {
+        /// The first file block past the limit.
+        block: u64,
+    },
     /// Too many open files (`EMFILE`).
     TooManyOpenFiles,
     /// The file system does not implement this optional operation
@@ -163,6 +171,9 @@ impl fmt::Display for FsError {
             FsError::Fault(k) => write!(f, "memory fault: {k}"),
             FsError::Corrupted(m) => write!(f, "corrupted on-PM state: {m}"),
             FsError::NameTooLong => write!(f, "name too long"),
+            FsError::FileTooBig { block } => {
+                write!(f, "file too big: block {block} beyond the maximum file size")
+            }
             FsError::TooManyOpenFiles => write!(f, "too many open files"),
             FsError::Unsupported(op) => write!(f, "operation not supported: {op}"),
             FsError::Internal(m) => write!(f, "internal error: {m}"),

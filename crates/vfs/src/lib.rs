@@ -251,6 +251,15 @@ pub struct FsStats {
     pub deleg_polls: u64,
     /// Delegation ticket completions that parked on the condvar.
     pub deleg_parks: u64,
+    /// Byte-range lock acquisitions on the shared-file data path (the
+    /// range-lock discipline's replacement for the per-file lock; counted
+    /// separately from `shared_lock_acqs` so the scalability model can see
+    /// per-file lock acquisitions fall as range locks take over).
+    pub range_lock_acqs: u64,
+    /// Extent records appended (or coalesced) into per-file extent chains.
+    pub extent_inserts: u64,
+    /// Copy-on-write tail remaps performed by range-locked appends.
+    pub cow_tail_copies: u64,
 }
 
 /// The common file-system interface.
@@ -289,6 +298,50 @@ pub trait FileSystem: Send + Sync {
 
     /// Append to the end of the file; returns the offset written at.
     fn append(&self, fd: Fd, buf: &[u8]) -> FsResult<u64>;
+
+    /// Vectored positional write (`pwritev`): every buffer in `bufs` lands
+    /// contiguously starting at `offset`, and the whole gather is one
+    /// atomic unit with respect to concurrent writers. The default loops
+    /// over [`FileSystem::write_at`]; implementations with internal
+    /// exclusion override it to acquire once, persist once.
+    fn write_vectored_at(&self, fd: Fd, bufs: &[&[u8]], offset: u64) -> FsResult<usize> {
+        let mut done = 0usize;
+        for buf in bufs {
+            let mut written = 0usize;
+            while written < buf.len() {
+                let n = self.write_at(fd, &buf[written..], offset + done as u64)?;
+                written += n;
+                done += n;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Vectored positional read (`preadv`): fill each buffer in `bufs`
+    /// from consecutive offsets starting at `offset`. Returns the total
+    /// bytes read, short only at end-of-file. The default loops over
+    /// [`FileSystem::read_at`].
+    fn read_vectored_at(&self, fd: Fd, bufs: &mut [&mut [u8]], offset: u64) -> FsResult<usize> {
+        let mut done = 0usize;
+        for buf in bufs.iter_mut() {
+            let n = self.read_at(fd, buf, offset + done as u64)?;
+            done += n;
+            if n < buf.len() {
+                break;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Preallocate backing storage for `[offset, offset + len)` and extend
+    /// the file size over it, so the region reads as zeroes and later
+    /// writes into it allocate nothing (`posix_fallocate` semantics).
+    /// Optional; callers treat [`FsError::Unsupported`] as "preallocation
+    /// is a no-op here", never as failure.
+    fn fallocate(&self, fd: Fd, offset: u64, len: u64) -> FsResult<()> {
+        let _ = (fd, offset, len);
+        Err(FsError::Unsupported("fallocate"))
+    }
 
     /// Flush a file to stable storage. ArckFS-class systems persist every
     /// operation synchronously, so this returns immediately for them.

@@ -204,3 +204,100 @@ fn invalid_paths_rejected_everywhere() {
         assert!(fs.stat("/.").is_err(), "{name}");
     });
 }
+
+#[test]
+fn vectored_io_round_trip_everywhere() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        let fd = fs.open("/vec", OpenFlags::rw().create()).unwrap();
+        let n = fs
+            .write_vectored_at(fd, &[b"head-", b"mid-", b"tail"], 0)
+            .unwrap();
+        assert_eq!(n, 13, "{name}");
+        let mut a = [0u8; 5];
+        let mut b = [0u8; 8];
+        let n = fs.read_vectored_at(fd, &mut [&mut a, &mut b], 0).unwrap();
+        assert_eq!(n, 13, "{name}");
+        assert_eq!(&a, b"head-", "{name}");
+        assert_eq!(&b, b"mid-tail", "{name}");
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read_file("/vec").unwrap(), b"head-mid-tail", "{name}");
+    });
+}
+
+#[test]
+fn vectored_append_lands_contiguously() {
+    // O_APPEND routing through the positional write entry points is an
+    // ArckFS contract (the kernel baselines expose append() only), so
+    // this runs on the ArckFS configs rather than everywhere.
+    for fs in [
+        arckfs::new_fs(DEV, Config::arckfs()).unwrap().1,
+        arckfs::new_fs(DEV, Config::arckfs_plus()).unwrap().1,
+    ] {
+        let name = fs.fs_name().to_string();
+        let fd = fs
+            .open("/veclog", OpenFlags::rw().create().append())
+            .unwrap();
+        fs.write_vectored_at(fd, &[b"rec1|", b"payload1;"], 0).unwrap();
+        fs.write_vectored_at(fd, &[b"rec2|", b"payload2;"], 0).unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(
+            fs.read_file("/veclog").unwrap(),
+            b"rec1|payload1;rec2|payload2;",
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn fallocate_extends_with_zeros_where_supported() {
+    for_each(|fs| {
+        let name = fs.fs_name().to_string();
+        let fd = fs.open("/prealloc", OpenFlags::rw().create()).unwrap();
+        fs.write_at(fd, b"x", 0).unwrap();
+        match fs.fallocate(fd, 1, 8191) {
+            // The kernel baselines may not implement preallocation; the
+            // typed refusal is the contract there.
+            Err(FsError::Unsupported(_)) => {}
+            r => {
+                r.unwrap();
+                assert_eq!(fs.stat("/prealloc").unwrap().size, 8192, "{name}");
+                let data = fs.read_file("/prealloc").unwrap();
+                assert_eq!(data.len(), 8192, "{name}");
+                assert_eq!(data[0], b'x', "{name}");
+                assert!(data[1..].iter().all(|b| *b == 0), "{name}");
+            }
+        }
+        fs.close(fd).unwrap();
+    });
+}
+
+#[test]
+fn boundary_write_returns_typed_file_too_big() {
+    // Both ArckFS mappings surface the same typed EFBIG from write_at,
+    // truncate, and fallocate: the extent path at its block cap, the
+    // legacy table at the double-indirect boundary.
+    for extent in [true, false] {
+        let mut cfg = Config::arckfs_plus();
+        cfg.extent = extent;
+        cfg.range_locks = extent;
+        let (_k, fs) = arckfs::new_fs(DEV, cfg).unwrap();
+        let fd = fs.create("/big").unwrap();
+        let off = if extent { (1u64 << 32) * 4096 } else { 1u64 << 33 };
+        assert!(
+            matches!(fs.write_at(fd, b"x", off), Err(FsError::FileTooBig { .. })),
+            "extent={extent}: write_at past the cap"
+        );
+        assert!(
+            matches!(fs.fallocate(fd, off, 4096), Err(FsError::FileTooBig { .. })),
+            "extent={extent}: fallocate past the cap"
+        );
+        assert!(
+            matches!(fs.truncate(fd, off + 4096), Err(FsError::FileTooBig { .. })),
+            "extent={extent}: truncate past the cap"
+        );
+        // Nothing was committed by the refused ops.
+        assert_eq!(fs.stat("/big").unwrap().size, 0, "extent={extent}");
+        fs.close(fd).unwrap();
+    }
+}

@@ -491,6 +491,12 @@ fn delegate_ring_points_are_swept() {
     cfg.delegation_threads = 2;
     cfg.delegation_min = 4096;
     cfg.deleg_batch = 2;
+    // Pin the legacy data path: this test's subject is the SQ publish
+    // window, and the extent/range-lock points would grow the pair space
+    // past the in-test schedule budget (they get their own sweep in
+    // `range_lock_points_are_swept`).
+    cfg.extent = false;
+    cfg.range_locks = false;
     let report = explore(&[Op::WriteDelegated, Op::Append], &opts(cfg));
     assert!(!report.truncated);
     assert!(
@@ -499,4 +505,153 @@ fn delegate_ring_points_are_swept() {
         report.points_hit
     );
     assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 7: the ranged shared-file data path (extent tree + range locks)
+// ---------------------------------------------------------------------------
+
+/// The bound-2 pair space around the new range-lock acquisition and
+/// extent-insert windows, swept with the ranged path forced on: two
+/// disjoint ranged writers on one shared file find nothing, and the new
+/// points actually arbitrate.
+#[test]
+fn range_lock_points_are_swept() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.range_locks = true;
+    cfg.extent = true;
+    let mut o = opts(cfg);
+    // The ranged ops cross more schedule points than the metadata ops, so
+    // the bound-2 space is bigger; raise the cap and still demand full
+    // enumeration.
+    o.max_schedules = 4096;
+    let report = explore(&[Op::WriteRanged, Op::WriteRanged], &o);
+    assert!(!report.truncated, "bound-2 space must be fully enumerated");
+    assert!(
+        report.points_hit.get("file.write.range_lock").copied() >= Some(2),
+        "both writers must be scheduled through the acquisition window: {:?}",
+        report.points_hit
+    );
+    assert!(
+        report.points_hit.contains_key("file.write.extent_insert"),
+        "fresh blocks must publish through the extent-insert window: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+/// A ranged writer against an appender: the append lands mid-page on a
+/// committed extent block, so the copy-on-write tail commit window is
+/// scheduled through — and still linearizes.
+#[test]
+fn cow_tail_point_is_swept() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.range_locks = true;
+    cfg.extent = true;
+    let mut o = opts(cfg);
+    o.max_schedules = 4096;
+    let report = explore(&[Op::WriteRanged, Op::Append], &o);
+    assert!(!report.truncated, "bound-2 space must be fully enumerated");
+    assert!(
+        report.points_hit.contains_key("file.write.cow_tail"),
+        "a mid-page append over a committed extent must take the COW path: {:?}",
+        report.points_hit
+    );
+    assert!(report.is_clean(), "{:?}", report.failures);
+}
+
+/// The same pair space on the legacy whole-file-lock path: the differential
+/// half of the sweep — the new ops stay clean with the ranged path off.
+#[test]
+fn ranged_ops_are_clean_on_legacy_path() {
+    let mut cfg = Config::arckfs_plus();
+    cfg.range_locks = false;
+    cfg.extent = false;
+    let mut o = opts(cfg);
+    o.max_schedules = 4096;
+    let report = explore(&[Op::WriteRanged, Op::Fallocate], &o);
+    assert!(!report.truncated);
+    assert!(report.is_clean(), "{:?}", report.failures);
+    assert!(
+        !report.points_hit.contains_key("file.write.range_lock"),
+        "the legacy path must not cross the range-lock window"
+    );
+}
+
+/// Crash differential for a torn multi-block write into a shared file that
+/// already has a durable committed range: park the second writer
+/// mid-stream, and every sampled crash state must keep the committed range
+/// intact while the torn range recovers to prefix-or-nothing (the size
+/// word never moves). Run on both data paths.
+fn torn_ranged_write_preserves_committed_ranges(range_locks: bool, gate_point: &str) {
+    let device = PmemDevice::new_tracked(8 << 20);
+    let mut cfg = Config::arckfs_plus();
+    cfg.range_locks = range_locks;
+    cfg.extent = range_locks;
+    cfg.delegation_threads = 0;
+    let (_k, fs) = arckfs::new_fs_on(device.clone(), cfg.clone()).unwrap();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.create("/d/f").unwrap();
+    let committed = vec![0x11u8; 8 * 1024];
+    fs.write_at(fd, &committed, 0).unwrap();
+    fs.sync().unwrap();
+    device.persist_all(); // the committed range is fully durable
+
+    let gate = inject::arm(gate_point);
+    let fs2 = Arc::clone(&fs);
+    let writer = std::thread::spawn(move || {
+        let torn = vec![0x22u8; 8 * 1024];
+        fs2.write_at(fd, &torn, 16 * 1024).map(|_| ())
+    });
+    assert!(
+        gate.wait_reached(Duration::from_secs(5)),
+        "the writer must park mid-stream at {gate_point}"
+    );
+
+    // Fresh blocks are in flight, the size word is not: every reachable
+    // crash image must still pass fsck...
+    let report = crashmc::check_sampled(&device, 40, 0x17).unwrap();
+    assert!(report.is_consistent(), "mid-write: {report:?}");
+
+    // ...and a remounted kernel must see the committed range untouched
+    // and the torn range absent — prefix-or-nothing per range.
+    let recovered = crashmc::recover_one(&device, 7).unwrap();
+    let kernel = Kernel::recover(recovered, KernelConfig::arckfs_plus()).unwrap();
+    let fsr = LibFs::mount(kernel, cfg.clone(), 0).unwrap();
+    let md = fsr.stat("/d/f").unwrap();
+    assert_eq!(
+        md.size,
+        committed.len() as u64,
+        "the torn range must not commit the size"
+    );
+    assert_eq!(
+        fsr.read_file("/d/f").unwrap(),
+        committed,
+        "the committed range survives untouched"
+    );
+
+    gate.release();
+    writer.join().unwrap().unwrap();
+    fs.sync().unwrap();
+    let report = crashmc::check_durable(&device).unwrap();
+    assert!(report.is_consistent(), "post-completion: {report:?}");
+    let full = fs.read_file("/d/f").unwrap();
+    assert_eq!(full.len(), 24 * 1024);
+    assert_eq!(&full[..8 * 1024], &committed[..]);
+    assert!(
+        full[8 * 1024..16 * 1024].iter().all(|b| *b == 0),
+        "the hole reads zeros"
+    );
+    assert!(full[16 * 1024..].iter().all(|b| *b == 0x22));
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn torn_multi_extent_write_preserves_committed_ranges() {
+    torn_ranged_write_preserves_committed_ranges(true, "file.write.extent_insert");
+}
+
+#[test]
+fn torn_legacy_range_write_preserves_committed_ranges() {
+    torn_ranged_write_preserves_committed_ranges(false, "file.write.chunk");
 }
