@@ -26,7 +26,13 @@
 # fences/op falling as the drain batch grows); the shared_file smoke
 # pins the range-lock win (>= 4x modelled 8-thread DWOM throughput over
 # the per-file-lock baseline, with whole-file lock acquisitions per op
-# falling).
+# falling). The service_storm smoke runs twice (DESIGN.md §12): once
+# with per-tenant quotas on (asserting the typed QuotaExceeded rejection
+# for the capped tenant while others proceed, and the cold-tenant p99
+# fairness bound under a 10x hot tenant) and once with quotas off
+# (asserting the bare providers track no charges at all — tenancy is
+# pay-for-what-you-use). Both legs force 4 allocator shards so the
+# fairness-capped steal path runs even on small CI boxes.
 #
 # The schedmc step exhaustively explores every 2-op interleaving of the
 # explorer vocabulary at preemption bound 2 (seeded, time-budgeted,
@@ -48,6 +54,11 @@ BENCH_ITERS=2000 cargo run --release -q -p bench --bin batch_sweep
 BENCH_ITERS=2000 cargo run --release -q -p bench --bin alloc_scale
 BENCH_ITERS=2000 cargo run --release -q -p bench --bin delegate_scale
 BENCH_ITERS=2000 cargo run --release -q -p bench --bin shared_file
+BENCH_ITERS=2000 ARCKFS_TENANTS=8 ARCKFS_ALLOC_SHARDS=4 \
+    ARCKFS_QUOTA_PAGES=2048 ARCKFS_QUOTA_INODES=512 \
+    cargo run --release -q -p bench --bin service_storm
+BENCH_ITERS=2000 ARCKFS_TENANTS=8 ARCKFS_ALLOC_SHARDS=4 \
+    cargo run --release -q -p bench --bin service_storm
 ARCKFS_SCHEDMC_DEEP=0 cargo run --release -q -p schedmc
 if [ "${ARCKFS_SCHEDMC_DEEP:-0}" = "1" ]; then
     ARCKFS_SCHEDMC_DEEP=1 cargo run --release -q -p schedmc

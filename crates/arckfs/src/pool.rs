@@ -10,9 +10,12 @@
 //! slots only when the home slot runs dry), and each slot enforces a high
 //! watermark — a put that overfills its slot drains the surplus down to
 //! the low watermark and hands it back to the caller for release to the
-//! kernel.
+//! kernel. A pool-wide approximate high watermark backs the per-slot
+//! checks up: skewed release patterns (an unlink storm landing on one
+//! slot) or oversized grants can strand items in slots no put ever
+//! inspects, and the global check sweeps those back to the kernel too.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -42,6 +45,13 @@ pub struct ShardedPool<T> {
     low_s: usize,
     /// A put that leaves its slot above this many items triggers a drain.
     high_s: usize,
+    /// Global (whole-pool) high watermark. Per-slot checks alone let a
+    /// skewed pattern — releases landing on one slot while other slots
+    /// sit stocked and untouched — hold the pool far above the intended
+    /// cap, because a put only ever inspects its home slot.
+    high: usize,
+    /// Approximate pooled-item total (relaxed; exact when quiescent).
+    total: AtomicI64,
     refills: AtomicU64,
     releases: AtomicU64,
     steals: AtomicU64,
@@ -59,6 +69,8 @@ impl<T> ShardedPool<T> {
             slots: (0..slots).map(|_| Mutex::new(Vec::new())).collect(),
             low_s,
             high_s,
+            high: high.max(slots * 2),
+            total: AtomicI64::new(0),
             refills: AtomicU64::new(0),
             releases: AtomicU64::new(0),
             steals: AtomicU64::new(0),
@@ -75,6 +87,7 @@ impl<T> ShardedPool<T> {
                 if k > 0 {
                     self.steals.fetch_add(1, Ordering::Relaxed);
                 }
+                self.total.fetch_sub(1, Ordering::Relaxed);
                 return Some(item);
             }
         }
@@ -89,15 +102,36 @@ impl<T> ShardedPool<T> {
     }
 
     /// Return a batch of items to the home slot, with the same watermark
-    /// behaviour as [`ShardedPool::put`].
+    /// behaviour as [`ShardedPool::put`]. Besides the home slot's own
+    /// watermark, an approximate *global* high watermark is enforced: when
+    /// the whole pool exceeds it (a skewed release pattern, or an
+    /// oversized grant, stranding items in slots this thread's puts never
+    /// touch), every slot is swept down to the low watermark.
     pub fn put_many(&self, items: impl IntoIterator<Item = T>) -> Vec<T> {
         let n = self.slots.len();
-        let mut slot = self.slots[thread_hint() % n].lock();
-        slot.extend(items);
-        if slot.len() <= self.high_s {
-            return Vec::new();
+        let home = thread_hint() % n;
+        let mut added = 0i64;
+        let mut surplus = Vec::new();
+        {
+            let mut slot = self.slots[home].lock();
+            slot.extend(items.into_iter().inspect(|_| added += 1));
+            if slot.len() > self.high_s {
+                surplus.extend(slot.drain(self.low_s..));
+            }
         }
-        let surplus: Vec<T> = slot.drain(self.low_s..).collect();
+        let delta = added - surplus.len() as i64;
+        let total = self.total.fetch_add(delta, Ordering::Relaxed) + delta;
+        if total > self.high as i64 {
+            let before = surplus.len();
+            for s in self.slots.iter() {
+                let mut slot = s.lock();
+                if slot.len() > self.low_s {
+                    surplus.extend(slot.drain(self.low_s..));
+                }
+            }
+            let swept = (surplus.len() - before) as i64;
+            self.total.fetch_sub(swept, Ordering::Relaxed);
+        }
         self.releases
             .fetch_add(surplus.len() as u64, Ordering::Relaxed);
         surplus
@@ -111,6 +145,7 @@ impl<T> ShardedPool<T> {
         let n = self.slots.len();
         let home = thread_hint() % n;
         let items: Vec<T> = items.into_iter().collect();
+        self.total.fetch_add(items.len() as i64, Ordering::Relaxed);
         let per = items.len().div_ceil(n).max(1);
         let mut items = items.into_iter();
         for k in 0..n {
@@ -128,6 +163,7 @@ impl<T> ShardedPool<T> {
         for slot in self.slots.iter() {
             out.append(&mut slot.lock());
         }
+        self.total.fetch_sub(out.len() as i64, Ordering::Relaxed);
         out
     }
 
@@ -211,6 +247,42 @@ mod tests {
         assert!(pool.low_s < pool.high_s);
         assert!(pool.high_s >= 2);
         let _ = pool.put_many(0..32);
+    }
+
+    #[test]
+    fn skewed_release_respects_global_watermark() {
+        // 4 slots, global high 16 → high_s = 4. An oversized fill strands
+        // items above the per-slot watermark in slots the releasing
+        // thread's puts never land on; with only the per-slot check each
+        // put drained just the home slot and the pool sat at ~4x the
+        // intended cap indefinitely.
+        let pool: ShardedPool<u64> = ShardedPool::new(4, 4, 16);
+        pool.fill(0..64);
+        assert_eq!(pool.len(), 64);
+        let surplus = pool.put(64);
+        assert!(
+            pool.len() <= 16,
+            "global high watermark not enforced: pool holds {}",
+            pool.len()
+        );
+        assert_eq!(pool.len() + surplus.len(), 65, "nothing lost");
+        assert_eq!(pool.releases() as usize, surplus.len());
+    }
+
+    #[test]
+    fn approximate_total_tracks_len() {
+        // Single-threaded, the relaxed counter is exact through every
+        // mutation path: fill, take, put_many (with drain), drain_all.
+        let pool: ShardedPool<u64> = ShardedPool::new(4, 8, 64);
+        pool.fill(0..32);
+        for _ in 0..10 {
+            let _ = pool.take();
+        }
+        let _ = pool.put_many(100..110);
+        assert_eq!(pool.total.load(Ordering::Relaxed) as usize, pool.len());
+        let _ = pool.drain_all();
+        assert_eq!(pool.total.load(Ordering::Relaxed), 0);
+        assert!(pool.is_empty());
     }
 
     #[test]

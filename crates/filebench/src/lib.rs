@@ -103,8 +103,21 @@ pub struct FbResult {
 
 impl FbResult {
     /// Flow iterations per second (Filebench's "ops/s").
+    ///
+    /// A zero-duration run has no meaningful rate: dividing through would
+    /// return `inf` and poison any downstream model calibration that
+    /// averages rates, so it reports 0 instead (and trips a debug
+    /// assertion, since a zero elapsed time means the harness never ran).
     pub fn ops_per_sec(&self) -> f64 {
-        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        debug_assert!(
+            !self.elapsed.is_zero(),
+            "ops_per_sec on a zero-duration run"
+        );
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / secs
     }
 }
 
@@ -529,5 +542,26 @@ mod tests {
             elapsed: Duration::from_millis(500),
         };
         assert!((r.ops_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_duration_run_reports_zero_not_inf() {
+        let r = FbResult {
+            personality: "varmail",
+            mode: FilesetMode::SharedDir,
+            fs_name: "x".into(),
+            threads: 1,
+            ops: 500,
+            elapsed: Duration::ZERO,
+        };
+        if cfg!(debug_assertions) {
+            // The debug assertion flags the broken harness loudly.
+            let got = std::panic::catch_unwind(|| r.ops_per_sec());
+            assert!(got.is_err(), "zero-duration run must trip debug_assert");
+        } else {
+            let rate = r.ops_per_sec();
+            assert_eq!(rate, 0.0);
+            assert!(rate.is_finite());
+        }
     }
 }

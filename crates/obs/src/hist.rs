@@ -47,6 +47,28 @@ fn bucket_value(idx: usize) -> u64 {
     base + sub * width + width / 2
 }
 
+/// Inclusive lower bound of a bucket's sub-range.
+fn bucket_low(idx: usize) -> u64 {
+    let octave = idx / SUBS;
+    let sub = (idx % SUBS) as u64;
+    if octave < 2 {
+        return (1u64 << octave) + sub;
+    }
+    let base = 1u64 << octave;
+    let width = 1u64 << (octave - 2);
+    base + sub * width
+}
+
+/// Exclusive upper bound of a bucket's sub-range.
+fn bucket_high(idx: usize) -> u64 {
+    let octave = idx / SUBS;
+    if octave < 2 {
+        return bucket_low(idx) + 1;
+    }
+    let width = 1u64 << (octave - 2);
+    bucket_low(idx).saturating_add(width)
+}
+
 /// Shared, lock-free histogram sink (relaxed atomics throughout).
 pub(crate) struct AtomicHistogram {
     counts: Box<[AtomicU64; BUCKETS]>,
@@ -203,6 +225,13 @@ impl Histogram {
 
     /// Approximate percentile (`p` in 0..=100), exact at the recorded
     /// extremes and within one sub-bucket (~12.5% relative) elsewhere.
+    ///
+    /// The rank is interpolated *within* its bucket: the value returned is
+    /// the bucket's lower bound plus the rank's fractional position among
+    /// the bucket's samples, scaled across the bucket's value range. A
+    /// sparse tail (p999 landing on a handful of samples in one wide
+    /// octave) therefore tracks where those samples sit instead of
+    /// collapsing to the bucket floor.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -216,10 +245,17 @@ impl Histogram {
         }
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_value(i).clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lo = bucket_low(i) as f64;
+                let hi = bucket_high(i) as f64;
+                let pos = (rank - seen) as f64 / c as f64;
+                let v = lo + pos * (hi - lo);
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -270,6 +306,47 @@ mod tests {
         );
         assert_eq!(h.percentile(0.0), 100);
         assert_eq!(h.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn tail_percentiles_interpolate_within_bucket() {
+        // 1000 samples spread uniformly inside ONE wide bucket (octave 19,
+        // sub 3 covers [917504, 1048576)). Midpoint or floor answers
+        // under-report the tail by ~6%; interpolation tracks the rank.
+        let lo = 917_504u64;
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(lo + i * 131);
+        }
+        let true_p999 = lo + 998 * 131; // the 999th smallest sample
+        let p999 = h.percentile(99.9) as f64;
+        assert!(
+            (p999 - true_p999 as f64).abs() / (true_p999 as f64) < 0.01,
+            "p999 = {p999}, want ~{true_p999}"
+        );
+        assert!(h.percentile(99.9) > h.percentile(50.0));
+        assert!(h.percentile(50.0) > h.percentile(10.0));
+    }
+
+    #[test]
+    fn sparse_tail_is_not_bucket_floor() {
+        // Heavy head, ten far-out samples: the p999 rank lands among the
+        // sparse tail samples and must read as a tail value — never the
+        // head, never the bucket floor, never 0.
+        let mut h = Histogram::new();
+        for _ in 0..9_990 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.percentile(100.0), 1_000_000);
+        let p999 = h.percentile(99.9);
+        assert!(
+            p999 > 100_000 && p999 <= 1_000_000,
+            "p999 = {p999}, want in the sparse tail"
+        );
+        assert!(h.percentile(50.0) < 2_000);
     }
 
     #[test]

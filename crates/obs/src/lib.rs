@@ -431,6 +431,7 @@ impl KindReport {
                 "p50": lat.percentile(50.0),
                 "p95": lat.percentile(95.0),
                 "p99": lat.percentile(99.0),
+                "p999": lat.percentile(99.9),
                 "min": lat.min(),
                 "max": lat.max(),
             }),

@@ -7,9 +7,13 @@
 //! The page range is split into N contiguous **shards** (N from
 //! `ARCKFS_ALLOC_SHARDS`, default `min(cores, 8)`), each with its own lock
 //! and free list. A thread allocates from its home shard (thread-id hash, or
-//! an explicit hint) and falls back to **stealing** from the other shards in
-//! ring order when the home shard runs dry, so independent threads touch
-//! independent locks and the allocator stops being a global serial section.
+//! an explicit hint) and falls back to **stealing** when the home shard runs
+//! dry, so independent threads touch independent locks and the allocator
+//! stops being a global serial section. Stealing is fairness-aware: victims
+//! are tried fullest-first and a steal takes at most half of any victim's
+//! free list, so a hot thread's overflow spreads across the pool instead of
+//! hollowing out one cold thread's home shard (with a final uncapped sweep
+//! so the caps never manufacture `NoSpace` while pages exist).
 //!
 //! Bitmap bits are updated with *atomic* word read-modify-writes
 //! ([`PmemDevice::fetch_or_u64`]/[`PmemDevice::fetch_and_u64`]) plus `clwb` of the owning
@@ -74,6 +78,13 @@ struct Shard {
     /// Times this shard's lock was taken (the contention metric the
     /// `alloc_scale` bench asserts on).
     lock_acqs: AtomicU64,
+    /// Pages taken from this shard by *non-home* threads (the shard is the
+    /// steal victim). Per-victim counters are what the service harness
+    /// reports to show a hot tenant's overflow is spread, not focused.
+    steals_from: AtomicU64,
+    /// Approximate free-list length, maintained alongside the locked list.
+    /// Steal passes read it lock-free to pick the fullest victim first.
+    free_hint: AtomicU64,
     inner: Mutex<ShardInner>,
 }
 
@@ -99,6 +110,9 @@ pub struct AllocShardSnapshot {
     /// Lock acquisitions on the shard since format/recover (or the last
     /// [`ShardedPageAllocator::reset_stats`]).
     pub lock_acqs: u64,
+    /// Pages stolen *from* this shard by non-home threads since
+    /// format/recover (or the last stats reset).
+    pub steals_from: u64,
 }
 
 /// Point-in-time allocator counters, for the obs JSON `alloc` block and the
@@ -227,6 +241,8 @@ impl ShardedPageAllocator {
                             first,
                             count,
                             lock_acqs: AtomicU64::new(0),
+                            steals_from: AtomicU64::new(0),
+                            free_hint: AtomicU64::new(free.len() as u64),
                             inner: Mutex::new(ShardInner { free, allocated }),
                         }
                     })
@@ -241,6 +257,8 @@ impl ShardedPageAllocator {
                         first,
                         count,
                         lock_acqs: AtomicU64::new(0),
+                        steals_from: AtomicU64::new(0),
+                        free_hint: AtomicU64::new(free.len() as u64),
                         inner: Mutex::new(ShardInner { free, allocated }),
                     }
                 })
@@ -382,6 +400,7 @@ impl ShardedPageAllocator {
                         free: inner.free.len() as u64,
                         allocated: inner.allocated,
                         lock_acqs: s.lock_acqs.load(Ordering::Relaxed),
+                        steals_from: s.steals_from.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -397,6 +416,7 @@ impl ShardedPageAllocator {
     pub fn reset_stats(&self) {
         for s in self.shards.iter() {
             s.lock_acqs.store(0, Ordering::Relaxed);
+            s.steals_from.store(0, Ordering::Relaxed);
         }
         self.steals.store(0, Ordering::Relaxed);
         self.lock_held_ns.store(0, Ordering::Relaxed);
@@ -443,35 +463,50 @@ impl ShardedPageAllocator {
     /// Allocate `n` pages with an explicit home-shard hint (`hint %
     /// shards`). Benches pin threads to shards with this; the plain entry
     /// points derive the hint from the calling thread's id.
+    ///
+    /// Stealing is **fairness-aware**: when the home shard runs dry, the
+    /// other shards are tried fullest-first (by a lock-free free-length
+    /// hint) and a steal takes at most half of any victim's free list. A
+    /// hot thread that outruns its own shard therefore spreads its
+    /// overflow across the pool and can never strip a cold thread's home
+    /// shard bare — the cold thread's allocations stay on its private,
+    /// uncontended fast path. The caps never manufacture exhaustion: a
+    /// final uncapped ring sweep takes whatever is left before the
+    /// allocator reports [`PmemError::NoSpace`].
     pub fn alloc_extent_hinted(&self, hint: usize, n: usize) -> PmemResult<Vec<u64>> {
         let ns = self.shards.len();
         let home = hint % ns;
         let mut pages: Vec<u64> = Vec::with_capacity(n);
-        for k in 0..ns {
-            if pages.len() == n {
-                break;
-            }
-            if k > 0 {
-                // Home shard ran dry: fall back to stealing from the next
-                // shard in ring order.
-                crate::sched_point("alloc.shard.steal");
-            }
-            let shard = &self.shards[(home + k) % ns];
-            let mut inner = shard.inner.lock();
-            shard.lock_acqs.fetch_add(1, Ordering::Relaxed);
-            let held = Instant::now();
-            let take = (n - pages.len()).min(inner.free.len());
-            if take > 0 {
-                let at = inner.free.len() - take;
-                pages.extend(inner.free.split_off(at));
-                inner.allocated += take as u64;
-                if k > 0 {
-                    self.steals.fetch_add(take as u64, Ordering::Relaxed);
+        // Pass 1: the home shard, uncapped.
+        self.take_from(home, n, &mut pages, None, false);
+        // Pass 2: steal fullest-first, leaving each victim at least half
+        // of what it had.
+        if pages.len() < n && ns > 1 {
+            let mut victims: Vec<usize> = (0..ns).filter(|&k| k != home).collect();
+            victims.sort_by_key(|&k| {
+                (
+                    std::cmp::Reverse(self.shards[k].free_hint.load(Ordering::Relaxed)),
+                    k,
+                )
+            });
+            for k in victims {
+                if pages.len() == n {
+                    break;
                 }
+                crate::sched_point("alloc.shard.steal");
+                self.take_from(k, n, &mut pages, Some(2), true);
             }
-            drop(inner);
-            self.lock_held_ns
-                .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        // Pass 3: exhaustion sweep in ring order, uncapped — the fairness
+        // caps must never turn "pages exist" into NoSpace.
+        if pages.len() < n {
+            for k in 1..ns {
+                if pages.len() == n {
+                    break;
+                }
+                crate::sched_point("alloc.shard.steal");
+                self.take_from((home + k) % ns, n, &mut pages, None, true);
+            }
         }
         if pages.len() < n {
             // Roll the partial take back before reporting exhaustion.
@@ -486,6 +521,42 @@ impl ShardedPageAllocator {
         self.device.sfence();
         self.allocs.fetch_add(n as u64, Ordering::Relaxed);
         Ok(pages)
+    }
+
+    /// Take up to `n - pages.len()` pages from shard `k` under its lock.
+    /// `cap_divisor` limits the take to `free / divisor` (the fairness
+    /// cap); `steal` attributes the take to the steal counters.
+    fn take_from(
+        &self,
+        k: usize,
+        n: usize,
+        pages: &mut Vec<u64>,
+        cap_divisor: Option<usize>,
+        steal: bool,
+    ) {
+        let shard = &self.shards[k];
+        let mut inner = shard.inner.lock();
+        shard.lock_acqs.fetch_add(1, Ordering::Relaxed);
+        let held = Instant::now();
+        let mut take = (n - pages.len()).min(inner.free.len());
+        if let Some(d) = cap_divisor {
+            take = take.min(inner.free.len() / d);
+        }
+        if take > 0 {
+            let at = inner.free.len() - take;
+            pages.extend(inner.free.split_off(at));
+            inner.allocated += take as u64;
+            shard
+                .free_hint
+                .store(inner.free.len() as u64, Ordering::Relaxed);
+            if steal {
+                self.steals.fetch_add(take as u64, Ordering::Relaxed);
+                shard.steals_from.fetch_add(take as u64, Ordering::Relaxed);
+            }
+        }
+        drop(inner);
+        self.lock_held_ns
+            .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Free one page.
@@ -521,6 +592,9 @@ impl ShardedPageAllocator {
             let held = Instant::now();
             inner.free.extend_from_slice(&group);
             inner.allocated = inner.allocated.saturating_sub(group.len() as u64);
+            shard
+                .free_hint
+                .store(inner.free.len() as u64, Ordering::Relaxed);
             drop(inner);
             self.lock_held_ns
                 .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -701,6 +775,42 @@ mod tests {
         let stolen = a.alloc_extent_hinted(0, 2).unwrap();
         assert!(stolen.iter().all(|&p| p >= 20), "stolen from shard 1");
         assert_eq!(a.stats().alloc_steals, 2);
+    }
+
+    #[test]
+    fn fair_steal_leaves_victim_half_its_pages() {
+        // 2 shards x 16 pages. Drain the home shard, then steal 8: the
+        // fairness cap allows exactly half the victim's 16 free pages, so
+        // the victim keeps 8 and its home thread stays on the fast path.
+        let dev = PmemDevice::new(64 * PAGE_SIZE);
+        let a = ShardedPageAllocator::format_with_shards(dev, 0, 4, 32, 2).unwrap();
+        let _home = a.alloc_extent_hinted(0, 16).unwrap();
+        let stolen = a.alloc_extent_hinted(0, 8).unwrap();
+        assert_eq!(stolen.len(), 8);
+        let st = a.stats();
+        assert_eq!(st.shards[1].free, 8, "victim keeps half its pages");
+        assert_eq!(st.shards[1].steals_from, 8);
+        assert_eq!(st.alloc_steals, 8);
+    }
+
+    #[test]
+    fn steal_prefers_fullest_victim() {
+        // 4 shards x 8 pages: shard 0 is 4..12, shard 1 is 12..20, shard 2
+        // is 20..28, shard 3 is 28..36. Drain shard 0 and most of shard 1;
+        // a steal must come from a full shard (2 or 3), not from the
+        // nearly-dry ring neighbour.
+        let dev = PmemDevice::new(64 * PAGE_SIZE);
+        let a = ShardedPageAllocator::format_with_shards(dev, 0, 4, 32, 4).unwrap();
+        let _s0 = a.alloc_extent_hinted(0, 8).unwrap();
+        let _s1 = a.alloc_extent_hinted(1, 6).unwrap();
+        let stolen = a.alloc_extent_hinted(0, 2).unwrap();
+        assert!(
+            stolen.iter().all(|&p| p >= 20),
+            "steal {stolen:?} should come from shard 2 or 3"
+        );
+        let st = a.stats();
+        assert_eq!(st.shards[1].free, 2, "near-dry shard left alone");
+        assert_eq!(st.shards[1].steals_from, 0);
     }
 
     #[test]

@@ -20,11 +20,11 @@ use parking_lot::Mutex;
 
 use pmem::{default_alloc_shards, LatencyModel, Mapping, MappingRegistry, PmemDevice};
 use pmem::ShardedPageAllocator;
-use vfs::{FsError, FsResult};
+use vfs::{FsError, FsResult, QuotaKind};
 
 use crate::format::{self, Geometry, InodeType};
 use crate::lease::{LeaseGrant, RenameLease};
-use crate::provider::{self, ResourceProvider};
+use crate::provider::{self, QuotaProvider, ResourceProvider};
 use crate::shadow::{ShadowEntry, ShadowTable};
 use crate::verifier::{self, Snapshot};
 use crate::ROOT_INO;
@@ -52,6 +52,15 @@ pub struct KernelConfig {
     /// `0` means "auto": `ARCKFS_ALLOC_SHARDS` if set, else
     /// `min(cores, 8)` (see [`pmem::default_alloc_shards`]).
     pub alloc_shards: usize,
+    /// Per-tenant data-page quota. `None` (the presets' default) leaves the
+    /// allocator bare — single-tenant callers pay nothing for tenancy. When
+    /// set, the page provider is wrapped in a [`QuotaProvider`] keyed by
+    /// LibFS uid and grants fail with [`FsError::QuotaExceeded`] once a
+    /// tenant's charge reaches the limit.
+    pub page_quota: Option<u64>,
+    /// Per-tenant inode-number quota (same wrapping rule as
+    /// [`KernelConfig::page_quota`], over the volatile inode pool).
+    pub ino_quota: Option<u64>,
 }
 
 impl KernelConfig {
@@ -64,6 +73,8 @@ impl KernelConfig {
             lease_timeout: Duration::from_secs(2),
             syscall_cost: Duration::ZERO,
             alloc_shards: 0,
+            page_quota: None,
+            ino_quota: None,
         }
     }
 
@@ -75,6 +86,8 @@ impl KernelConfig {
             lease_timeout: Duration::from_secs(2),
             syscall_cost: Duration::ZERO,
             alloc_shards: 0,
+            page_quota: None,
+            ino_quota: None,
         }
     }
 
@@ -87,6 +100,18 @@ impl KernelConfig {
     /// Pin the allocator shard count (`0` restores auto selection).
     pub fn with_alloc_shards(mut self, shards: usize) -> Self {
         self.alloc_shards = shards;
+        self
+    }
+
+    /// Set a uniform per-tenant data-page quota (`None` disables).
+    pub fn with_page_quota(mut self, quota: Option<u64>) -> Self {
+        self.page_quota = quota;
+        self
+    }
+
+    /// Set a uniform per-tenant inode quota (`None` disables).
+    pub fn with_ino_quota(mut self, quota: Option<u64>) -> Self {
+        self.ino_quota = quota;
         self
     }
 
@@ -222,6 +247,19 @@ impl std::fmt::Debug for Kernel {
     }
 }
 
+/// Wrap a provider in a [`QuotaProvider`] when a quota is configured;
+/// otherwise hand it back bare — tenancy is strictly pay-for-what-you-use.
+fn wrap_quota(
+    inner: Box<dyn ResourceProvider>,
+    kind: QuotaKind,
+    quota: Option<u64>,
+) -> Box<dyn ResourceProvider> {
+    match quota {
+        Some(q) => Box::new(QuotaProvider::new(inner, kind, q)),
+        None => inner,
+    }
+}
+
 impl Kernel {
     /// Format a fresh file system on `device` and start the kernel: write
     /// the superblock, initialize the allocator, and create the root
@@ -284,12 +322,14 @@ impl Kernel {
 
         let inos = provider::volatile_pool(2, geom.max_inodes - 1, shards);
         let lease = RenameLease::new(config.lease_timeout);
+        let allocator = wrap_quota(Box::new(allocator), QuotaKind::Pages, config.page_quota);
+        let inos = wrap_quota(Box::new(inos), QuotaKind::Inodes, config.ino_quota);
         Ok(Arc::new(Kernel {
             device,
             geom,
             config,
-            allocator: Box::new(allocator),
-            inos: Box::new(inos),
+            allocator,
+            inos,
             lease,
             state: Mutex::new(KState {
                 shadow,
@@ -448,12 +488,46 @@ impl Kernel {
             })
             .map_err(fs_err)?;
         let lease = RenameLease::new(config.lease_timeout);
+        // With quotas on, reseed the charge tables from commit markers —
+        // the quota durability rule (DESIGN.md §12): a tenant's post-crash
+        // charge is exactly what its committed inodes pin. Volatile grant
+        // residue was reclaimed above and is never re-charged.
+        let (allocator, inos): (Box<dyn ResourceProvider>, Box<dyn ResourceProvider>) =
+            if config.page_quota.is_some() || config.ino_quota.is_some() {
+                let usage =
+                    crate::fsck::derive_tenant_usage(&device, &geom).map_err(FsError::Corrupted)?;
+                let alloc: Box<dyn ResourceProvider> = match config.page_quota {
+                    Some(q) => {
+                        let qp = QuotaProvider::new(Box::new(allocator), QuotaKind::Pages, q);
+                        qp.seed(
+                            usage.charges.iter().map(|(&t, c)| (t, c.pages)).collect(),
+                            usage.page_owner.clone(),
+                        );
+                        Box::new(qp)
+                    }
+                    None => Box::new(allocator),
+                };
+                let ino_p: Box<dyn ResourceProvider> = match config.ino_quota {
+                    Some(q) => {
+                        let qp = QuotaProvider::new(Box::new(inos), QuotaKind::Inodes, q);
+                        qp.seed(
+                            usage.charges.iter().map(|(&t, c)| (t, c.inodes)).collect(),
+                            usage.ino_owner,
+                        );
+                        Box::new(qp)
+                    }
+                    None => Box::new(inos),
+                };
+                (alloc, ino_p)
+            } else {
+                (Box::new(allocator), Box::new(inos))
+            };
         Ok(Arc::new(Kernel {
             device,
             geom,
             config,
-            allocator: Box::new(allocator),
-            inos: Box::new(inos),
+            allocator,
+            inos,
             lease,
             state: Mutex::new(KState {
                 shadow,
@@ -552,10 +626,14 @@ impl Kernel {
     /// directory referencing them is verified.
     pub fn grant_inodes(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
         self.syscall();
+        let tenant = self.tenant_of(libfs)?;
         // Take the numbers from the sharded pool *before* entering the
         // kernel lock — allocation contention stays on the pool's shard
         // locks, not the global kernel state.
-        let inos = self.inos.alloc_extent(n).map_err(provider::provider_err)?;
+        let inos = self
+            .inos
+            .alloc_extent_for(tenant, n)
+            .map_err(provider::tenant_err)?;
         let mut st = self.state.lock();
         // The grantee owns the fresh inodes: it may commit/release them
         // (subject to Rule (1) — they verify only once connected).
@@ -571,7 +649,11 @@ impl Kernel {
     /// acquire-time mapping.
     pub fn grant_inodes_mapped(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<(u64, Mapping)>> {
         self.syscall();
-        let inos = self.inos.alloc_extent(n).map_err(provider::provider_err)?;
+        let tenant = self.tenant_of(libfs)?;
+        let inos = self
+            .inos
+            .alloc_extent_for(tenant, n)
+            .map_err(provider::tenant_err)?;
         let mut st = self.state.lock();
         let mut out = Vec::with_capacity(n);
         for ino in inos {
@@ -605,21 +687,37 @@ impl Kernel {
         // A misbehaving LibFS returning numbers it never held must not
         // poison the pool; the error (double free) is dropped, matching
         // the old free-list's silent acceptance.
-        let _ = self.inos.free_extent(&inos);
+        let tenant = self.tenant_of(libfs).unwrap_or(0);
+        let _ = self.inos.free_extent_for(tenant, &inos);
     }
 
-    /// Grant a page extent to the LibFS.
-    pub fn grant_pages(&self, _libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
+    /// The quota tenant a LibFS allocates as: its uid. The uid is durable
+    /// (inodes carry it), so post-crash charge re-derivation attributes to
+    /// the same identity a live grant charges.
+    fn tenant_of(&self, libfs: LibFsId) -> FsResult<u64> {
+        let st = self.state.lock();
+        Self::uid_of(&st, libfs).map(u64::from)
+    }
+
+    /// Grant a page extent to the LibFS, charged to its tenant (uid). With
+    /// a quota configured the grant may be *clamped* to the tenant's
+    /// remaining budget — fewer pages than asked, never zero — so batched
+    /// refills degrade gracefully near the limit.
+    pub fn grant_pages(&self, libfs: LibFsId, n: usize) -> FsResult<Vec<u64>> {
         self.syscall();
+        let tenant = self.tenant_of(libfs)?;
         self.allocator
-            .alloc_extent(n)
-            .map_err(provider::provider_err)
+            .alloc_extent_for(tenant, n)
+            .map_err(provider::tenant_err)
     }
 
-    /// Return a page extent.
-    pub fn return_pages(&self, _libfs: LibFsId, pages: &[u64]) -> FsResult<()> {
+    /// Return a page extent, uncharging the tenant that was charged for it.
+    pub fn return_pages(&self, libfs: LibFsId, pages: &[u64]) -> FsResult<()> {
         self.syscall();
-        self.allocator.free_extent(pages).map_err(fs_err)
+        let tenant = self.tenant_of(libfs).unwrap_or(0);
+        self.allocator
+            .free_extent_for(tenant, pages)
+            .map_err(provider::tenant_err)
     }
 
     /// The page provider (exposed for fsck cross-checks and the obs

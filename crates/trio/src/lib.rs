@@ -33,9 +33,12 @@ pub mod verifier;
 
 pub use controller::{InodeGrant, Kernel, KernelConfig, KernelStats, LibFsId};
 pub use format::{Geometry, InodeType};
-pub use fsck::{FsckIssue, FsckReport};
+pub use fsck::{
+    attribute_tenant_leaks, derive_tenant_usage, FsckIssue, FsckReport, TenantCharges, TenantLeak,
+    TenantUsage,
+};
 pub use lease::RenameLease;
-pub use provider::ResourceProvider;
+pub use provider::{ProviderError, QuotaProvider, ResourceProvider};
 
 /// The well-known inode number of the root directory.
 pub const ROOT_INO: u64 = 1;

@@ -28,7 +28,7 @@ pub mod path;
 
 use std::fmt;
 
-pub use error::{FaultKind, FsError, FsResult};
+pub use error::{FaultKind, FsError, FsResult, QuotaKind};
 
 /// A file descriptor handle returned by [`FileSystem::open`] and
 /// [`FileSystem::create`].

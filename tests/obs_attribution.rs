@@ -179,4 +179,10 @@ fn report_json_exposes_attribution() {
         .get("latency_ns")
         .and_then(|l| l.get("p50"))
         .is_some());
+    // The service harness consumes the p999 tail; it must be exported.
+    assert!(create
+        .get("latency_ns")
+        .and_then(|l| l.get("p999"))
+        .and_then(|p| p.as_u64())
+        .is_some());
 }

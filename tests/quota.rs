@@ -1,0 +1,166 @@
+//! Per-tenant quota lifecycle: arbitrary create/write/unlink sequences
+//! across tenants never let a tenant's charged pages or inodes exceed its
+//! quota — neither the volatile charge the provider tracks nor the durable
+//! charge the commit markers pin — and recovery from a sampled crash image
+//! re-derives exactly the per-tenant charges the surviving committed
+//! inodes reference (the quota durability rule, DESIGN.md §12).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use service::{Service, ServiceConfig};
+use trio::{derive_tenant_usage, Kernel, KernelConfig, TenantUsage};
+
+const TENANTS: usize = 3;
+const PAGE_Q: u64 = 160;
+const INO_Q: u64 = 64;
+const DEV: usize = 64 << 20;
+
+fn quota_cfg() -> ServiceConfig {
+    ServiceConfig::small(TENANTS)
+        .with_page_quota(Some(PAGE_Q))
+        .with_ino_quota(Some(INO_Q))
+}
+
+/// The volatile invariant: the wrapper never lets a charge pass its limit.
+fn assert_within_quota(svc: &Service) {
+    for t in svc.tenants() {
+        let uid = t.uid as u64;
+        let pages = svc.kernel().allocator().charged(uid);
+        assert!(
+            pages <= PAGE_Q,
+            "tenant {uid} charged {pages} pages > quota {PAGE_Q}"
+        );
+        let inos = svc.kernel().ino_provider().charged(uid);
+        assert!(
+            inos <= INO_Q,
+            "tenant {uid} charged {inos} inodes > quota {INO_Q}"
+        );
+    }
+}
+
+/// The durable invariant: what committed inodes pin never exceeds the
+/// quota, and never exceeds the (residue-inclusive) volatile charge.
+fn assert_durable_within_quota(svc: &Service, usage: &TenantUsage) {
+    for (&tenant, c) in &usage.charges {
+        if tenant < service::TENANT_UID_BASE as u64 {
+            continue; // uid 0: the kernel-formatted root directory
+        }
+        assert!(c.pages <= PAGE_Q, "durable pages {c:?} over quota");
+        assert!(c.inodes <= INO_Q, "durable inodes {c:?} over quota");
+        let volatile = svc.kernel().allocator().charged(tenant);
+        assert!(
+            c.pages <= volatile,
+            "tenant {tenant}: durable {} pages above volatile charge {volatile}",
+            c.pages
+        );
+    }
+}
+
+/// Crash the device at a sampled store boundary, recover with quotas on,
+/// and check the recovered provider's charges equal what the surviving
+/// commit markers pin — no more (phantom residue resurrected), no less
+/// (durable state uncharged).
+fn check_crash_rederives_charges(device: &std::sync::Arc<pmem::PmemDevice>, crash_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(crash_seed);
+    let img = device.sample_crash_image(&mut rng).expect("sample crash");
+    let dev = pmem::PmemDevice::from_image(&img);
+    let kernel = Kernel::recover(
+        dev.clone(),
+        KernelConfig::arckfs_plus()
+            .with_page_quota(Some(PAGE_Q))
+            .with_ino_quota(Some(INO_Q)),
+    )
+    .expect("recover with quotas");
+    let usage = derive_tenant_usage(&dev, kernel.geometry()).expect("derive usage");
+
+    let pages: HashMap<u64, u64> = kernel.allocator().charged_tenants().into_iter().collect();
+    let inos: HashMap<u64, u64> = kernel
+        .ino_provider()
+        .charged_tenants()
+        .into_iter()
+        .collect();
+    for (&tenant, c) in &usage.charges {
+        assert_eq!(
+            pages.get(&tenant).copied().unwrap_or(0),
+            c.pages,
+            "seed {crash_seed}: recovered page charge diverges for tenant {tenant}"
+        );
+        assert_eq!(
+            inos.get(&tenant).copied().unwrap_or(0),
+            c.inodes,
+            "seed {crash_seed}: recovered inode charge diverges for tenant {tenant}"
+        );
+        assert!(c.pages <= PAGE_Q && c.inodes <= INO_Q);
+    }
+    // No phantom charges either: every charged tenant has durable state.
+    for (tenant, charge) in pages.iter().chain(inos.iter()) {
+        if *charge > 0 {
+            assert!(
+                usage.charges.contains_key(tenant),
+                "seed {crash_seed}: tenant {tenant} charged {charge} with no committed inode"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })]
+
+    /// Random service-op sequences: after every op the volatile charge is
+    /// within quota; at the end the durable charge is too, and a sampled
+    /// crash + recovery re-derives identical charges from commit markers.
+    #[test]
+    fn quota_holds_through_random_lifecycles_and_crashes(
+        ops in proptest::collection::vec((0..TENANTS, any::<u32>()), 1..48),
+        crash_seed in 0u64..1_000,
+    ) {
+        let device = pmem::PmemDevice::new_tracked(DEV);
+        let svc = Service::start_on(device.clone(), &quota_cfg()).unwrap();
+        for (tenant, op) in ops {
+            match svc.exec(tenant, op) {
+                Ok(()) => {}
+                Err(e) if e.is_quota() => {}
+                Err(e) => panic!("tenant {tenant} op {op}: unexpected error {e:?}"),
+            }
+            assert_within_quota(&svc);
+        }
+        let usage = derive_tenant_usage(svc.kernel().device(), svc.kernel().geometry())
+            .expect("derive usage");
+        assert_durable_within_quota(&svc, &usage);
+        check_crash_rederives_charges(&device, crash_seed);
+    }
+}
+
+/// Concurrent tenants hammering the same kernel: the quota wrapper's
+/// reserve-under-lock protocol keeps every tenant within budget even under
+/// racing grants, and several crash points all recover identical charges.
+#[test]
+fn concurrent_storm_respects_quotas_and_recovery_matches() {
+    let device = pmem::PmemDevice::new_tracked(DEV);
+    let svc = Service::start_on(device.clone(), &quota_cfg()).unwrap();
+    std::thread::scope(|s| {
+        for tenant in 0..TENANTS {
+            let svc = &svc;
+            s.spawn(move || {
+                for i in 0..120u32 {
+                    let op = i.wrapping_mul(2_654_435_761).wrapping_add(tenant as u32);
+                    match svc.exec(tenant, op) {
+                        Ok(()) => {}
+                        Err(e) if e.is_quota() => {}
+                        Err(e) => panic!("tenant {tenant} op {i}: {e:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_within_quota(&svc);
+    let usage =
+        derive_tenant_usage(svc.kernel().device(), svc.kernel().geometry()).expect("derive");
+    assert_durable_within_quota(&svc, &usage);
+    for crash_seed in [3, 17, 4242] {
+        check_crash_rederives_charges(&device, crash_seed);
+    }
+}
