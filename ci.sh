@@ -39,6 +39,18 @@
 # < 60 s in release mode) and fails on any oracle verdict; coverage lands
 # in results/obs_schedmc.json. ARCKFS_SCHEDMC_DEEP=1 adds the 3-op sweep
 # at bound 3 (minutes, off by default). See DESIGN.md §7.
+#
+# The fuzz step (DESIGN.md §13) runs the coverage-guided crash/schedule
+# fuzzing smoke: exec-bounded (ARCKFS_FUZZ_EXECS, default 24 — about
+# half a minute in release), seeded (ARCKFS_FUZZ_SEED), fully
+# deterministic (same seed => byte-identical coverage fingerprints in
+# results/obs_fuzz.json). It fails on any oracle or mined-invariant
+# violation, on a campaign with zero new-coverage events, and whenever
+# the fuzzer's (inject-point, crash-fingerprint) pair coverage does not
+# beat the exhaustive bound-2 pair sweep on the same wall-clock budget.
+# ARCKFS_SCHEDMC_DEEP=2 runs the nightly leg instead: wall-clock
+# budgeted (ARCKFS_FUZZ_BUDGET_MS, default two minutes), delegation
+# rings on, no determinism claim.
 set -eux
 
 cargo build --release
@@ -62,6 +74,10 @@ BENCH_ITERS=2000 ARCKFS_TENANTS=8 ARCKFS_ALLOC_SHARDS=4 \
 ARCKFS_SCHEDMC_DEEP=0 cargo run --release -q -p schedmc
 if [ "${ARCKFS_SCHEDMC_DEEP:-0}" = "1" ]; then
     ARCKFS_SCHEDMC_DEEP=1 cargo run --release -q -p schedmc
+fi
+ARCKFS_SCHEDMC_DEEP=0 cargo run --release -q -p schedmc -- fuzz
+if [ "${ARCKFS_SCHEDMC_DEEP:-0}" = "2" ]; then
+    ARCKFS_SCHEDMC_DEEP=2 cargo run --release -q -p schedmc -- fuzz
 fi
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -37,7 +37,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use pmem::Mapping;
 use trio::format::I_BATCH_SEQ;
 use vfs::FsResult;

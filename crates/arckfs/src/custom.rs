@@ -22,7 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashMap;
 
 use vfs::{DirEntry, Fd, FileSystem, FsResult, FsStats, Metadata, OpenFlags};
@@ -323,7 +323,7 @@ mod tests {
 /// yet fsynced — its own choice, invisible to every other application.
 pub struct AppendBufferFs {
     inner: Arc<LibFs>,
-    buffers: parking_lot::Mutex<HashMap<u64, Vec<u8>>>,
+    buffers: crate::sync::Mutex<HashMap<u64, Vec<u8>>>,
     flushes: AtomicU64,
     label: String,
 }
@@ -337,7 +337,7 @@ impl AppendBufferFs {
         let label = format!("{}+appendbuf", inner.fs_name());
         Arc::new(AppendBufferFs {
             inner,
-            buffers: parking_lot::Mutex::new(HashMap::new()),
+            buffers: crate::sync::Mutex::new(HashMap::new()),
             flushes: AtomicU64::new(0),
             label,
         })

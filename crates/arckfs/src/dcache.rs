@@ -127,10 +127,16 @@ impl Dcache {
         }
     }
 
-    fn slot_index(&self, parent_uid: u64, name: &str) -> usize {
-        // Mix the per-instance parent uid into the name hash so sibling
-        // directories with identical entry names spread across slots.
-        let h = DirState::name_hash(name) ^ parent_uid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    fn slot_index(&self, parent_ino: u64, name: &str) -> usize {
+        // Mix the parent's inode *number* into the name hash so sibling
+        // directories with identical entry names spread across slots. The
+        // ino — not the process-global instance uid — keeps placement a
+        // function of filesystem state alone: the uid counter is shared by
+        // every LibFS in the process, so uid-based placement would shift
+        // with unrelated prior mounts, and a recycled ino's new instance
+        // would orphan the old entry in a slot it never probes instead of
+        // displacing it. The uid still gates *validation* below.
+        let h = DirState::name_hash(name) ^ parent_ino.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         (h as usize) % self.slots.len()
     }
 
@@ -139,7 +145,7 @@ impl Dcache {
     /// displaced entry, reclaimed arena slot, generation mismatch) is a
     /// miss and the caller falls back to the authoritative bucket index.
     pub fn lookup(&self, parent: &MemInode, name: &str) -> Option<u64> {
-        let idx = self.slot_index(parent.uid(), name);
+        let idx = self.slot_index(parent.ino, name);
         let _guard = self.rcu.read_guard();
         let packed = self.slots[idx].load(Ordering::SeqCst);
         if packed != 0 {
@@ -180,7 +186,7 @@ impl Dcache {
             let _ = self.arena.free(r);
             return;
         };
-        let idx = self.slot_index(parent.uid(), name);
+        let idx = self.slot_index(parent.ino, name);
         let old = self.slots[idx].swap(packed, Ordering::SeqCst);
         if old != 0 {
             // The displaced entry may still be under a reader's epoch

@@ -461,6 +461,9 @@ fn complete_job(shared: &PoolShared, job: Job, err: Option<FsError>) {
 /// Home-ring assignment: each submitting thread gets a stable slot on
 /// first use (per-core placement stand-in), so its chunks land on the
 /// same ring run after run and neighbouring threads spread across rings.
+/// A pinned logical tid ([`pmem::set_thread_shard_hint`], set by schedule
+/// replay harnesses) takes precedence over the process-global round-robin
+/// counter, whose value depends on every earlier run in the process.
 fn home_slot() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
@@ -468,7 +471,10 @@ fn home_slot() -> usize {
     }
     HOME.with(|h| {
         if h.get() == usize::MAX {
-            h.set(NEXT.fetch_add(1, Ordering::Relaxed));
+            h.set(match pmem::alloc::thread_shard_override() {
+                Some(tid) => tid,
+                None => NEXT.fetch_add(1, Ordering::Relaxed),
+            });
         }
         h.get()
     })

@@ -265,6 +265,31 @@ impl Drop for Gate {
 /// operation, so the controller also owns the *start order*.
 pub const OP_START: &str = "ctl.op.start";
 
+/// Prefix shared by every cooperative-wait point ([`LOCK_WAIT`],
+/// [`LEASE_WAIT`], [`RANGE_WAIT`]): a participant parked here holds
+/// nothing new and is merely retrying an acquisition, so schedulers can
+/// (and should) deprioritize re-granting it until another thread has run.
+pub const WAIT_PREFIX: &str = "ctl.wait.";
+
+/// Cooperative-wait point for a contended [`crate::sync`] mutex/rwlock.
+pub const LOCK_WAIT: &str = "ctl.wait.lock";
+
+/// Cooperative-wait point for a contended rename lease.
+pub const LEASE_WAIT: &str = "ctl.wait.lease";
+
+/// Cooperative-wait point for a contended byte-range acquisition.
+pub const RANGE_WAIT: &str = "ctl.wait.range";
+
+/// Whether the calling thread is a participant of a live [`Controller`].
+/// Lock wrappers consult this to decide between OS-blocking (production)
+/// and cooperative try-then-park acquisition (under a controller, where a
+/// thread OS-blocked on a lock held by a *parked* participant would wake
+/// mid-grant and race the granted thread's segment — the one hole in the
+/// controller's otherwise one-thread-at-a-time execution model).
+pub fn in_participant() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0 && PARTICIPANT.with(|p| p.borrow().is_some())
+}
+
 thread_local! {
     /// `(controller, tid)` of the participant running on this thread, set
     /// for the whole lifetime of a [`Controller::spawn`]ed closure.
@@ -426,6 +451,12 @@ impl Controller {
             .name(format!("schedmc-{label}"))
             .spawn(move || {
                 PARTICIPANT.with(|p| *p.borrow_mut() = Some((shared.clone(), tid)));
+                // Pin every sharded-by-thread placement decision (kernel
+                // allocator shard, LibFS pool slot, delegation home ring)
+                // to the logical tid: `ThreadId`-hash placement varies with
+                // how many threads the *process* spawned before this run,
+                // which would make same-schedule replays diverge.
+                pmem::set_thread_shard_hint(Some(tid));
                 point(OP_START);
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                 PARTICIPANT.with(|p| *p.borrow_mut() = None);

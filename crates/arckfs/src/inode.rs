@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use rcu::{Arena, ArenaRef};
 
 use pmem::Mapping;

@@ -37,6 +37,7 @@ pub mod inode;
 pub mod libfs;
 pub mod pool;
 pub mod range_lock;
+pub mod sync;
 
 pub use config::Config;
 pub use libfs::LibFs;

@@ -6,7 +6,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 
 use pmem::Mapping;
 use rcu::Rcu;
@@ -413,6 +413,14 @@ impl LibFs {
             let mut reusable = scan.reusable;
             reusable.extend(&scan.gated);
             *ds.free_slots.lock() = reusable;
+            // The close run by the release quiesce staged its post-action
+            // slots in the retained batch cell for the *next* close to hand
+            // back. The scan above re-derives those same slots from the log
+            // (their tombstones are durable-ordered core state by now), so
+            // the staged list must be dropped: letting the next close append
+            // it to `free_slots` would grant the same slot twice, and the
+            // second reuse overwrites a live dentry written in between.
+            ds.batch.state.lock().reclaim.clear();
             for (guard, rebuilt) in tails.iter_mut().zip(scan.tails) {
                 **guard = rebuilt;
             }
@@ -1075,7 +1083,22 @@ impl LibFs {
         // far, so re-resolve and re-check under the lease — the same reason
         // Linux re-validates under s_vfs_rename_mutex.
         let lease_token = if child_is_dir && (self.config.fix_dir_cycle || self.config.fix_rename) {
-            let token = self.kernel.rename_lease_acquire_blocking(self.id)?;
+            // Under a schedule controller the blocking acquire's spin-sleep
+            // would OS-block this thread and its eventual grab would race
+            // the holder's next granted segment; cooperate with the
+            // controller instead: try, park at the lease wait point, retry
+            // only when granted.
+            let token = if inject::in_participant() {
+                loop {
+                    match self.kernel.rename_lease_acquire(self.id) {
+                        Ok(t) => break t,
+                        Err(FsError::Busy) => inject::point(inject::LEASE_WAIT),
+                        Err(e) => return Err(e),
+                    }
+                }
+            } else {
+                self.kernel.rename_lease_acquire_blocking(self.id)?
+            };
             let revalidate = (|| -> FsResult<()> {
                 from_parent = self.resolve_dir(&from_parent_comps)?;
                 to_parent = self.resolve_dir(&to_parent_comps)?;

@@ -17,24 +17,14 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
-/// Cached per-thread home-slot hint (hash of the thread id) — the same
-/// scheme the kernel's sharded allocator uses, so a thread's pool slot and
-/// allocator shard stay stable across calls.
+/// Per-thread home-slot hint — the same source the kernel's sharded
+/// allocator uses ([`pmem::thread_shard_hint`]), so a thread's pool slot
+/// and allocator shard stay stable across calls, and so a pinned logical
+/// tid (schedule replay) governs both consistently.
 fn thread_hint() -> usize {
-    use std::hash::{Hash, Hasher};
-    thread_local! {
-        static HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
-    }
-    HINT.with(|h| {
-        if h.get() == usize::MAX {
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            std::thread::current().id().hash(&mut hasher);
-            h.set((hasher.finish() as usize) & (usize::MAX >> 1));
-        }
-        h.get()
-    })
+    pmem::thread_shard_hint()
 }
 
 /// A sharded pool of granted resources with per-slot watermarks.

@@ -126,6 +126,16 @@ impl RangeLockTable {
             if !conflict {
                 break;
             }
+            if crate::inject::in_participant() {
+                // Under a schedule controller a condvar wait would OS-block
+                // the granted thread and its wakeup would race the next
+                // granted segment; park at the cooperative wait point and
+                // let the controller own the retry instead.
+                drop(state);
+                crate::inject::point(crate::inject::RANGE_WAIT);
+                state = self.state.lock();
+                continue;
+            }
             self.cv.wait(&mut state);
         }
         state.held.extend(merged.iter().map(|r| HeldRange {

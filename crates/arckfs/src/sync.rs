@@ -1,0 +1,207 @@
+//! Participant-aware lock wrappers (deterministic scheduling support).
+//!
+//! The schedule controller ([`crate::inject::Controller`]) runs exactly
+//! one participant at a time — *except* when a granted thread touches a
+//! lock held by a participant parked at an inject point. A plain blocking
+//! acquisition would OS-block the granted thread; worse, when the holder
+//! is later granted and releases the lock mid-segment, the waiter wakes
+//! and free-runs **concurrently** with the granted thread, and whichever
+//! of them wins the next acquisition decides how the run unfolds. That
+//! race is invisible to the controller and made same-seed schedule walks
+//! nondeterministic.
+//!
+//! These wrappers close the hole: on a controller participant, a
+//! contended acquisition try-locks and, on failure, parks at the
+//! [`crate::inject::LOCK_WAIT`] schedule point instead of OS-blocking.
+//! The controller then *owns* the retry: the waiter re-attempts only when
+//! granted, so no thread ever runs without a grant and the whole run is a
+//! pure function of the choice sequence. Outside a controller the
+//! wrappers delegate to plain blocking `parking_lot` acquisitions with no
+//! measurable overhead (one relaxed atomic load on the armed counter).
+//!
+//! Guard types are re-exported `parking_lot` guards, so call sites and
+//! struct definitions only swap the lock *type*, never the guard API.
+
+use crate::inject;
+
+pub use parking_lot::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex whose contended acquisition cooperates with a live schedule
+/// controller. See the module docs.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(parking_lot::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(parking_lot::Mutex::new(value))
+    }
+
+    /// Acquire, parking at [`inject::LOCK_WAIT`] on contention when the
+    /// calling thread is a controller participant.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(g) = self.0.try_lock() {
+            return g;
+        }
+        if inject::in_participant() {
+            loop {
+                inject::point(inject::LOCK_WAIT);
+                if let Some(g) = self.0.try_lock() {
+                    return g;
+                }
+            }
+        }
+        self.0.lock()
+    }
+
+    /// Try to acquire without waiting.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.0.try_lock()
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+/// A reader-writer lock whose contended acquisitions cooperate with a
+/// live schedule controller. See the module docs.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(parking_lot::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(parking_lot::RwLock::new(value))
+    }
+
+    /// Shared acquisition, parking at [`inject::LOCK_WAIT`] on contention
+    /// when the calling thread is a controller participant.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(g) = self.0.try_read() {
+            return g;
+        }
+        if inject::in_participant() {
+            loop {
+                inject::point(inject::LOCK_WAIT);
+                if let Some(g) = self.0.try_read() {
+                    return g;
+                }
+            }
+        }
+        self.0.read()
+    }
+
+    /// Exclusive acquisition, parking at [`inject::LOCK_WAIT`] on
+    /// contention when the calling thread is a controller participant.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(g) = self.0.try_write() {
+            return g;
+        }
+        if inject::in_participant() {
+            loop {
+                inject::point(inject::LOCK_WAIT);
+                if let Some(g) = self.0.try_write() {
+                    return g;
+                }
+            }
+        }
+        self.0.write()
+    }
+
+    /// Try a shared acquisition without waiting.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        self.0.try_read()
+    }
+
+    /// Try an exclusive acquisition without waiting.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        self.0.try_write()
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_paths_work_without_controller() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(3);
+        assert_eq!(*rw.read(), 3);
+        *rw.write() += 1;
+        assert_eq!(*rw.read(), 4);
+        assert!(m.try_lock().is_some());
+        assert!(rw.try_read().is_some());
+        assert!(rw.try_write().is_some());
+    }
+
+    #[test]
+    fn contended_lock_blocks_normally_outside_controller() {
+        let m = Arc::new(Mutex::new(0u32));
+        let g = m.lock();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || {
+            *m2.lock() += 1;
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn participant_parks_at_wait_point_instead_of_blocking() {
+        use crate::inject::Controller;
+        let ctl = Controller::new();
+        let m = Arc::new(Mutex::new(0u32));
+        let m1 = m.clone();
+        let m2 = m.clone();
+        let h1 = ctl.spawn("holder", move || {
+            let mut g = m1.lock();
+            crate::inject::point("test.sync.in_cs");
+            *g += 1;
+            drop(g);
+        });
+        let h2 = ctl.spawn("waiter", move || {
+            *m2.lock() += 10;
+        });
+        // Drive: start holder, let it park inside the critical section.
+        let r = ctl.quiesce(std::time::Duration::from_millis(200));
+        assert!(r.iter().any(|(_, p)| p == crate::inject::OP_START));
+        assert!(ctl.step(0));
+        let r = ctl.quiesce(std::time::Duration::from_millis(200));
+        assert!(r.iter().any(|(t, p)| *t == 0 && p == "test.sync.in_cs"));
+        // Start the waiter: it must park at the cooperative wait point,
+        // not disappear into an OS block.
+        assert!(ctl.step(1));
+        let r = ctl.quiesce(std::time::Duration::from_millis(200));
+        assert!(
+            r.iter()
+                .any(|(t, p)| *t == 1 && p == crate::inject::LOCK_WAIT),
+            "waiter must park at LOCK_WAIT, got {r:?}"
+        );
+        // Run the holder to completion, then grant the waiter's retry.
+        assert!(ctl.step(0));
+        loop {
+            let r = ctl.quiesce(std::time::Duration::from_millis(200));
+            if r.is_empty() {
+                break;
+            }
+            let (tid, _) = r[0].clone();
+            assert!(ctl.step(tid));
+        }
+        assert!(h1.join().is_ok());
+        assert!(h2.join().is_ok());
+        assert_eq!(*m.lock(), 11);
+    }
+}

@@ -18,6 +18,7 @@
 //! The workspace's §4.2 reproduction (`tests/bugs.rs`) and the crash
 //! integration tests (`tests/crash.rs`) are built on these functions.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use pmem::PmemDevice;
@@ -41,6 +42,12 @@ pub struct CrashReport {
     /// Total distinct crash states the model admits at this instant
     /// (saturating; may exceed `states` when sampling).
     pub state_space: u64,
+    /// Logical fingerprints ([`trio::fsck::logical_fingerprint`]) of the
+    /// distinct *recovered* states seen: physically different images that
+    /// recover to the same user-visible namespace collapse to one entry.
+    /// `BTreeSet` so iteration order is deterministic (the fuzzer folds
+    /// these into its coverage signal).
+    pub fingerprints: BTreeSet<u64>,
 }
 
 impl CrashReport {
@@ -173,6 +180,9 @@ pub fn check_durable(device: &Arc<PmemDevice>) -> Result<CrashReport, CrashMcErr
 
 fn classify(recovered: &Arc<PmemDevice>, report: &mut CrashReport) -> Result<(), CrashMcError> {
     let r = fsck(recovered).map_err(CrashMcError::NoSuperblock)?;
+    if let Ok(fp) = trio::logical_fingerprint(recovered) {
+        report.fingerprints.insert(fp);
+    }
     report.states += 1;
     let fatal: Vec<&FsckIssue> = r.fatal();
     if !fatal.is_empty() {
@@ -198,6 +208,16 @@ pub fn recover_one(device: &Arc<PmemDevice>, seed: u64) -> Result<Arc<PmemDevice
         .sample_crash_image(&mut rng)
         .map_err(|_| CrashMcError::NotTracked)?;
     Ok(PmemDevice::from_image(&img))
+}
+
+/// Logical fingerprint of a (recovered or live) device image: a stable
+/// hash of the user-visible namespace only — paths, types, owners, sizes
+/// and content, never physical placement. Delegates to
+/// [`trio::fsck::logical_fingerprint`]; see there for the stability
+/// contract (equal logical states hash equal across allocator shard
+/// counts and page layouts).
+pub fn fingerprint(device: &Arc<PmemDevice>) -> Result<u64, CrashMcError> {
+    trio::logical_fingerprint(device).map_err(CrashMcError::NoSuperblock)
 }
 
 #[cfg(test)]

@@ -51,11 +51,39 @@ pub fn default_alloc_shards() -> usize {
     }
 }
 
-/// Cached per-thread home-shard hint (hash of the thread id).
-fn thread_hint() -> usize {
+thread_local! {
+    /// Explicit home-shard override for this thread (set by deterministic
+    /// test harnesses). `usize::MAX` means "no override".
+    static HINT_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// Pin (or clear) this thread's home-shard hint. Schedule-replay harnesses
+/// set it to their *logical* thread id so placement is a function of the
+/// schedule, not of `std::thread::ThreadId` — a process-global counter
+/// whose value (and therefore hash) depends on every thread any earlier
+/// test or run happened to spawn.
+pub fn set_thread_shard_hint(hint: Option<usize>) {
+    HINT_OVERRIDE.with(|h| h.set(hint.unwrap_or(usize::MAX)));
+}
+
+/// This thread's pinned shard hint, if any.
+pub fn thread_shard_override() -> Option<usize> {
+    let over = HINT_OVERRIDE.with(|h| h.get());
+    (over != usize::MAX).then_some(over)
+}
+
+/// This thread's home-shard hint: the pinned override if one is set, else
+/// a cached hash of the thread id. Shared with every sharded-by-thread
+/// structure in the stack (the kernel allocator here, the LibFS inode
+/// pool) so one thread keeps one consistent home everywhere.
+pub fn thread_shard_hint() -> usize {
     use std::hash::{Hash, Hasher};
     thread_local! {
         static HINT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    let over = HINT_OVERRIDE.with(|h| h.get());
+    if over != usize::MAX {
+        return over;
     }
     HINT.with(|h| {
         if h.get() == usize::MAX {
@@ -66,6 +94,10 @@ fn thread_hint() -> usize {
         }
         h.get()
     })
+}
+
+fn thread_hint() -> usize {
+    thread_shard_hint()
 }
 
 /// One shard: a disjoint contiguous page range with its own lock.

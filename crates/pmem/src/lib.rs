@@ -31,13 +31,15 @@
 pub mod alloc;
 pub mod device;
 pub mod latency;
+pub mod litmus;
 pub mod mapping;
 pub mod stats;
 pub mod tracker;
 
 pub use alloc::{
-    default_alloc_shards, AllocShardSnapshot, AllocStatsSnapshot, PageAllocator,
-    ShardedPageAllocator,
+    default_alloc_shards, set_thread_shard_hint, thread_shard_hint, thread_shard_override,
+    AllocShardSnapshot,
+    AllocStatsSnapshot, PageAllocator, ShardedPageAllocator,
 };
 pub use device::{Mode, PmemDevice, PmemError, PmemResult};
 pub use latency::LatencyModel;

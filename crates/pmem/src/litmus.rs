@@ -1,0 +1,307 @@
+//! Table-driven x86 persistency litmus tests for the tracked emulator.
+//!
+//! Every oracle in the model-checking stack (`crashmc`, `schedmc`) rests on
+//! the [`crate::tracker::Tracker`] crash semantics. "Lost in Interpretation"
+//! (Klimis & Donaldson) shows that persistency-model emulators are themselves
+//! a common source of unsound verdicts, so this module validates the
+//! emulator against the simplified Px86 model *by construction*: each litmus
+//! is a short straight-line instruction sequence plus the **exact** set of
+//! crash states the model permits, and the harness asserts set equality
+//! between that table and [`PmemDevice::enumerate_crash_images`].
+//!
+//! Set equality matters in both directions:
+//!
+//! * a *missing* expected state means the emulator is too strict (it would
+//!   hide real crash-consistency bugs from `crashmc`), and
+//! * an *extra* observed state means the emulator is too weak (it would
+//!   report phantom bugs no hardware can produce).
+//!
+//! The table covers the four families named in the model's contract:
+//! store→`clwb`→`sfence` ordering, non-temporal stores and their
+//! write-combining interaction with `sfence`, same-line versus cross-line
+//! visibility (prefix order within a line, free reordering across lines),
+//! and the non-durability of fence-free atomic read-modify-writes.
+//!
+//! [`run`] executes one entry; [`run_all`] sweeps [`TABLE`]. A deliberately
+//! wrong entry (e.g. a fenced expectation against an unfenced program) makes
+//! [`run`] return `Err`, which `tests/litmus.rs` uses to prove the harness
+//! can detect model violations at all.
+
+use std::collections::BTreeSet;
+
+use crate::device::PmemDevice;
+
+/// One litmus instruction. Offsets are absolute device offsets; the device
+/// is zero-initialized and fully persistent before the first step.
+#[derive(Debug, Clone, Copy)]
+pub enum LStep {
+    /// Plain single-byte store (cached; not durable until flushed + fenced).
+    W(u64, u8),
+    /// Plain multi-byte store (may span cache lines; each line's segment
+    /// becomes an independent pending store).
+    Wn(u64, &'static [u8]),
+    /// Non-temporal single-byte store (flush-ordered immediately).
+    Nt(u64, u8),
+    /// `clwb` of every line overlapping `[off, off + len)`.
+    Clwb(u64, usize),
+    /// Store fence: flush-ordered stores become durable.
+    Sfence,
+    /// Atomic `fetch_or` on the 8-byte-aligned `u64` at the offset.
+    RmwOr(u64, u64),
+}
+
+/// One table entry: a program, the byte offsets to observe, and the exact
+/// set of observable crash states (each a projection onto `watch`).
+#[derive(Debug, Clone, Copy)]
+pub struct Litmus {
+    /// Short unique identifier, used in test and failure output.
+    pub name: &'static str,
+    /// One-line statement of the ordering rule the entry pins down.
+    pub doc: &'static str,
+    /// The instruction sequence, executed on a fresh zeroed tracked device.
+    pub steps: &'static [LStep],
+    /// Byte offsets projected out of every enumerated crash image.
+    pub watch: &'static [u64],
+    /// The exact set of permitted projections, one inner slice per state,
+    /// each the same length as `watch`. Order is irrelevant (compared as
+    /// sets); duplicates are collapsed.
+    pub expected: &'static [&'static [u8]],
+}
+
+/// Device size used by the harness. Large enough for several cache lines,
+/// small enough that cloning images per crash state stays cheap.
+const LITMUS_DEV_LEN: usize = 4096;
+
+/// Upper bound on enumerated crash states per litmus. Entries are tiny
+/// (≤ 4 pending stores), so anything near this bound is itself a bug.
+const LITMUS_STATE_LIMIT: u64 = 4096;
+
+/// Execute one litmus and compare the reachable crash-state set against the
+/// table's expectation. Returns a human-readable diff on mismatch.
+pub fn run(l: &Litmus) -> Result<(), String> {
+    let device = PmemDevice::new_tracked(LITMUS_DEV_LEN);
+    for step in l.steps {
+        match *step {
+            LStep::W(off, b) => device.write(off, &[b]).map_err(|e| e.to_string())?,
+            LStep::Wn(off, data) => device.write(off, data).map_err(|e| e.to_string())?,
+            LStep::Nt(off, b) => device.ntstore(off, &[b]).map_err(|e| e.to_string())?,
+            LStep::Clwb(off, len) => device.clwb(off, len).map_err(|e| e.to_string())?,
+            LStep::Sfence => device.sfence(),
+            LStep::RmwOr(off, mask) => {
+                device.fetch_or_u64(off, mask).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+
+    let images = device
+        .enumerate_crash_images(LITMUS_STATE_LIMIT)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| {
+            format!(
+                "litmus {}: crash-state space exceeds {} states",
+                l.name, LITMUS_STATE_LIMIT
+            )
+        })?;
+
+    let observed: BTreeSet<Vec<u8>> = images
+        .iter()
+        .map(|img| l.watch.iter().map(|&o| img[o as usize]).collect())
+        .collect();
+    let expected: BTreeSet<Vec<u8>> = l.expected.iter().map(|s| s.to_vec()).collect();
+
+    if observed == expected {
+        return Ok(());
+    }
+    let missing: Vec<&Vec<u8>> = expected.difference(&observed).collect();
+    let extra: Vec<&Vec<u8>> = observed.difference(&expected).collect();
+    Err(format!(
+        "litmus {}: crash-state set mismatch at watch {:?}\n  \
+         model-permitted but never observed (emulator too strict): {:?}\n  \
+         observed but model-forbidden (emulator too weak): {:?}\n  \
+         full observed set: {:?}",
+        l.name, l.watch, missing, extra, observed
+    ))
+}
+
+/// Run every entry in [`TABLE`], returning `(name, result)` per entry.
+pub fn run_all() -> Vec<(&'static str, Result<(), String>)> {
+    TABLE.iter().map(|l| (l.name, run(l))).collect()
+}
+
+/// The litmus table. Offsets 0..64 share a cache line; 64 starts the next.
+pub const TABLE: &[Litmus] = &[
+    // ---- store → clwb → sfence ordering ---------------------------------
+    Litmus {
+        name: "store_clwb_sfence_durable",
+        doc: "a flushed and fenced store is durable in every crash state",
+        steps: &[LStep::W(0, 1), LStep::Clwb(0, 1), LStep::Sfence],
+        watch: &[0],
+        expected: &[&[1]],
+    },
+    Litmus {
+        name: "unfenced_store_may_be_lost",
+        doc: "a plain store without clwb+sfence may or may not survive",
+        steps: &[LStep::W(0, 1)],
+        watch: &[0],
+        expected: &[&[0], &[1]],
+    },
+    Litmus {
+        name: "sfence_without_clwb_not_durable",
+        doc: "sfence alone does not persist an unflushed cached store",
+        steps: &[LStep::W(0, 1), LStep::Sfence],
+        watch: &[0],
+        expected: &[&[0], &[1]],
+    },
+    Litmus {
+        name: "store_after_clwb_not_covered",
+        doc: "a same-line store issued after clwb is not covered by it",
+        steps: &[
+            LStep::W(0, 1),
+            LStep::Clwb(0, 1),
+            LStep::W(8, 2),
+            LStep::Sfence,
+        ],
+        watch: &[0, 8],
+        expected: &[&[1, 0], &[1, 2]],
+    },
+    Litmus {
+        name: "fenced_epoch_b_implies_a",
+        doc: "after clwb A; sfence, a later store B durable implies A durable",
+        steps: &[
+            LStep::W(0, 1),
+            LStep::Clwb(0, 1),
+            LStep::Sfence,
+            LStep::W(64, 2),
+        ],
+        watch: &[0, 64],
+        expected: &[&[1, 0], &[1, 2]],
+    },
+    // ---- same-line vs cross-line visibility -----------------------------
+    Litmus {
+        name: "same_line_prefix_order",
+        doc: "stores to one line persist in program order (prefix rule)",
+        steps: &[LStep::W(0, 1), LStep::W(8, 2)],
+        watch: &[0, 8],
+        expected: &[&[0, 0], &[1, 0], &[1, 2]],
+    },
+    Litmus {
+        name: "cross_line_reorder",
+        doc: "stores to distinct lines may persist in either order",
+        steps: &[LStep::W(0, 1), LStep::W(64, 2)],
+        watch: &[0, 64],
+        expected: &[&[0, 0], &[1, 0], &[0, 2], &[1, 2]],
+    },
+    Litmus {
+        name: "clwb_line_granularity",
+        doc: "clwb of one byte flush-orders every pending store on its line",
+        steps: &[
+            LStep::W(0, 1),
+            LStep::W(8, 2),
+            LStep::Clwb(0, 1),
+            LStep::Sfence,
+        ],
+        watch: &[0, 8],
+        expected: &[&[1, 2]],
+    },
+    Litmus {
+        name: "cross_line_store_tears",
+        doc: "a store spanning two lines may tear at the line boundary",
+        steps: &[LStep::Wn(60, &[1, 1, 1, 1, 1, 1, 1, 1])],
+        watch: &[63, 64],
+        expected: &[&[0, 0], &[1, 0], &[0, 1], &[1, 1]],
+    },
+    Litmus {
+        name: "missing_fence_marker_reorders",
+        doc: "§4.2 pattern: clwb A; store+clwb B; no fence — B without A reachable",
+        steps: &[
+            LStep::W(0, 0xAA),
+            LStep::Clwb(0, 1),
+            LStep::W(64, 0xBB),
+            LStep::Clwb(64, 1),
+        ],
+        watch: &[0, 64],
+        expected: &[&[0, 0], &[0xAA, 0], &[0, 0xBB], &[0xAA, 0xBB]],
+    },
+    Litmus {
+        name: "fence_between_orders_marker",
+        doc: "§4.2 fix: sfence between payload and marker forbids marker-first",
+        steps: &[
+            LStep::W(0, 0xAA),
+            LStep::Clwb(0, 1),
+            LStep::Sfence,
+            LStep::W(64, 0xBB),
+            LStep::Clwb(64, 1),
+        ],
+        watch: &[0, 64],
+        expected: &[&[0xAA, 0], &[0xAA, 0xBB]],
+    },
+    // ---- non-temporal stores --------------------------------------------
+    Litmus {
+        name: "nt_store_sfence_durable",
+        doc: "an nt-store needs only sfence (no clwb) to become durable",
+        steps: &[LStep::Nt(0, 1), LStep::Sfence],
+        watch: &[0],
+        expected: &[&[1]],
+    },
+    Litmus {
+        name: "nt_store_unfenced_may_be_lost",
+        doc: "an nt-store without a fence sits in the WC buffer and may be lost",
+        steps: &[LStep::Nt(0, 1)],
+        watch: &[0],
+        expected: &[&[0], &[1]],
+    },
+    Litmus {
+        name: "nt_store_combines_behind_same_line",
+        doc: "an nt-store write-combines behind earlier cached stores to its line",
+        steps: &[LStep::W(0, 1), LStep::Nt(8, 2), LStep::Sfence],
+        watch: &[0, 8],
+        expected: &[&[1, 2]],
+    },
+    Litmus {
+        name: "nt_store_other_line_not_covered",
+        doc: "an nt-store+sfence does not persist cached stores on other lines",
+        steps: &[LStep::W(0, 1), LStep::Nt(64, 2), LStep::Sfence],
+        watch: &[0, 64],
+        expected: &[&[0, 2], &[1, 2]],
+    },
+    // ---- atomic read-modify-write ---------------------------------------
+    Litmus {
+        name: "fence_free_rmw_not_durable",
+        doc: "an atomic RMW is visible immediately but durable only after flush+fence",
+        steps: &[LStep::RmwOr(0, 0xFF)],
+        watch: &[0],
+        expected: &[&[0], &[0xFF]],
+    },
+    Litmus {
+        name: "rmw_clwb_sfence_durable",
+        doc: "a flushed and fenced RMW is durable in every crash state",
+        steps: &[LStep::RmwOr(0, 0xFF), LStep::Clwb(0, 8), LStep::Sfence],
+        watch: &[0],
+        expected: &[&[0xFF]],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_names_unique() {
+        let names: BTreeSet<&str> = TABLE.iter().map(|l| l.name).collect();
+        assert_eq!(names.len(), TABLE.len());
+    }
+
+    #[test]
+    fn expected_rows_match_watch_arity() {
+        for l in TABLE {
+            for row in l.expected {
+                assert_eq!(
+                    row.len(),
+                    l.watch.len(),
+                    "litmus {}: expected row arity mismatch",
+                    l.name
+                );
+            }
+        }
+    }
+}

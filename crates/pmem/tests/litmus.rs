@@ -1,0 +1,84 @@
+//! The x86 persistency litmus suite: every table entry must pass, and the
+//! harness must be able to *fail* — a deliberately-wrong variant (fence
+//! dropped but fenced expectations kept, and the dual) must be rejected.
+
+use pmem::litmus::{run, run_all, LStep, Litmus, TABLE};
+
+#[test]
+fn every_table_entry_passes() {
+    let results = run_all();
+    assert_eq!(results.len(), TABLE.len());
+    let failures: Vec<String> = results
+        .into_iter()
+        .filter_map(|(name, r)| r.err().map(|e| format!("{name}: {e}")))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "litmus failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn table_covers_all_four_families() {
+    // The contract names four instruction families; make sure a table edit
+    // never silently drops one.
+    let has = |f: fn(&LStep) -> bool| TABLE.iter().any(|l| l.steps.iter().any(f));
+    assert!(has(|s| matches!(s, LStep::Clwb(..))), "no clwb litmus");
+    assert!(has(|s| matches!(s, LStep::Nt(..))), "no nt-store litmus");
+    assert!(has(|s| matches!(s, LStep::Sfence)), "no sfence litmus");
+    assert!(has(|s| matches!(s, LStep::RmwOr(..))), "no RMW litmus");
+}
+
+#[test]
+fn dropped_fence_variant_fails() {
+    // The §4.2 pattern with the fence dropped, but the *fenced* expectation
+    // kept: the emulator must reach the marker-without-payload state, so the
+    // harness has to report an extra (model-forbidden under the wrong
+    // expectation) observed state. If this passed, the suite could never
+    // catch an emulator that silently over-orders.
+    static WRONG: Litmus = Litmus {
+        name: "wrong_fence_dropped",
+        doc: "fence dropped but fenced expectations kept — must fail",
+        steps: &[
+            LStep::W(0, 0xAA),
+            LStep::Clwb(0, 1),
+            // sfence deliberately missing
+            LStep::W(64, 0xBB),
+            LStep::Clwb(64, 1),
+        ],
+        watch: &[0, 64],
+        expected: &[&[0xAA, 0], &[0xAA, 0xBB]],
+    };
+    let err = run(&WRONG).expect_err("harness accepted a dropped fence");
+    assert!(
+        err.contains("too weak"),
+        "mismatch must be reported as extra observed states, got: {err}"
+    );
+}
+
+#[test]
+fn over_strict_expectation_fails() {
+    // The dual direction: a program that *does* fence, checked against the
+    // unfenced expectation set. The reorder states can never be observed,
+    // so the harness must report model-permitted-but-missing states —
+    // proving it would also catch an emulator that under-orders.
+    static WRONG: Litmus = Litmus {
+        name: "wrong_extra_states_expected",
+        doc: "fenced program against unfenced expectations — must fail",
+        steps: &[
+            LStep::W(0, 0xAA),
+            LStep::Clwb(0, 1),
+            LStep::Sfence,
+            LStep::W(64, 0xBB),
+            LStep::Clwb(64, 1),
+        ],
+        watch: &[0, 64],
+        expected: &[&[0, 0], &[0xAA, 0], &[0, 0xBB], &[0xAA, 0xBB]],
+    };
+    let err = run(&WRONG).expect_err("harness accepted missing states");
+    assert!(
+        err.contains("too strict"),
+        "mismatch must be reported as missing expected states, got: {err}"
+    );
+}

@@ -57,13 +57,15 @@
 //! its next point — schedules around lock handoff are explored slightly
 //! coarser than point granularity.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use arckfs::inject::Controller;
 use arckfs::{Config, LibFs};
 use pmem::PmemDevice;
 use vfs::{FileSystem, FileType, FsError, FsExt, FsResult, OpenFlags};
+
+pub mod fuzz;
 
 /// Device size every exploration run (concurrent and serial-spec) uses.
 pub const DEVICE_LEN: usize = 4 << 20;
@@ -290,7 +292,7 @@ pub struct ExploreOpts {
     pub config: Config,
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
@@ -356,6 +358,9 @@ pub enum FailureKind {
     Deadlock,
     /// The schedule exceeded [`ExploreOpts::max_steps`] decisions.
     Diverged,
+    /// A mined invariant that had been promoted to an oracle was violated
+    /// (fuzzing mode only; see [`fuzz`]).
+    InvariantViolated,
 }
 
 impl FailureKind {
@@ -370,6 +375,7 @@ impl FailureKind {
             FailureKind::OpPanicked => "op_panicked",
             FailureKind::Deadlock => "deadlock",
             FailureKind::Diverged => "diverged",
+            FailureKind::InvariantViolated => "invariant_violated",
         }
     }
 }
@@ -416,6 +422,14 @@ pub struct ExploreReport {
     pub points_hit: BTreeMap<String, u64>,
     /// Failing schedules (capped per op combination).
     pub failures: Vec<Failure>,
+    /// Distinct `(inject point, crash-state fingerprint)` pairs reached:
+    /// at each schedule point the crash oracle visits, every logical
+    /// fingerprint of a reachable recovered state is paired with the point
+    /// the granted thread was parked at. This is the coverage currency the
+    /// fuzzer ([`fuzz`]) is measured in, collected here too so the
+    /// exhaustive sweep provides a comparable baseline. Empty when the
+    /// crash oracle is off.
+    pub coverage_pairs: BTreeSet<(String, u64)>,
     /// Crash images checked by the crash oracle.
     pub crash_states_checked: u64,
     /// Largest crash-state space seen at any schedule point.
@@ -437,6 +451,7 @@ impl ExploreReport {
             *self.points_hit.entry(k).or_insert(0) += v;
         }
         self.failures.extend(other.failures);
+        self.coverage_pairs.extend(other.coverage_pairs);
         self.crash_states_checked += other.crash_states_checked;
         self.state_space_max = self.state_space_max.max(other.state_space_max);
         self.truncated |= other.truncated;
@@ -467,6 +482,7 @@ impl ExploreReport {
             "schedules": self.schedules,
             "points_hit": serde_json::Value::Object(points),
             "failures": failures,
+            "coverage_pairs": self.coverage_pairs.len(),
             "crash_states_checked": self.crash_states_checked,
             "state_space_max": self.state_space_max,
             "truncated": self.truncated,
@@ -593,7 +609,7 @@ fn serial_states(ops: &[Op], config: &Config) -> Result<Vec<FsState>, String> {
     Ok(out)
 }
 
-fn fatal_op_error(e: &FsError) -> bool {
+pub(crate) fn fatal_op_error(e: &FsError) -> bool {
     e.is_fault()
         || matches!(
             e,
@@ -644,12 +660,60 @@ struct RunOutcome {
     crash_states: u64,
     state_space_max: u64,
     prefix_diverged: bool,
+    /// `(point, fingerprint)` coverage pairs this run reached (see
+    /// [`ExploreReport::coverage_pairs`]).
+    coverage: BTreeSet<(String, u64)>,
 }
 
-fn default_choice(last: Option<usize>, runnable: &[usize]) -> usize {
+pub(crate) fn default_choice(last: Option<usize>, runnable: &[usize]) -> usize {
     match last {
         Some(l) if runnable.contains(&l) => l,
         _ => runnable[0],
+    }
+}
+
+/// Deprioritizes cooperative lock-waiters ([`arckfs::inject::WAIT_PREFIX`]
+/// points) whose retry already failed. A participant parked at a wait
+/// point re-attempts its acquisition only when granted; granting it again
+/// before any other thread has run is guaranteed to fail the same way (no
+/// lock changed hands), so such threads are filtered out of the choice
+/// set until a different grant lands. This both avoids livelock (a
+/// keep-last-biased walk hammering a waiter forever) and keeps wait
+/// retries from diluting schedule-choice entropy. The tracking is a pure
+/// function of the grant history, so it is deterministic across runs.
+#[derive(Default)]
+pub(crate) struct WaitStall {
+    stalled: std::collections::BTreeSet<usize>,
+}
+
+impl WaitStall {
+    /// The choice set: runnable tids minus stalled waiters — unless that
+    /// would leave nothing, in which case every runnable tid is offered
+    /// (if they are all truly stuck the deadlock oracle reports it).
+    pub(crate) fn filter(&self, runnable: &[(usize, String)]) -> Vec<usize> {
+        let kept: Vec<usize> = runnable
+            .iter()
+            .filter(|(t, p)| {
+                !(p.starts_with(arckfs::inject::WAIT_PREFIX) && self.stalled.contains(t))
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        if kept.is_empty() {
+            runnable.iter().map(|(t, _)| *t).collect()
+        } else {
+            kept
+        }
+    }
+
+    /// Record a grant of `chosen` parked at `point`.
+    pub(crate) fn note(&mut self, chosen: usize, point: &str) {
+        if point.starts_with(arckfs::inject::WAIT_PREFIX) {
+            self.stalled.insert(chosen);
+        } else {
+            // Any real progress may have released a lock; every waiter
+            // deserves a fresh retry.
+            self.stalled.clear();
+        }
     }
 }
 
@@ -669,6 +733,7 @@ fn run_one(
         crash_states: 0,
         state_space_max: 0,
         prefix_diverged: false,
+        coverage: BTreeSet::new(),
     };
 
     let device = if opts.crash_oracle {
@@ -701,6 +766,7 @@ fn run_one(
     }
 
     let mut last: Option<usize> = None;
+    let mut stall = WaitStall::default();
     loop {
         let mut runnable = ctl.quiesce(opts.grace);
         if runnable.is_empty() {
@@ -722,6 +788,7 @@ fn run_one(
             }
         }
 
+        let mut crash_fps: BTreeSet<u64> = BTreeSet::new();
         if opts.crash_oracle {
             match crashmc::check_bounded(
                 &device,
@@ -732,6 +799,7 @@ fn run_one(
                 Ok(report) => {
                     out.crash_states += report.states as u64;
                     out.state_space_max = out.state_space_max.max(report.state_space);
+                    crash_fps = report.fingerprints.clone();
                     if !report.is_consistent() {
                         out.failure = Some((
                             FailureKind::CrashInconsistent,
@@ -762,10 +830,14 @@ fn run_one(
             break;
         }
 
-        let tids: Vec<usize> = runnable.iter().map(|(t, _)| *t).collect();
+        // Pinned prefixes keep authority over the *full* runnable set (a
+        // hand-written schedule may deliberately grant a stalled waiter);
+        // free choices and branch alternatives use the stall-filtered set.
+        let all_tids: Vec<usize> = runnable.iter().map(|(t, _)| *t).collect();
+        let tids = stall.filter(&runnable);
         let chosen = if out.choices.len() < prefix.len() {
             let want = prefix[out.choices.len()];
-            if tids.contains(&want) {
+            if all_tids.contains(&want) {
                 want
             } else {
                 out.prefix_diverged = true;
@@ -798,6 +870,15 @@ fn run_one(
 
         if last.is_some_and(|l| tids.contains(&l) && chosen != l) {
             out.preemptions += 1;
+        }
+        // Coverage: the crash fingerprints reachable here, keyed by the
+        // point the schedule proceeds from — "what crash states exist when
+        // execution resumes at this window".
+        if let Some((_, point)) = runnable.iter().find(|(t, _)| *t == chosen) {
+            for &fp in &crash_fps {
+                out.coverage.insert((point.clone(), fp));
+            }
+            stall.note(chosen, point);
         }
         out.choices.push(chosen);
         let stepped = ctl.step(chosen);
@@ -942,6 +1023,7 @@ fn explore_inner(ops: &[Op], opts: &ExploreOpts, deadline: Option<Instant>) -> E
         }
         report.crash_states_checked += outcome.crash_states;
         report.state_space_max = report.state_space_max.max(outcome.state_space_max);
+        report.coverage_pairs.extend(outcome.coverage);
         if let Some((kind, detail)) = outcome.failure {
             report.failures.push(Failure {
                 kind,

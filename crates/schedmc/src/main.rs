@@ -4,10 +4,24 @@
 //! seeded, time-budgeted). `ARCKFS_SCHEDMC_DEEP=1` switches to the deep
 //! sweep (all op triples, bound 3). Exits non-zero when any schedule
 //! fails an oracle; coverage lands in `results/obs_schedmc.json`.
+//!
+//! `schedmc fuzz` runs the coverage-guided fuzzing campaign instead
+//! ([`schedmc::fuzz`]): the deterministic exec-bounded smoke by default
+//! (`ARCKFS_FUZZ_EXECS`, `ARCKFS_FUZZ_SEED`), the wall-clock-budgeted
+//! nightly depth at `ARCKFS_SCHEDMC_DEEP=2` (`ARCKFS_FUZZ_BUDGET_MS`).
+//! After the campaign it re-runs the exhaustive bound-2 pair sweep on the
+//! same time budget as a coverage baseline, writes both blocks to
+//! `results/obs_fuzz.json`, and exits non-zero unless the campaign found
+//! new coverage, beat the baseline's pair count, and hit zero failures.
 
+use schedmc::fuzz::{FuzzOpts, InvariantStatus};
 use schedmc::ExploreOpts;
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("fuzz") {
+        fuzz_main();
+        return;
+    }
     let deep = std::env::var("ARCKFS_SCHEDMC_DEEP").is_ok_and(|v| v == "1");
     obs::enable();
 
@@ -79,4 +93,130 @@ fn main() {
         );
     }
     std::process::exit(1);
+}
+
+fn fuzz_main() {
+    obs::enable();
+    let deep = std::env::var("ARCKFS_SCHEDMC_DEEP").is_ok_and(|v| v == "2");
+    let (mode, opts) = if deep {
+        ("nightly (budgeted)", FuzzOpts::nightly())
+    } else {
+        ("smoke (exec-bounded)", FuzzOpts::smoke())
+    };
+    eprintln!(
+        "schedmc: fuzz {mode}, seed {:#x}, {} tenants x {} threads, vocabulary {}",
+        opts.seed,
+        opts.tenants,
+        opts.threads,
+        opts.vocabulary.len()
+    );
+
+    let report = schedmc::fuzz::fuzz(&opts);
+    eprintln!(
+        "schedmc: fuzz {} execs in {:?} ({} corpus, {} pairs, {} buckets, {} new-coverage events, {} crash states, {} quota rejections)",
+        report.execs,
+        report.elapsed,
+        report.corpus,
+        report.coverage_pairs.len(),
+        report.point_buckets.len(),
+        report.new_coverage_events,
+        report.crash_states_checked,
+        report.quota_rejections,
+    );
+    for (name, st) in &report.invariants {
+        eprintln!(
+            "schedmc:   invariant {name}: {} ({} clean runs, {} violations)",
+            st.status.name(),
+            st.clean_runs,
+            st.violations
+        );
+    }
+
+    // Baseline: the exhaustive bound-2 pair sweep, crash oracle on, capped
+    // to the wall clock the fuzz campaign just spent — the apples-to-apples
+    // comparison the acceptance criteria pin (both sides report distinct
+    // `(inject point, crash fingerprint)` pairs).
+    let mut base_opts = ExploreOpts::quick();
+    base_opts.budget = Some(report.elapsed);
+    let baseline = schedmc::explore_vocabulary(&base_opts);
+    eprintln!(
+        "schedmc: baseline bound-2 pair sweep on the same budget: {} schedules, {} pairs{}",
+        baseline.schedules,
+        baseline.coverage_pairs.len(),
+        if baseline.truncated {
+            " (truncated by budget)"
+        } else {
+            ""
+        }
+    );
+
+    if let Err(e) = obs::report().write_json_ext(
+        "fuzz",
+        &[
+            ("fuzz", report.to_json()),
+            (
+                "baseline",
+                serde_json::json!({
+                    "coverage_pairs": baseline.coverage_pairs.len(),
+                    "schedules": baseline.schedules,
+                    "crash_states_checked": baseline.crash_states_checked,
+                    "budget_ms": report.elapsed.as_millis() as u64,
+                    "truncated": baseline.truncated,
+                }),
+            ),
+        ],
+    ) {
+        eprintln!("schedmc: failed to write obs json: {e}");
+    }
+
+    let mut bad = false;
+    if !report.is_clean() {
+        bad = true;
+        eprintln!("schedmc: fuzz found {} failure(s):", report.failures.len());
+        for f in report.failures.iter().take(2) {
+            eprintln!(
+                "  [{}] seed={:#x} {}",
+                f.kind.name(),
+                f.seed,
+                f.detail.replace('\n', "\n    ")
+            );
+            let (min_prog, min_sched) =
+                schedmc::fuzz::minimize(&f.program, f.seed, f.kind, &opts);
+            eprintln!(
+                "  minimized to {} ops (from {}), pinned schedule {:?}",
+                min_prog.len(),
+                f.program.len(),
+                min_sched
+            );
+            let pinned = schedmc::fuzz::FuzzFailure {
+                kind: f.kind,
+                detail: f.detail.clone(),
+                program: min_prog,
+                schedule: min_sched,
+                seed: f.seed,
+            };
+            eprintln!("  replay: {}", pinned.replay_snippet());
+        }
+    }
+    if report.new_coverage_events == 0 {
+        bad = true;
+        eprintln!("schedmc: FAIL — fuzz campaign produced zero new-coverage events");
+    }
+    if report.coverage_pairs.len() <= baseline.coverage_pairs.len() {
+        bad = true;
+        eprintln!(
+            "schedmc: FAIL — fuzz coverage ({} pairs) did not beat the bound-2 sweep ({} pairs) on the same budget",
+            report.coverage_pairs.len(),
+            baseline.coverage_pairs.len()
+        );
+    }
+    if report.invariants_with(InvariantStatus::Promoted).is_empty() {
+        // Not fatal: a very short custom campaign may not reach the
+        // promotion threshold. The CI smoke uses defaults that do.
+        eprintln!("schedmc: note — no invariant reached promotion");
+    }
+    if bad {
+        std::process::exit(1);
+    }
+    eprintln!("schedmc: fuzz campaign clean, coverage beat the exhaustive baseline");
 }

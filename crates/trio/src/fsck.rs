@@ -632,128 +632,25 @@ fn walk_dir(
         }
     };
 
-    // Group-durability watermark (DESIGN.md §8): records above it belong
-    // to the commit batch that was open at the crash and are uncommitted
-    // by definition — recovery erases them wholesale.
-    let wm = inode.batch_seq;
-    let mut batch_residue = false;
-    // Every committed record, deleted ones included: batched unlinks and
-    // renames append *negative* records, so a name's liveness is decided
-    // by per-name sequence resolution after the walk.
-    let mut recs: Vec<(String, u64, u64, bool)> = Vec::new(); // (name, seq, ino, deleted)
-    let walk = format::walk_dir_log(device, geom, &inode, |d| {
-        if d.marker == 0 {
-            return;
-        }
-        if wm != 0 && d.seq > wm {
-            batch_residue = true;
-            return;
-        }
-        let torn = d.marker as usize > format::DENTRY_NAME_CAP || d.name_has_nul();
-        let name = if torn { None } else { d.name_str() };
-        let name = match name {
-            Some(n) => n.to_string(),
-            None => {
-                // Tombstoned records were never payload-checked; a torn
-                // name only violates §4.2 on a record claiming to be live.
-                if !d.deleted {
-                    report.issues.push(FsckIssue::PartialDentry {
-                        dir,
-                        offset: d.offset,
-                    });
-                }
+    let (recs, batch_residue) =
+        match committed_records(device, geom, &inode, dir, Some(report)) {
+            Ok(v) => v,
+            Err(e) => {
+                report.issues.push(FsckIssue::Structural {
+                    ino: dir,
+                    detail: e,
+                });
                 return;
             }
         };
-        if d.ino == 0 || d.ino > geom.max_inodes {
-            if !d.deleted {
-                report.issues.push(FsckIssue::DanglingDentry {
-                    dir,
-                    child: d.ino,
-                    name,
-                });
-            }
-            return;
-        }
-        recs.push((name, d.seq, d.ino, d.deleted));
-    });
-    if let Err(e) = walk {
-        report.issues.push(FsckIssue::Structural {
-            ino: dir,
-            detail: e,
-        });
-        return;
-    }
     if batch_residue {
         report.issues.push(FsckIssue::BatchResidue {
             dir,
-            watermark: wm,
+            watermark: inode.batch_seq,
         });
     }
 
-    // Per-name sequence resolution (the rule recovery applies). A live
-    // record below the winner is benign only when a newer negative record
-    // for the same inode explicitly killed it; any other live loser is a
-    // genuine duplicate.
-    // Per-name record tuples: (seq, ino, deleted).
-    type NameRecs = Vec<(u64, u64, bool)>;
-    let mut by_name: HashMap<String, NameRecs> = HashMap::new();
-    for (name, seq, ino, deleted) in recs {
-        by_name.entry(name).or_default().push((seq, ino, deleted));
-    }
-    let mut live: HashMap<String, u64> = HashMap::new();
-    let mut live_seq: HashMap<String, u64> = HashMap::new();
-    let mut resolved: Vec<(String, NameRecs)> = by_name.into_iter().collect();
-    resolved.sort(); // deterministic issue order across identical images
-    for (name, mut v) in resolved {
-        v.sort_unstable();
-        let &(winner_seq, winner_ino, winner_deleted) = v.last().expect("non-empty");
-        for &(seq, ino, deleted) in &v[..v.len() - 1] {
-            if deleted {
-                continue;
-            }
-            let killed = v.iter().any(|&(s2, i2, d2)| s2 > seq && d2 && i2 == ino);
-            if killed {
-                report.issues.push(FsckIssue::UnlinkResidue {
-                    dir,
-                    name: name.clone(),
-                });
-            } else {
-                report.issues.push(FsckIssue::DuplicateName {
-                    dir,
-                    name: name.clone(),
-                });
-            }
-        }
-        if !winner_deleted {
-            live.insert(name.clone(), winner_ino);
-            live_seq.insert(name, winner_seq);
-        }
-    }
-
-    // Same inode live under two names: same-directory rename residue (the
-    // old name's tombstone did not persist). Keep the newer record, as
-    // recovery does.
-    let mut by_ino: HashMap<u64, (String, u64)> = HashMap::new();
-    let mut sorted_live: Vec<(String, u64)> = live.iter().map(|(n, i)| (n.clone(), *i)).collect();
-    sorted_live.sort();
-    for (name, ino) in sorted_live {
-        let seq = live_seq[&name];
-        match by_ino.get(&ino) {
-            Some((old_name, old_seq)) => {
-                report.issues.push(FsckIssue::RenameResidue { dir, ino });
-                if seq > *old_seq {
-                    live.remove(old_name);
-                    by_ino.insert(ino, (name, seq));
-                } else {
-                    live.remove(&name);
-                }
-            }
-            None => {
-                by_ino.insert(ino, (name, seq));
-            }
-        }
-    }
+    let live = resolve_live(recs, dir, Some(report));
 
     if inode.size != live.len() as u64 {
         report.issues.push(FsckIssue::SizeMismatch {
@@ -804,6 +701,330 @@ fn walk_dir(
             walk_dir(device, geom, child, visited, report, depth + 1);
         }
     }
+}
+
+/// A directory's committed record: `(name, seq, ino, deleted)`.
+type DirRec = (String, u64, u64, bool);
+
+/// Collect a directory's committed dentry records below its group-
+/// durability watermark (DESIGN.md §8: records above the watermark belong
+/// to the commit batch open at the crash and are uncommitted by
+/// definition). Deleted records are included — batched unlinks and renames
+/// append *negative* records, so liveness is decided afterwards by
+/// [`resolve_live`]. The second return is whether any record sat above the
+/// watermark. With `report`, §4.2 payload and target violations are
+/// reported; without it they are skipped silently (recovery erases them).
+fn committed_records(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    inode: &format::RawInode,
+    dir: u64,
+    mut report: Option<&mut FsckReport>,
+) -> Result<(Vec<DirRec>, bool), String> {
+    let wm = inode.batch_seq;
+    let mut batch_residue = false;
+    let mut recs: Vec<DirRec> = Vec::new();
+    format::walk_dir_log(device, geom, inode, |d| {
+        if d.marker == 0 {
+            return;
+        }
+        if wm != 0 && d.seq > wm {
+            batch_residue = true;
+            return;
+        }
+        let torn = d.marker as usize > format::DENTRY_NAME_CAP || d.name_has_nul();
+        let name = if torn { None } else { d.name_str() };
+        let name = match name {
+            Some(n) => n.to_string(),
+            None => {
+                // Tombstoned records were never payload-checked; a torn
+                // name only violates §4.2 on a record claiming to be live.
+                if !d.deleted {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.issues.push(FsckIssue::PartialDentry {
+                            dir,
+                            offset: d.offset,
+                        });
+                    }
+                }
+                return;
+            }
+        };
+        if d.ino == 0 || d.ino > geom.max_inodes {
+            if !d.deleted {
+                if let Some(r) = report.as_deref_mut() {
+                    r.issues.push(FsckIssue::DanglingDentry {
+                        dir,
+                        child: d.ino,
+                        name,
+                    });
+                }
+            }
+            return;
+        }
+        recs.push((name, d.seq, d.ino, d.deleted));
+    })?;
+    Ok((recs, batch_residue))
+}
+
+/// Per-name and per-inode sequence resolution over a directory's committed
+/// records — exactly the rule recovery applies. A live record below the
+/// per-name winner is benign only when a newer negative record for the
+/// same inode explicitly killed it; any other live loser is a genuine
+/// duplicate. An inode live under two names (same-directory rename
+/// residue) keeps the newer name. Returns the live `name → ino` map; with
+/// `report`, residue and duplicates are reported against `dir`.
+fn resolve_live(
+    recs: Vec<DirRec>,
+    dir: u64,
+    mut report: Option<&mut FsckReport>,
+) -> HashMap<String, u64> {
+    // Per-name record tuples: (seq, ino, deleted).
+    type NameRecs = Vec<(u64, u64, bool)>;
+    let mut by_name: HashMap<String, NameRecs> = HashMap::new();
+    for (name, seq, ino, deleted) in recs {
+        by_name.entry(name).or_default().push((seq, ino, deleted));
+    }
+    let mut live: HashMap<String, u64> = HashMap::new();
+    let mut live_seq: HashMap<String, u64> = HashMap::new();
+    let mut resolved: Vec<(String, NameRecs)> = by_name.into_iter().collect();
+    resolved.sort(); // deterministic issue order across identical images
+    for (name, mut v) in resolved {
+        v.sort_unstable();
+        let &(winner_seq, winner_ino, winner_deleted) = v.last().expect("non-empty");
+        for &(seq, ino, deleted) in &v[..v.len() - 1] {
+            if deleted {
+                continue;
+            }
+            let Some(r) = report.as_deref_mut() else {
+                continue;
+            };
+            let killed = v.iter().any(|&(s2, i2, d2)| s2 > seq && d2 && i2 == ino);
+            if killed {
+                r.issues.push(FsckIssue::UnlinkResidue {
+                    dir,
+                    name: name.clone(),
+                });
+            } else {
+                r.issues.push(FsckIssue::DuplicateName {
+                    dir,
+                    name: name.clone(),
+                });
+            }
+        }
+        if !winner_deleted {
+            live.insert(name.clone(), winner_ino);
+            live_seq.insert(name, winner_seq);
+        }
+    }
+
+    // Same inode live under two names: same-directory rename residue (the
+    // old name's tombstone did not persist). Keep the newer record, as
+    // recovery does.
+    let mut by_ino: HashMap<u64, (String, u64)> = HashMap::new();
+    let mut sorted_live: Vec<(String, u64)> = live.iter().map(|(n, i)| (n.clone(), *i)).collect();
+    sorted_live.sort();
+    for (name, ino) in sorted_live {
+        let seq = live_seq[&name];
+        match by_ino.get(&ino) {
+            Some((old_name, old_seq)) => {
+                if let Some(r) = report.as_deref_mut() {
+                    r.issues.push(FsckIssue::RenameResidue { dir, ino });
+                }
+                if seq > *old_seq {
+                    live.remove(old_name);
+                    by_ino.insert(ino, (name, seq));
+                } else {
+                    live.remove(&name);
+                }
+            }
+            None => {
+                by_ino.insert(ino, (name, seq));
+            }
+        }
+    }
+    live
+}
+
+// ---- logical snapshots and fingerprints --------------------------------
+
+/// One live entry in a [`logical_snapshot`]: the namespace-visible identity
+/// of a file or directory, with **no physical placement** in it. Two images
+/// that recover to the same user-visible state produce the same entries
+/// even when their inodes landed on different pages or allocator shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalEntry {
+    /// Absolute path from the root (e.g. `/d/f0`).
+    pub path: String,
+    /// Inode type.
+    pub itype: InodeType,
+    /// Owning tenant uid.
+    pub uid: u32,
+    /// File size in bytes; 0 for directories (their logical content is the
+    /// set of entries under them, which appear as their own paths — the
+    /// stored size field may be benignly stale after a crash).
+    pub size: u64,
+    /// FNV-1a hash of the file content in logical block order; 0 for
+    /// directories.
+    pub content_hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Hash a regular file's content in logical block order.
+///
+/// The block → page map is built from the direct, indirect and
+/// double-indirect pointers first, then the extent tree on top (a
+/// committed extent run supersedes the legacy mapping for its blocks, and
+/// later records supersede earlier ones, matching the read path). Only the
+/// mapping's *data* enters the hash — page numbers never do, so the hash
+/// is stable across allocator shard counts and physical placement.
+fn file_content_hash(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+    inode: &format::RawInode,
+) -> u64 {
+    let in_range = |p: u64| p >= geom.data_start_page && p < geom.total_pages;
+    let read_ptr = |page: u64, slot: u64| {
+        device
+            .read_u64(geom.page_offset(page) + slot * 8)
+            .unwrap_or(0)
+    };
+    let mut map: HashMap<u64, u64> = HashMap::new(); // file block → page
+    for (i, &p) in inode.direct.iter().enumerate() {
+        if in_range(p) {
+            map.insert(i as u64, p);
+        }
+    }
+    if in_range(inode.indirect) {
+        for i in 0..format::PTRS_PER_PAGE {
+            let p = read_ptr(inode.indirect, i);
+            if in_range(p) {
+                map.insert(format::NDIRECT as u64 + i, p);
+            }
+        }
+    }
+    if in_range(inode.dindirect) {
+        let l1_base = format::NDIRECT as u64 + format::PTRS_PER_PAGE;
+        for i in 0..format::PTRS_PER_PAGE {
+            let l1 = read_ptr(inode.dindirect, i);
+            if !in_range(l1) {
+                continue;
+            }
+            for j in 0..format::PTRS_PER_PAGE {
+                let p = read_ptr(l1, j);
+                if in_range(p) {
+                    map.insert(l1_base + i * format::PTRS_PER_PAGE + j, p);
+                }
+            }
+        }
+    }
+    let _ = format::walk_extents(device, geom, inode, |_| {}, |e| {
+        for k in 0..e.len {
+            map.insert(e.file_block + k, e.page + k);
+        }
+    });
+
+    let page_size = pmem::PAGE_SIZE as u64;
+    let nblocks = inode.size.div_ceil(page_size);
+    let mut h = FNV_OFFSET;
+    let mut buf = vec![0u8; pmem::PAGE_SIZE];
+    for block in 0..nblocks {
+        let take = (inode.size - block * page_size).min(page_size) as usize;
+        let data = match map.get(&block) {
+            Some(&page) if device.read(geom.page_offset(page), &mut buf).is_ok() => &buf[..take],
+            _ => &vec![0u8; take][..], // unmapped hole reads as zeros
+        };
+        fnv1a(&mut h, &block.to_le_bytes());
+        fnv1a(&mut h, data);
+    }
+    h
+}
+
+/// Walk the namespace from the root and return every live, committed entry
+/// sorted by path — the **logical** state of the image, independent of
+/// physical placement, allocator shard count, and benign crash residue
+/// (orphans, stale sizes, batch residue, unpersisted tombstones), all of
+/// which recovery discards. Liveness uses the same per-name sequence
+/// resolution as [`fsck`]; nothing is reported.
+pub fn logical_snapshot(
+    device: &Arc<PmemDevice>,
+    geom: &Geometry,
+) -> Result<Vec<LogicalEntry>, String> {
+    let mut out = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(ROOT_INO);
+    let mut stack: Vec<(u64, String)> = vec![(ROOT_INO, String::new())];
+    while let Some((dir, prefix)) = stack.pop() {
+        let inode = match format::read_inode(device, geom, dir) {
+            Ok(i) => i,
+            Err(e) => return Err(e.to_string()),
+        };
+        let (recs, _) = committed_records(device, geom, &inode, dir, None)?;
+        let mut children: Vec<(String, u64)> =
+            resolve_live(recs, dir, None).into_iter().collect();
+        children.sort();
+        for (name, child) in children {
+            let cinode = match format::read_inode(device, geom, child) {
+                Ok(i) => i,
+                Err(e) => return Err(e.to_string()),
+            };
+            if !cinode.is_committed(child) {
+                continue; // dangling target: recovery drops the name
+            }
+            let Some(ctype) = cinode.inode_type() else {
+                continue;
+            };
+            let path = format!("{prefix}/{name}");
+            let (size, content_hash) = match ctype {
+                InodeType::Regular => (
+                    cinode.size,
+                    file_content_hash(device, geom, &cinode),
+                ),
+                InodeType::Directory => (0, 0),
+            };
+            out.push(LogicalEntry {
+                path: path.clone(),
+                itype: ctype,
+                uid: cinode.uid,
+                size,
+                content_hash,
+            });
+            if ctype == InodeType::Directory && visited.insert(child) {
+                stack.push((child, path));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+/// Collapse [`logical_snapshot`] into one stable `u64` — the crash-state
+/// fingerprint `crashmc` and the `schedmc` fuzzer use as a coverage
+/// signal. Equal logical states hash equal by construction; physical
+/// placement differences (e.g. recovering under a different
+/// `ARCKFS_ALLOC_SHARDS` than the image crashed at) never enter the hash.
+pub fn logical_fingerprint(device: &Arc<PmemDevice>) -> Result<u64, String> {
+    let geom = format::read_superblock(device)?;
+    let snap = logical_snapshot(device, &geom)?;
+    let mut h = FNV_OFFSET;
+    for e in &snap {
+        fnv1a(&mut h, e.path.as_bytes());
+        fnv1a(&mut h, &[0xFF]);
+        fnv1a(&mut h, &e.itype.to_raw().to_le_bytes());
+        fnv1a(&mut h, &e.uid.to_le_bytes());
+        fnv1a(&mut h, &e.size.to_le_bytes());
+        fnv1a(&mut h, &e.content_hash.to_le_bytes());
+    }
+    Ok(h)
 }
 
 #[cfg(test)]

@@ -34,8 +34,8 @@ pub mod verifier;
 pub use controller::{InodeGrant, Kernel, KernelConfig, KernelStats, LibFsId};
 pub use format::{Geometry, InodeType};
 pub use fsck::{
-    attribute_tenant_leaks, derive_tenant_usage, FsckIssue, FsckReport, TenantCharges, TenantLeak,
-    TenantUsage,
+    attribute_tenant_leaks, derive_tenant_usage, logical_fingerprint, logical_snapshot, FsckIssue,
+    FsckReport, LogicalEntry, TenantCharges, TenantLeak, TenantUsage,
 };
 pub use lease::RenameLease;
 pub use provider::{ProviderError, QuotaProvider, ResourceProvider};

@@ -276,9 +276,16 @@ fn parse_dir(
 
     // The directory's size field counts live entries.
     if inode.size != live.len() as u64 {
+        let mut names: Vec<&str> = live.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
         return Err(fail(
             ino,
-            format!("dir size {} != live entries {}", inode.size, live.len()),
+            format!(
+                "dir size {} != live entries {} [{}]",
+                inode.size,
+                live.len(),
+                names.join(", ")
+            ),
         ));
     }
 

@@ -134,6 +134,57 @@ proptest! {
     }
 }
 
+/// The fuzzer's first-class quota oracle (ISSUE 9, satellite 4): a
+/// multi-tenant campaign under quotas tight enough that allocations are
+/// actually refused still never observes a volatile charge above the
+/// limit — "rejected, never overcharged". The campaign must be clean,
+/// must have seen real rejection pressure (otherwise the oracle is
+/// vacuous), and must *promote* both charge-≤-quota candidates with zero
+/// violations across every evaluated run.
+#[test]
+fn fuzz_campaign_upholds_quota_oracle_under_rejection_pressure() {
+    use schedmc::fuzz::{
+        fuzz, FuzzOpKind, FuzzOpts, InvariantStatus, INV_INO_CHARGE, INV_PAGE_CHARGE,
+    };
+
+    let mut o = FuzzOpts::smoke();
+    o.seed = 0x5107a;
+    o.max_execs = Some(8);
+    o.budget = None;
+    o.program_min = 12;
+    o.program_max = 20;
+    // Tight enough that the page-hungry ops overrun them mid-program.
+    o.page_quota = Some(16);
+    o.ino_quota = Some(8);
+    o.crash_period = 8;
+    o.crash_samples = 4;
+    o.vocabulary = vec![
+        FuzzOpKind::Create,
+        FuzzOpKind::WriteDelegated,
+        FuzzOpKind::WriteRanged,
+        FuzzOpKind::Append,
+        FuzzOpKind::Unlink,
+        FuzzOpKind::Truncate,
+    ];
+    let report = fuzz(&o);
+    assert!(report.is_clean(), "{:?}", report.failures);
+    assert!(
+        report.quota_rejections > 0,
+        "quotas this tight must refuse some allocations, or the oracle \
+         never ran under pressure"
+    );
+    for inv in [INV_PAGE_CHARGE, INV_INO_CHARGE] {
+        let st = &report.invariants[inv];
+        assert_eq!(
+            st.status,
+            InvariantStatus::Promoted,
+            "{inv} must promote: {st:?}"
+        );
+        assert_eq!(st.violations, 0, "{inv} must never be violated: {st:?}");
+        assert!(st.clean_runs >= report.execs, "{inv} evaluated every run");
+    }
+}
+
 /// Concurrent tenants hammering the same kernel: the quota wrapper's
 /// reserve-under-lock protocol keeps every tenant within budget even under
 /// racing grants, and several crash points all recover identical charges.
